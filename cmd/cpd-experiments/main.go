@@ -1,0 +1,127 @@
+// Command cpd-experiments regenerates the paper's tables and figures
+// (see DESIGN.md §4 for the per-experiment index). Output is the plain
+// tables EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	cpd-experiments -exp all -scale small -folds 3
+//	cpd-experiments -exp fig4,fig9 -sweep 20,50,100,150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpd-experiments: ")
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table3,fig3,fig3nc,fig4,fig5,table5,fig6,table6,fig7,fig8,fig9,fig10,fig11 or 'all'")
+		scale   = flag.String("scale", "small", "dataset scale: tiny | small | medium")
+		folds   = flag.Int("folds", 3, "cross-validation folds (paper uses 10)")
+		iters   = flag.Int("iters", 15, "EM iterations for CPD-family models")
+		workers = flag.Int("workers", 1, "training workers for grid models")
+		sweep   = flag.String("sweep", "", "comma-separated |C| sweep (default 20,50,100,150)")
+		topics  = flag.Int("topics", 25, "number of topics |Z|")
+		seed    = flag.Uint64("seed", 0, "experiment seed (0 = default)")
+		dotDir  = flag.String("dotdir", "", "directory for Fig 7 DOT exports (optional)")
+	)
+	flag.Parse()
+
+	o := exp.Options{
+		Folds:   *folds,
+		EMIters: *iters,
+		Workers: *workers,
+		Topics:  *topics,
+		Seed:    *seed,
+	}
+	switch *scale {
+	case "tiny":
+		o.Scale = exp.Tiny
+	case "small":
+		o.Scale = exp.Small
+	case "medium":
+		o.Scale = exp.Medium
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad sweep value %q", s)
+			}
+			o.CommunitySweep = append(o.CommunitySweep, c)
+		}
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	w := os.Stdout
+
+	run := func(name string, fn func() []*exp.Table) {
+		if !all && !wanted[name] {
+			return
+		}
+		fmt.Fprintf(w, "\n######## %s ########\n", name)
+		for _, t := range fn() {
+			t.Fprint(w)
+		}
+	}
+
+	run("table3", func() []*exp.Table { return []*exp.Table{exp.RunTable3(o)} })
+	if all {
+		// One union grid per dataset covers Figs. 3, 3(g,h), 4, 8 and 9
+		// without re-training models per figure.
+		fmt.Fprint(w, "\n######## grid figures (3, 3nc, 4, 8, 9) ########\n")
+		for _, t := range exp.RunGridFigures(o) {
+			t.Fprint(w)
+		}
+	}
+	runUnlessAll := func(name string, fn func() []*exp.Table) {
+		if all {
+			return
+		}
+		run(name, fn)
+	}
+	runUnlessAll("fig3", func() []*exp.Table { return exp.RunFigure3(o) })
+	runUnlessAll("fig3nc", func() []*exp.Table { return exp.RunFigure3Nonconformity(o) })
+	runUnlessAll("fig4", func() []*exp.Table { return exp.RunFigure4(o) })
+	run("fig5", func() []*exp.Table { return exp.RunFigure5(o) })
+	run("table5", func() []*exp.Table { return []*exp.Table{exp.RunTable5(o)} })
+	run("fig6", func() []*exp.Table { return exp.RunFigure6(o) })
+	run("table6", func() []*exp.Table { return []*exp.Table{exp.RunTable6(o)} })
+	run("fig7", func() []*exp.Table {
+		writeFile := func(name string, render func(io.Writer) error) error {
+			if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return render(f)
+		}
+		if *dotDir == "" {
+			return exp.RunFigure7(o, "", nil)
+		}
+		return exp.RunFigure7(o, *dotDir, writeFile)
+	})
+	runUnlessAll("fig8", func() []*exp.Table { return exp.RunFigure8(o) })
+	runUnlessAll("fig9", func() []*exp.Table { return exp.RunFigure9(o) })
+	run("fig10", func() []*exp.Table { return exp.RunFigure10(o) })
+	run("fig11", func() []*exp.Table { return exp.RunFigure11(o) })
+}

@@ -1,0 +1,64 @@
+// Command cpd-synth generates a synthetic social graph (Twitter-like or
+// DBLP-like preset) and writes it — plus the themed vocabulary — to disk
+// in the socialgraph text format.
+//
+// Usage:
+//
+//	cpd-synth -preset twitter -users 2000 -seed 42 -out twitter.graph -vocab twitter.vocab
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpd-synth: ")
+	var (
+		preset = flag.String("preset", "twitter", "dataset preset: twitter | dblp")
+		users  = flag.Int("users", 1000, "number of users")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		out    = flag.String("out", "", "output graph file (required)")
+		vocab  = flag.String("vocab", "", "optional vocabulary output file")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	var cfg synth.Config
+	switch *preset {
+	case "twitter":
+		cfg = synth.TwitterLike(*users, *seed)
+	case "dblp":
+		cfg = synth.DBLPLike(*users, *seed)
+	default:
+		log.Fatalf("unknown preset %q (want twitter or dblp)", *preset)
+	}
+	g, _ := synth.Generate(cfg)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := g.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+	if *vocab != "" {
+		vf, err := os.Create(*vocab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer vf.Close()
+		if _, err := synth.BuildVocabulary(cfg).WriteTo(vf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	fmt.Printf("wrote %s: %d users, %d friendship links, %d diffusion links, %d docs, %d words\n",
+		*out, st.Users, st.FriendLinks, st.DiffLinks, st.Docs, st.Words)
+}

@@ -1,0 +1,66 @@
+// Command cpd-train trains a CPD model on a social graph file and saves
+// the model as JSON.
+//
+// Usage:
+//
+//	cpd-train -graph twitter.graph -communities 50 -topics 25 -iters 30 -out model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/socialgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpd-train: ")
+	var (
+		graphPath   = flag.String("graph", "", "input graph file (required)")
+		communities = flag.Int("communities", 50, "number of communities |C|")
+		topics      = flag.Int("topics", 25, "number of topics |Z|")
+		iters       = flag.Int("iters", 30, "EM iterations T1")
+		workers     = flag.Int("workers", 0, "E-step workers (0 = all cores, 1 = serial)")
+		seed        = flag.Uint64("seed", 7, "sampler seed")
+		rho         = flag.Float64("rho", 0, "membership prior (0 = paper default 50/|C|)")
+		out         = flag.String("out", "", "model output file (required)")
+	)
+	flag.Parse()
+	if *graphPath == "" || *out == "" {
+		log.Fatal("-graph and -out are required")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := socialgraph.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, diag, err := core.Train(g, core.Config{
+		NumCommunities: *communities,
+		NumTopics:      *topics,
+		EMIters:        *iters,
+		Workers:        *workers,
+		Seed:           *seed,
+		Rho:            *rho,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer of.Close()
+	if err := m.Save(of); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained |C|=%d |Z|=%d in %.1fs E-step + %.1fs M-step; model written to %s\n",
+		*communities, *topics, diag.EStepSeconds, diag.MStepSeconds, *out)
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "From Community
+// Detection to Community Profiling" (Cai, Zheng, Zhu, Chang, Huang;
+// PVLDB 10(6), 2017): the joint Community Profiling and Detection (CPD)
+// model, its Pólya-Gamma-augmented collapsed Gibbs / variational-EM
+// inference with a knapsack-balanced parallel E-step, the four published
+// baselines it is evaluated against (PMTLM, WTM, CRM, COLD) plus the two
+// aggregation baselines, the three community-level applications
+// (community-aware diffusion, profile-driven ranking, profile-driven
+// visualization), and a benchmark harness that regenerates every table and
+// figure of the paper's evaluation section on synthetic Twitter-like and
+// DBLP-like workloads.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds the per-table/per-figure benchmarks
+// (bench_test.go); all implementation lives under internal/.
+package repro

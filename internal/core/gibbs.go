@@ -1,0 +1,515 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/polyagamma"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+)
+
+// logPsi returns log ψ(x, ω) = x/2 − ω x²/2, the log of the Pólya-Gamma
+// mixture kernel of Eq. 7 that replaces each sigmoid likelihood factor in
+// the collapsed posterior (Eqs. 10–11).
+func logPsi(x, omega float64) float64 {
+	return 0.5*x - 0.5*omega*x*x
+}
+
+// logPsiNeg is the kernel of a zero-labelled link: the PG identity for
+// 1−σ(x) swaps the sign of the linear term (κ = y − 1/2 = −1/2).
+func logPsiNeg(x, omega float64) float64 {
+	return -0.5*x - 0.5*omega*x*x
+}
+
+// groupWords fills sc.wordIDs / sc.wordCnt with the document's distinct
+// words and their within-document counts (documents are short, so a linear
+// scan with a small inner loop beats sorting).
+func (sc *scratch) groupWords(words []int32) {
+	sc.wordIDs = sc.wordIDs[:0]
+	sc.wordCnt = sc.wordCnt[:0]
+outer:
+	for _, w := range words {
+		for k, seen := range sc.wordIDs {
+			if seen == w {
+				sc.wordCnt[k]++
+				continue outer
+			}
+		}
+		sc.wordIDs = append(sc.wordIDs, w)
+		sc.wordCnt = append(sc.wordCnt, 1)
+	}
+}
+
+// sampleDocTopic resamples z_ui per Eq. 13: the community-topic prior term,
+// the word likelihood term and — through the Pólya-Gamma kernels — the
+// diffusion links for which this document is the diffusing side. Friendship
+// factors do not depend on Z and cancel.
+func (st *state) sampleDocTopic(d int32, sc *scratch) {
+	doc := &st.g.Docs[d]
+	zOld := int(st.zload(d))
+	c := int(st.cload(d))
+	b := st.docBucket[d]
+
+	// Remove the document from all z-dependent counters (the ¬{ui}
+	// convention).
+	st.nCZ.add(c, zOld, -1)
+	st.nCT.add(c, -1)
+	for _, w := range doc.Words {
+		st.nZW.add(zOld, int(w), -1)
+	}
+	st.nZT.add(zOld, -int64(len(doc.Words)))
+	st.nTZ.add(b, zOld, -1)
+	st.nTT.add(b, -1)
+
+	Z := st.cfg.NumTopics
+	beta := st.cfg.Beta
+	wBeta := float64(st.g.NumWords) * beta
+	alpha := st.cfg.Alpha
+	sc.groupWords(doc.Words)
+	logw := sc.logw[:Z]
+	for z := 0; z < Z; z++ {
+		lw := math.Log(float64(st.nCZ.at(c, z)) + alpha)
+		for k, w := range sc.wordIDs {
+			base := float64(st.nZW.at(z, int(w))) + beta
+			for m := 0; m < sc.wordCnt[k]; m++ {
+				lw += math.Log(base + float64(m))
+			}
+		}
+		den := float64(st.nZT.at(z)) + wBeta
+		for j := 0; j < len(doc.Words); j++ {
+			lw -= math.Log(den + float64(j))
+		}
+		logw[z] = lw
+	}
+
+	// Diffusion kernels: only links where d is the diffusing document
+	// depend on the candidate topic (the link topic is the diffusing
+	// document's topic). Skipped entirely under the heterogeneity ablation
+	// (diffusion is then topic-free) and in the no-joint detection phase.
+	if !st.cfg.NoHeterogeneity {
+		builtPiU := false
+		for _, e := range st.g.DocDiffLinks(int(d)) {
+			l := st.g.Diffs[e]
+			if l.I != d {
+				continue
+			}
+			if !builtPiU {
+				st.piHat(doc.User, d, &sc.piU, &sc.idxBufU, &sc.valBufU, sc)
+				builtPiU = true
+			}
+			vUser := st.g.Docs[l.J].User
+			st.neighborPi(vUser, doc.User, d, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
+			indiv := st.indivTerm(int(e))
+			delta := st.delta.get(int(e))
+			lb := st.docBucket[l.I]
+			for z := 0; z < Z; z++ {
+				x := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV) +
+					st.popTerm(lb, z) + indiv
+				logw[z] += logPsi(x, delta)
+			}
+		}
+	}
+
+	zNew := sc.r.CategoricalLog(logw)
+	st.zstore(d, int32(zNew))
+	st.nCZ.add(c, zNew, 1)
+	st.nCT.add(c, 1)
+	for _, w := range doc.Words {
+		st.nZW.add(zNew, int(w), 1)
+	}
+	st.nZT.add(zNew, int64(len(doc.Words)))
+	st.nTZ.add(b, zNew, 1)
+	st.nTT.add(b, 1)
+}
+
+// pickExcl returns d when cond (same user on both link endpoints) so the
+// exclusion applies to every pi-hat built for the sampled document's user.
+func pickExcl(cond bool, d int32) int32 {
+	if cond {
+		return d
+	}
+	return -1
+}
+
+// neighborPi materialises pi-hat for a link counterparty: the exact
+// (exclusion-aware) vector when the counterparty is the sampled user
+// herself, the sweep-start snapshot otherwise (see refreshPiSnapshots).
+func (st *state) neighborPi(user, cur int32, exclDoc int32, out *sparse.SmoothedVec, idxBuf *[]int32, valBuf *[]float64, sc *scratch) {
+	if user == cur {
+		st.piHat(user, exclDoc, out, idxBuf, valBuf, sc)
+		return
+	}
+	st.piSnap(user, out)
+}
+
+// sampleDocCommunity resamples c_ui per Eq. 14: the user-community prior,
+// the community-topic term, the friendship kernels over Λ_u and the
+// diffusion kernels over Λ_i.
+func (st *state) sampleDocCommunity(d int32, sc *scratch) {
+	doc := &st.g.Docs[d]
+	u := doc.User
+	cOld := int(st.cload(d))
+	z := int(st.zload(d))
+
+	st.nCZ.add(cOld, z, -1)
+	st.nCT.add(cOld, -1)
+
+	C := st.cfg.NumCommunities
+	rho := st.cfg.Rho
+	alpha := st.cfg.Alpha
+	zAlpha := float64(st.cfg.NumTopics) * alpha
+	logw := sc.logw[:C]
+
+	// Prior term log(n_u^c,¬ + rho): base log(rho) everywhere, corrected on
+	// the support of the user's remaining assignments.
+	st.piHat(u, d, &sc.piU, &sc.idxBufU, &sc.valBufU, sc)
+	denU := st.piHatDen(u)
+	invDenU := 1 / denU
+	logRho := math.Log(rho)
+	for cc := 0; cc < C; cc++ {
+		logw[cc] = logRho
+	}
+	for k, cc := range sc.piU.Idx {
+		logw[cc] = math.Log(rho + sc.piU.Val[k]*denU)
+	}
+
+	// Community-topic term (skipped in the no-joint detection phase, where
+	// content does not inform detection).
+	if st.contentOn {
+		for cc := 0; cc < C; cc++ {
+			logw[cc] += math.Log(float64(st.nCZ.at(cc, z))+alpha) -
+				math.Log(float64(st.nCT.at(cc))+zAlpha)
+		}
+	}
+
+	// Friendship kernels: for each incident friendship link, the candidate
+	// community shifts pi-hat_u by e_c/den_u, so
+	// x(c) = x0 + pi-hat_v[c]/den_u differs from the support-free value
+	// x0 = base + base_v/den_u only on support(v); the x0 kernel is an
+	// all-candidates constant, applied once, with per-support corrections.
+	if !st.cfg.NoFriendship {
+		for _, li := range st.userFriendLinks[u] {
+			f := st.g.Friends[li]
+			st.addFriendKernel(u, d, f, st.lambda.get(int(li)), true, invDenU, sc, logw)
+		}
+		for _, li := range st.userNegFriendLinks[u] {
+			f := st.negFriends[li]
+			st.addFriendKernel(u, d, f, st.lambdaNeg.get(int(li)), false, invDenU, sc, logw)
+		}
+	}
+
+	// Diffusion kernels over Λ_i.
+	if st.contentOn {
+		for _, e := range st.g.DocDiffLinks(int(d)) {
+			st.addDiffusionCommunityTerms(d, int(e), invDenU, sc, logw)
+		}
+	}
+
+	cNew := sc.r.CategoricalLog(logw)
+	st.cstore(d, int32(cNew))
+	st.nCZ.add(cNew, z, 1)
+	st.nCT.add(cNew, 1)
+}
+
+// addFriendKernel adds one friendship link's Pólya-Gamma kernel to the
+// per-candidate community log-weights for document d of user u: the
+// candidate community shifts pi-hat_u by e_c/den_u, so
+// x(c) = fs*(base + (baseV + residV[c])/denU) differs from the
+// support-free value x0 only on support(v); the x0 kernel is applied to
+// all candidates once, then corrected on the support. positive selects the
+// observed-link kernel (logPsi) vs the sampled-negative kernel (logPsiNeg).
+func (st *state) addFriendKernel(u, d int32, f socialgraph.FriendLink, lam float64, positive bool, invDenU float64, sc *scratch, logw []float64) {
+	other := f.U
+	if other == u {
+		other = f.V
+	}
+	st.piSnap(other, &sc.piV)
+	base := sc.piU.Dot(&sc.piV)
+	fs := st.cfg.FriendScale
+	x0 := fs * (base + sc.piV.Base*invDenU)
+	kernel := logPsi
+	if !positive {
+		kernel = logPsiNeg
+	}
+	const0 := kernel(x0, lam)
+	for cc := range logw {
+		logw[cc] += const0
+	}
+	for k, cc := range sc.piV.Idx {
+		x := x0 + fs*sc.piV.Val[k]*invDenU
+		logw[cc] += kernel(x, lam) - const0
+	}
+}
+
+// addDiffusionCommunityTerms adds the Pólya-Gamma diffusion kernel of link
+// e to the per-candidate community log-weights for document d (which is one
+// of the link's endpoints).
+func (st *state) addDiffusionCommunityTerms(d int32, e int, invDenU float64, sc *scratch, logw []float64) {
+	l := st.g.Diffs[e]
+	delta := st.delta.get(e)
+	uI := st.g.Docs[l.I].User
+	uJ := st.g.Docs[l.J].User
+	C := st.cfg.NumCommunities
+
+	if st.cfg.NoHeterogeneity {
+		// Diffusion modeled exactly like friendship: community-similarity
+		// sigmoid between the two documents' users.
+		var selfIsI bool
+		if l.I == d {
+			selfIsI = true
+		}
+		other := uJ
+		if !selfIsI {
+			other = uI
+		}
+		st.neighborPi(other, st.g.Docs[d].User, d, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
+		base := sc.piU.Dot(&sc.piV)
+		fs := st.cfg.FriendScale
+		x0 := fs * (base + sc.piV.Base*invDenU)
+		const0 := logPsi(x0, delta)
+		for cc := range logw {
+			logw[cc] += const0
+		}
+		for k, cc := range sc.piV.Idx {
+			x := x0 + fs*sc.piV.Val[k]*invDenU
+			logw[cc] += logPsi(x, delta) - const0
+		}
+		return
+	}
+
+	z := int(st.zload(l.I)) // link topic = diffusing document's topic
+	w := st.thetaCol[z]
+	m := st.etaSlice[z]
+	agg := st.aggs[z]
+	pop := st.popTerm(st.docBucket[l.I], z)
+	indiv := st.indivTerm(e)
+
+	if l.I == d {
+		// d is the diffusing side: candidate community perturbs the row
+		// argument. y[c] = sum_c' M[c,c'] pi-hat_v[c'] w[c'].
+		st.neighborPi(uJ, st.g.Docs[d].User, d, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
+		sBase := agg.Eval(m, w, &sc.piU, &sc.piV) + pop + indiv
+		y := sc.yBuf[:C]
+		for cc := 0; cc < C; cc++ {
+			y[cc] = sc.piV.Base * agg.G[cc]
+		}
+		for k, cp := range sc.piV.Idx {
+			coef := sc.piV.Val[k] * w[cp]
+			if coef == 0 {
+				continue
+			}
+			for cc := 0; cc < C; cc++ {
+				y[cc] += m.At(cc, int(cp)) * coef
+			}
+		}
+		for cc := 0; cc < C; cc++ {
+			x := sBase + w[cc]*y[cc]*invDenU
+			logw[cc] += logPsi(x, delta)
+		}
+		return
+	}
+
+	// d is the source side: candidate community perturbs the column
+	// argument. yT[c'] = sum_c pi-hat_I[c] w[c] M[c,c'].
+	st.neighborPi(uI, st.g.Docs[d].User, d, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
+	sBase := agg.Eval(m, w, &sc.piV, &sc.piU) + pop + indiv
+	y := sc.yBuf[:C]
+	for cc := 0; cc < C; cc++ {
+		y[cc] = sc.piV.Base * agg.H[cc]
+	}
+	for k, cr := range sc.piV.Idx {
+		coef := sc.piV.Val[k] * w[cr]
+		if coef == 0 {
+			continue
+		}
+		row := m.Row(int(cr))
+		for cc := 0; cc < C; cc++ {
+			y[cc] += row[cc] * coef
+		}
+	}
+	for cc := 0; cc < C; cc++ {
+		x := sBase + w[cc]*y[cc]*invDenU
+		logw[cc] += logPsi(x, delta)
+	}
+}
+
+// sampleUserAttr resamples the community assignment of user u's k-th
+// attribute token (the attribute-profile extension): the membership prior,
+// the collapsed community-attribute likelihood (n_c^a,¬ + mu) /
+// (n_c + |A| mu), and the friendship kernels — an attribute token shifts
+// pi-hat_u exactly like a document, so the same candidate-shift identities
+// apply. Diffusion kernels are tied to documents and are not incident to
+// attribute tokens.
+func (st *state) sampleUserAttr(u int32, k int, sc *scratch) {
+	a := int(st.g.Attrs[u][k])
+	cOld := int(atomic.LoadInt32(&st.attrC[u][k]))
+	st.nCA.add(cOld, a, -1)
+	st.nCATot.add(cOld, -1)
+
+	C := st.cfg.NumCommunities
+	rho := st.cfg.Rho
+	mu := st.cfg.Mu
+	aMu := float64(st.g.NumAttrs) * mu
+	logw := sc.logw[:C]
+
+	st.piHatExcl(u, -1, k, &sc.piU, &sc.idxBufU, &sc.valBufU, sc)
+	denU := st.piHatDen(u)
+	invDenU := 1 / denU
+	logRho := math.Log(rho)
+	for cc := 0; cc < C; cc++ {
+		logw[cc] = logRho
+	}
+	for kk, cc := range sc.piU.Idx {
+		logw[cc] = math.Log(rho + sc.piU.Val[kk]*denU)
+	}
+	for cc := 0; cc < C; cc++ {
+		logw[cc] += math.Log(float64(st.nCA.at(cc, a))+mu) -
+			math.Log(float64(st.nCATot.at(cc))+aMu)
+	}
+	if !st.cfg.NoFriendship {
+		for _, li := range st.userFriendLinks[u] {
+			f := st.g.Friends[li]
+			st.addFriendKernel(u, -1, f, st.lambda.get(int(li)), true, invDenU, sc, logw)
+		}
+		for _, li := range st.userNegFriendLinks[u] {
+			f := st.negFriends[li]
+			st.addFriendKernel(u, -1, f, st.lambdaNeg.get(int(li)), false, invDenU, sc, logw)
+		}
+	}
+
+	cNew := int32(sc.r.CategoricalLog(logw))
+	atomic.StoreInt32(&st.attrC[u][k], cNew)
+	st.nCA.add(int(cNew), a, 1)
+	st.nCATot.add(int(cNew), 1)
+}
+
+// sampleUserCommunityBlock block-samples one community for ALL of user u's
+// documents at once, using only the friendship kernels and the membership
+// prior. This is the detection-only phase of the "no joint modeling"
+// ablation: with content off, a user's documents are exchangeable, and
+// per-document moves mix too slowly to align users across the graph —
+// block moves are the standard remedy (and Eq. 3's detection is user-level
+// anyway).
+func (st *state) sampleUserCommunityBlock(u int32, sc *scratch) {
+	docs := st.g.UserDocs(int(u))
+	if len(docs) == 0 {
+		return
+	}
+	// Remove all of u's docs from the community-topic counters (and, with
+	// the attribute extension, the attribute tokens from theirs — the
+	// block move carries every token of the user).
+	for _, d := range docs {
+		c := int(st.cload(d))
+		z := int(st.zload(d))
+		st.nCZ.add(c, z, -1)
+		st.nCT.add(c, -1)
+	}
+	if st.attrOn {
+		for k, a := range st.g.Attrs[u] {
+			c := int(atomic.LoadInt32(&st.attrC[u][k]))
+			st.nCA.add(c, int(a), -1)
+			st.nCATot.add(c, -1)
+		}
+	}
+	C := st.cfg.NumCommunities
+	nd := float64(len(docs) + st.nAttr[u])
+	denU := st.piHatDen(u)
+	fs := st.cfg.FriendScale
+	logw := sc.logw[:C]
+	for cc := range logw {
+		logw[cc] = 0
+	}
+	// With every doc on candidate c: pi-hat_u = rho/den + nd/den * e_c, so
+	// x(c) = fs * (rho/den + nd/den * pi-hat_v[c]).
+	baseU := st.cfg.Rho / denU
+	massU := nd / denU
+	addLinks := func(links []int32, friends []socialgraph.FriendLink, lams *floats, positive bool) {
+		kernel := logPsi
+		if !positive {
+			kernel = logPsiNeg
+		}
+		for _, li := range links {
+			f := friends[li]
+			other := f.U
+			if other == u {
+				other = f.V
+			}
+			// Exact (asynchronous) neighbour reads here: the detection-only
+			// phase has no content signal, and synchronous snapshot reads
+			// stall its label-propagation-style mixing; the rebuild is
+			// cheap because these sweeps move one label per user.
+			st.piHat(other, -1, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
+			lam := lams.get(int(li))
+			x0 := fs * (baseU + massU*sc.piV.Base)
+			const0 := kernel(x0, lam)
+			for cc := range logw {
+				logw[cc] += const0
+			}
+			for k, cc := range sc.piV.Idx {
+				x := x0 + fs*massU*sc.piV.Val[k]
+				logw[cc] += kernel(x, lam) - const0
+			}
+		}
+	}
+	addLinks(st.userFriendLinks[u], st.g.Friends, st.lambda, true)
+	addLinks(st.userNegFriendLinks[u], st.negFriends, st.lambdaNeg, false)
+
+	cNew := int32(sc.r.CategoricalLog(logw))
+	for _, d := range docs {
+		z := int(st.zload(d))
+		st.cstore(d, cNew)
+		st.nCZ.add(int(cNew), z, 1)
+		st.nCT.add(int(cNew), 1)
+	}
+	if st.attrOn {
+		for k, a := range st.g.Attrs[u] {
+			atomic.StoreInt32(&st.attrC[u][k], cNew)
+			st.nCA.add(int(cNew), int(a), 1)
+			st.nCATot.add(int(cNew), 1)
+		}
+	}
+}
+
+// sampleLambda resamples the friendship augmentation variable
+// λ_uv ~ PG(1, pi-hat_u^T pi-hat_v) (Eq. 15).
+func (st *state) sampleLambda(li int, sc *scratch) {
+	f := st.g.Friends[li]
+	st.piSnap(f.U, &sc.piU)
+	st.piSnap(f.V, &sc.piV)
+	x := st.cfg.FriendScale * sc.piU.Dot(&sc.piV)
+	st.lambda.set(li, polyagamma.Sample(sc.r, x))
+}
+
+// sampleLambdaNeg resamples a sampled-negative pair's augmentation
+// variable; the PG conditional is PG(1, x) regardless of the link label.
+func (st *state) sampleLambdaNeg(li int, sc *scratch) {
+	f := st.negFriends[li]
+	st.piSnap(f.U, &sc.piU)
+	st.piSnap(f.V, &sc.piV)
+	x := st.cfg.FriendScale * sc.piU.Dot(&sc.piV)
+	st.lambdaNeg.set(li, polyagamma.Sample(sc.r, x))
+}
+
+// sampleDelta resamples the diffusion augmentation variable
+// δ_ij ~ PG(1, c̄^T η̄ + n_tz + ν^T f_uv) (Eq. 16).
+func (st *state) sampleDelta(e int, sc *scratch) {
+	x := st.diffusionArg(e, sc)
+	st.delta.set(e, polyagamma.Sample(sc.r, x))
+}
+
+// diffusionArg evaluates the sigmoid argument of Eq. 5 for diffusion link e
+// under the current state.
+func (st *state) diffusionArg(e int, sc *scratch) float64 {
+	l := st.g.Diffs[e]
+	uI := st.g.Docs[l.I].User
+	uJ := st.g.Docs[l.J].User
+	st.piSnap(uI, &sc.piU)
+	st.piSnap(uJ, &sc.piV)
+	if st.cfg.NoHeterogeneity {
+		return st.cfg.FriendScale * sc.piU.Dot(&sc.piV)
+	}
+	z := int(st.zload(l.I))
+	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV)
+	return s + st.popTerm(st.docBucket[l.I], z) + st.indivTerm(e)
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+)
+
+// Model is a trained CPD model: the five outputs Sect. 5 builds every
+// application on — community memberships π, content profiles θ, diffusion
+// profiles η, topic-word distributions φ and the individual-preference
+// weights ν — plus the popularity table for the n_tz factor.
+type Model struct {
+	Cfg Config
+
+	NumUsers, NumWords, NumBuckets int
+
+	// Pi is |U| x |C|: user community memberships (Definition 3).
+	Pi *sparse.Dense
+	// Theta is |C| x |Z|: community content profiles (Definition 4).
+	Theta *sparse.Dense
+	// Phi is |Z| x |W|: topic-word distributions (Definition 2).
+	Phi *sparse.Dense
+	// Eta is |C| x |C| x |Z|: community diffusion profiles (Definition 5).
+	Eta *sparse.Tensor3
+	// Nu are the individual-preference weights of Eq. 5.
+	Nu []float64
+
+	// PopFreq is buckets x |Z|: normalized topic popularity per time
+	// bucket (the n_tz factor).
+	PopFreq *sparse.Dense
+
+	// Xi is |C| x |NumAttrs|: the community attribute profiles of the
+	// attribute extension (nil unless trained with ModelAttributes on an
+	// attributed graph).
+	Xi       *sparse.Dense
+	NumAttrs int
+
+	// DocCommunity / DocTopic / DocBucket are the final hard assignments
+	// for the training documents.
+	DocCommunity, DocTopic []int32
+	DocBucket              []int
+
+	// Caches rebuilt by initCaches (not serialized).
+	piBase   []float64        // per-user smoothing base of pi
+	piResid  []*sparse.Vector // per-user sparse residual of pi
+	aggs     []*sparse.BilinearAgg
+	etaSlice []*sparse.Dense // scaled by EtaScale
+	thetaCol [][]float64
+	// rankTable[c][z] = sum_c' eta_{c,c',z} theta_{c',z} (Eq. 19's inner
+	// sum).
+	rankTable *sparse.Dense
+}
+
+// buildModel snapshots the sampler state into a Model.
+func (st *state) buildModel() *Model {
+	cfg := st.cfg
+	C, Z := cfg.NumCommunities, cfg.NumTopics
+	m := &Model{
+		Cfg:        cfg,
+		NumUsers:   st.g.NumUsers,
+		NumWords:   st.g.NumWords,
+		NumBuckets: st.nTZ.rows,
+		Pi:         sparse.NewDense(st.g.NumUsers, C),
+		Theta:      sparse.NewDense(C, Z),
+		Phi:        sparse.NewDense(Z, st.g.NumWords),
+		Eta:        st.eta.Clone(),
+		Nu:         append([]float64(nil), st.nu...),
+		PopFreq:    sparse.NewDense(st.nTZ.rows, Z),
+	}
+	m.DocCommunity = append([]int32(nil), st.docC...)
+	m.DocTopic = append([]int32(nil), st.docZ...)
+	m.DocBucket = append([]int(nil), st.docBucket...)
+
+	for u := 0; u < st.g.NumUsers; u++ {
+		den := st.piHatDen(int32(u))
+		row := m.Pi.Row(u)
+		for c := range row {
+			row[c] = cfg.Rho / den
+		}
+		for _, d := range st.g.UserDocs(u) {
+			row[st.docC[d]] += 1 / den
+		}
+	}
+	zAlpha := float64(Z) * cfg.Alpha
+	for c := 0; c < C; c++ {
+		den := float64(st.nCT.at(c)) + zAlpha
+		row := m.Theta.Row(c)
+		for z := range row {
+			row[z] = (float64(st.nCZ.at(c, z)) + cfg.Alpha) / den
+		}
+	}
+	wBeta := float64(st.g.NumWords) * cfg.Beta
+	for z := 0; z < Z; z++ {
+		den := float64(st.nZT.at(z)) + wBeta
+		row := m.Phi.Row(z)
+		for w := range row {
+			row[w] = (float64(st.nZW.at(z, w)) + cfg.Beta) / den
+		}
+	}
+	for b := 0; b < st.nTZ.rows; b++ {
+		tot := float64(st.nTT.at(b))
+		row := m.PopFreq.Row(b)
+		if tot > 0 {
+			for z := range row {
+				row[z] = float64(st.nTZ.at(b, z)) / tot
+			}
+		}
+	}
+	if st.attrOn {
+		m.NumAttrs = st.g.NumAttrs
+		m.Xi = sparse.NewDense(C, st.g.NumAttrs)
+		aMu := float64(st.g.NumAttrs) * cfg.Mu
+		for c := 0; c < C; c++ {
+			den := float64(st.nCATot.at(c)) + aMu
+			row := m.Xi.Row(c)
+			for a := range row {
+				row[a] = (float64(st.nCA.at(c, a)) + cfg.Mu) / den
+			}
+		}
+	}
+	m.initCaches()
+	return m
+}
+
+// AttributeProfile returns community c's attribute distribution ξ_c, or
+// nil when the model was trained without the attribute extension.
+func (m *Model) AttributeProfile(c int) []float64 {
+	if m.Xi == nil {
+		return nil
+	}
+	return m.Xi.Row(c)
+}
+
+// TopAttributes returns the k highest-probability attribute ids of
+// community c (nil without the attribute extension).
+func (m *Model) TopAttributes(c, k int) []int {
+	if m.Xi == nil {
+		return nil
+	}
+	return mathx.TopKIndices(m.Xi.Row(c), k)
+}
+
+// initCaches builds the sparse-pi decomposition and the per-topic bilinear
+// aggregates used by the prediction paths. Must be called after Load.
+func (m *Model) initCaches() {
+	C, Z := m.Cfg.NumCommunities, m.Cfg.NumTopics
+	m.piBase = make([]float64, m.NumUsers)
+	m.piResid = make([]*sparse.Vector, m.NumUsers)
+	for u := 0; u < m.NumUsers; u++ {
+		row := m.Pi.Row(u)
+		// The base is the row minimum (the smoothing floor); residuals are
+		// the above-floor mass — exactly inverse to how buildModel filled
+		// the row.
+		base := row[0]
+		for _, v := range row {
+			if v < base {
+				base = v
+			}
+		}
+		m.piBase[u] = base
+		resid := &sparse.Vector{Dim: C}
+		for c, v := range row {
+			if v-base > 1e-12 {
+				resid.Indices = append(resid.Indices, int32(c))
+				resid.Values = append(resid.Values, v-base)
+			}
+		}
+		m.piResid[u] = resid
+	}
+	m.etaSlice = make([]*sparse.Dense, Z)
+	m.aggs = make([]*sparse.BilinearAgg, Z)
+	m.thetaCol = make([][]float64, Z)
+	m.rankTable = sparse.NewDense(C, Z)
+	for z := 0; z < Z; z++ {
+		col := make([]float64, C)
+		for c := 0; c < C; c++ {
+			col[c] = m.Theta.At(c, z)
+		}
+		m.thetaCol[z] = col
+		slice := m.Eta.SliceK(z)
+		slice.Scale(m.Cfg.EtaScale)
+		m.etaSlice[z] = slice
+		for c := 0; c < C; c++ {
+			var s float64
+			for c2 := 0; c2 < C; c2++ {
+				s += m.Eta.At(c, c2, z) * col[c2]
+			}
+			m.rankTable.Set(c, z, s)
+		}
+		m.aggs[z] = sparse.NewBilinearAgg(slice, col)
+	}
+}
+
+// piVec materialises user u's membership as a SmoothedVec view.
+func (m *Model) piVec(u int, out *sparse.SmoothedVec) {
+	out.Dim = m.Cfg.NumCommunities
+	out.Base = m.piBase[u]
+	out.Idx = m.piResid[u].Indices
+	out.Val = m.piResid[u].Values
+}
+
+// FriendshipProb returns σ(π_u^T π_v), Eq. 3's link probability — the
+// friendship link prediction score of Sect. 6.1.
+func (m *Model) FriendshipProb(u, v int) float64 {
+	var a, b sparse.SmoothedVec
+	m.piVec(u, &a)
+	m.piVec(v, &b)
+	return mathx.Sigmoid(m.Cfg.FriendScale * a.Dot(&b))
+}
+
+// DocTopicDist returns p(z | words, user): the user's community-mixed
+// topic prior times the word likelihood, normalized over topics. This is
+// the p(z|d_vj) term of Eq. 18.
+func (m *Model) DocTopicDist(words []int32, user int) []float64 {
+	Z := m.Cfg.NumTopics
+	C := m.Cfg.NumCommunities
+	logw := make([]float64, Z)
+	piRow := m.Pi.Row(user)
+	for z := 0; z < Z; z++ {
+		var prior float64
+		for c := 0; c < C; c++ {
+			prior += piRow[c] * m.Theta.At(c, z)
+		}
+		lw := math.Log(prior + 1e-300)
+		for _, w := range words {
+			lw += math.Log(m.Phi.At(z, int(w)) + 1e-300)
+		}
+		logw[z] = lw
+	}
+	mathx.Softmax(logw, logw)
+	return logw
+}
+
+// DiffusionLogitTopic returns the Eq. 5 sigmoid argument for user u
+// diffusing user v's content on topic z in time bucket b:
+// EtaScale · Σ_cc' π_u,c θ_c,z η_{c,c',z} θ_c',z π_v,c' + popularity +
+// ν^T f_uv (feats may be nil to skip the individual factor).
+func (m *Model) DiffusionLogitTopic(u, v, z, b int, feats []float64) float64 {
+	var a, bb sparse.SmoothedVec
+	m.piVec(u, &a)
+	m.piVec(v, &bb)
+	x := m.aggs[z].Eval(m.etaSlice[z], m.thetaCol[z], &a, &bb)
+	if !m.Cfg.NoTopicPopularity && b >= 0 && b < m.NumBuckets {
+		x += m.Cfg.PopScale * m.PopFreq.At(b, z)
+	}
+	if !m.Cfg.NoIndividual && feats != nil {
+		x += mathx.Dot(m.Nu, feats)
+	}
+	return x
+}
+
+// DiffusionProb implements Eq. 18: the probability that user u publishes a
+// document diffusing document j (published by its author) in time bucket
+// b, marginalised over j's topic distribution. g supplies the pairwise
+// features.
+func (m *Model) DiffusionProb(g *socialgraph.Graph, u int, j int, b int) float64 {
+	v := int(g.Docs[j].User)
+	if m.Cfg.NoHeterogeneity {
+		// The heterogeneity ablation scores diffusion like friendship.
+		return m.FriendshipProb(u, v)
+	}
+	var feats []float64
+	if !m.Cfg.NoIndividual {
+		feats = g.PairFeatures(nil, u, v)
+	}
+	pz := m.DocTopicDist(g.Docs[j].Words, v)
+	var p float64
+	for z, w := range pz {
+		if w < 1e-6 {
+			continue
+		}
+		p += w * mathx.Sigmoid(m.DiffusionLogitTopic(u, v, z, b, feats))
+	}
+	return p
+}
+
+// RankCommunities implements Eq. 19: it scores every community by its
+// probability of diffusing content about the query (a bag of word ids) and
+// returns the scores (unnormalised; higher is better).
+func (m *Model) RankCommunities(query []int32) []float64 {
+	Z := m.Cfg.NumTopics
+	C := m.Cfg.NumCommunities
+	// p(z|q) ∝ Π_w φ_z,w (uniform community prior absorbed, per the
+	// paper's step-2 simplification).
+	logq := make([]float64, Z)
+	for z := 0; z < Z; z++ {
+		var lw float64
+		for _, w := range query {
+			lw += math.Log(m.Phi.At(z, int(w)) + 1e-300)
+		}
+		logq[z] = lw
+	}
+	mathx.Softmax(logq, logq)
+	scores := make([]float64, C)
+	for c := 0; c < C; c++ {
+		var s float64
+		for z := 0; z < Z; z++ {
+			s += m.rankTable.At(c, z) * logq[z]
+		}
+		scores[c] = s
+	}
+	return scores
+}
+
+// TopCommunities returns user u's k highest-membership communities
+// (descending), the paper's "top five communities" convention for
+// conductance and ranking evaluation.
+func (m *Model) TopCommunities(u, k int) []int {
+	return mathx.TopKIndices(m.Pi.Row(u), k)
+}
+
+// CommunityMembers returns, for each community, the users having it among
+// their top-k memberships.
+func (m *Model) CommunityMembers(k int) [][]int {
+	members := make([][]int, m.Cfg.NumCommunities)
+	for u := 0; u < m.NumUsers; u++ {
+		for _, c := range m.TopCommunities(u, k) {
+			members[c] = append(members[c], u)
+		}
+	}
+	return members
+}
+
+// WordProb returns p(w | u) = Σ_c π_u,c Σ_z θ_c,z φ_z,w, the mixture the
+// content-profile perplexity of Fig. 8 evaluates.
+func (m *Model) WordProb(u int, w int) float64 {
+	Z := m.Cfg.NumTopics
+	C := m.Cfg.NumCommunities
+	piRow := m.Pi.Row(u)
+	var p float64
+	for z := 0; z < Z; z++ {
+		var mix float64
+		for c := 0; c < C; c++ {
+			mix += piRow[c] * m.Theta.At(c, z)
+		}
+		p += mix * m.Phi.At(z, int(w))
+	}
+	return p
+}
+
+// ProfileWordProbs returns the |C| x |W| matrix P[c][w] = Σ_z θ_c,z φ_z,w:
+// each community content profile's word distribution. The Fig. 8
+// perplexity evaluates these profiles directly — how well a user's top
+// community's profile generates her content.
+func (m *Model) ProfileWordProbs() *sparse.Dense {
+	C, Z := m.Cfg.NumCommunities, m.Cfg.NumTopics
+	out := sparse.NewDense(C, m.NumWords)
+	for c := 0; c < C; c++ {
+		theta := m.Theta.Row(c)
+		dst := out.Row(c)
+		for z := 0; z < Z; z++ {
+			tz := theta[z]
+			if tz == 0 {
+				continue
+			}
+			phi := m.Phi.Row(z)
+			for w := range dst {
+				dst[w] += tz * phi[w]
+			}
+		}
+	}
+	return out
+}
+
+// TopCommunity returns user u's highest-membership community.
+func (m *Model) TopCommunity(u int) int {
+	return mathx.MaxIndex(m.Pi.Row(u))
+}
+
+// UserTopicMixture returns Σ_c π_u,c θ_c,· once so per-word scoring is
+// O(|Z|).
+func (m *Model) UserTopicMixture(u int) []float64 {
+	Z := m.Cfg.NumTopics
+	C := m.Cfg.NumCommunities
+	piRow := m.Pi.Row(u)
+	mix := make([]float64, Z)
+	for c := 0; c < C; c++ {
+		pc := piRow[c]
+		if pc == 0 {
+			continue
+		}
+		row := m.Theta.Row(c)
+		for z := 0; z < Z; z++ {
+			mix[z] += pc * row[z]
+		}
+	}
+	return mix
+}
+
+// TopWords returns the k highest-probability word ids of topic z.
+func (m *Model) TopWords(z, k int) []int {
+	return mathx.TopKIndices(m.Phi.Row(z), k)
+}
+
+// Save serializes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// Load deserializes a model saved by Save and rebuilds its caches.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if m.Pi == nil || m.Theta == nil || m.Phi == nil || m.Eta == nil {
+		return nil, fmt.Errorf("core: model file missing parameter blocks")
+	}
+	m.initCaches()
+	return &m, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/logreg"
+)
+
+// etaSmoothing is the additive smoothing applied when normalizing the
+// aggregated diffusion counts into the per-community distribution of
+// Definition 5 (avoids zero cells that would make unseen community/topic
+// combinations impossible forever).
+const etaSmoothing = 0.05
+
+// mStepEta re-estimates the diffusion profile by aggregating the current
+// community and topic assignments over all diffusion links (Sect. 4.2 /
+// Alg. 1 steps 11–12): eta_{c,c',z} counts links whose diffusing document
+// sits in community c with topic z and whose source document sits in
+// community c', normalized per source community c into a distribution over
+// (c', z).
+func (st *state) mStepEta() {
+	C, Z := st.cfg.NumCommunities, st.cfg.NumTopics
+	st.eta.Fill(0)
+	for _, l := range st.g.Diffs {
+		cI := int(st.cload(l.I))
+		cJ := int(st.cload(l.J))
+		z := int(st.zload(l.I))
+		st.eta.Add(cI, cJ, z, 1)
+	}
+	cells := float64(C * Z)
+	for c := 0; c < C; c++ {
+		var total float64
+		for c2 := 0; c2 < C; c2++ {
+			for z := 0; z < Z; z++ {
+				total += st.eta.At(c, c2, z)
+			}
+		}
+		den := total + etaSmoothing*cells
+		for c2 := 0; c2 < C; c2++ {
+			for z := 0; z < Z; z++ {
+				st.eta.Set(c, c2, z, (st.eta.At(c, c2, z)+etaSmoothing)/den)
+			}
+		}
+	}
+}
+
+// mStepNu fits the individual-preference weights by logistic regression
+// (Sect. 4.2): positives are the observed diffusion links, negatives are
+// NegPerPos sampled non-links per positive, and the community and
+// popularity factors enter as fixed offsets so the gradient only moves nu.
+func (st *state) mStepNu(sc *scratch) {
+	nPos := len(st.g.Diffs)
+	if nPos == 0 {
+		return
+	}
+	nNeg := nPos * st.cfg.NegPerPos
+	x := make([][]float64, 0, nPos+nNeg)
+	offsets := make([]float64, 0, nPos+nNeg)
+	y := make([]int, 0, nPos+nNeg)
+
+	for e := range st.g.Diffs {
+		x = append(x, st.linkFeat[e])
+		offsets = append(offsets, st.diffusionArg(e, sc)-st.indivTerm(e))
+		y = append(y, 1)
+	}
+	nd := len(st.g.Docs)
+	for k := 0; k < nNeg; k++ {
+		i, j, ok := st.sampleNegativePair(sc, nd)
+		if !ok {
+			break
+		}
+		uI := st.g.Docs[i].User
+		uJ := st.g.Docs[j].User
+		x = append(x, st.g.PairFeatures(nil, int(uI), int(uJ)))
+		offsets = append(offsets, st.pairOffset(int32(i), int32(j), sc))
+		y = append(y, 0)
+	}
+	m, err := logreg.Train(x, offsets, y, logreg.Config{
+		Iters:        st.cfg.NuIters,
+		LearningRate: st.cfg.NuLearningRate,
+	})
+	if err != nil {
+		return // degenerate input; keep the previous nu
+	}
+	copy(st.nu, m.W)
+	st.refreshNuOffsets()
+}
+
+// sampleNegativePair draws a random (diffusing, source) document pair with
+// distinct users that is not an observed diffusion link. It gives up after
+// a bounded number of rejections (possible only on pathological graphs).
+func (st *state) sampleNegativePair(sc *scratch, nd int) (int, int, bool) {
+	for tries := 0; tries < 64; tries++ {
+		i := sc.r.Intn(nd)
+		j := sc.r.Intn(nd)
+		if i == j || st.g.Docs[i].User == st.g.Docs[j].User {
+			continue
+		}
+		if _, seen := st.diffPairSet[int64(i)*int64(nd)+int64(j)]; seen {
+			continue
+		}
+		return i, j, true
+	}
+	return 0, 0, false
+}
+
+// pairOffset evaluates the community + popularity part of Eq. 5 for an
+// arbitrary (not necessarily linked) document pair, used as the fixed
+// offset of negative examples in the nu regression.
+func (st *state) pairOffset(i, j int32, sc *scratch) float64 {
+	st.piSnap(st.g.Docs[i].User, &sc.piU)
+	st.piSnap(st.g.Docs[j].User, &sc.piV)
+	if st.cfg.NoHeterogeneity {
+		return st.cfg.FriendScale * sc.piU.Dot(&sc.piV)
+	}
+	z := int(st.zload(i))
+	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV)
+	return s + st.popTerm(st.docBucket[i], z)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestSampleNegativePairRejections(t *testing.T) {
+	g := testGraph(60, 71)
+	cfg := testConfig().withDefaults()
+	st := newState(g, cfg)
+	sc := newScratch(cfg, rng.New(1))
+	nd := len(g.Docs)
+	for trial := 0; trial < 200; trial++ {
+		i, j, ok := st.sampleNegativePair(sc, nd)
+		if !ok {
+			t.Fatal("sampler gave up on a healthy graph")
+		}
+		if i == j {
+			t.Fatal("self pair")
+		}
+		if g.Docs[i].User == g.Docs[j].User {
+			t.Fatal("same-user pair")
+		}
+		if _, seen := st.diffPairSet[int64(i)*int64(nd)+int64(j)]; seen {
+			t.Fatal("observed link sampled as negative")
+		}
+	}
+}
+
+func TestMStepNuSeparatesLinksFromNonLinks(t *testing.T) {
+	// After training, the full Eq. 5 argument should be higher on observed
+	// diffusion links than on random non-links — i.e. the learned factors
+	// (community + popularity + nu) actually discriminate.
+	g := testGraph(150, 72)
+	cfg := Config{
+		NumCommunities: 10, NumTopics: 12, EMIters: 10, Workers: 1,
+		Seed: 4, Rho: 0.1,
+	}.withDefaults()
+	st := newState(g, cfg)
+	sc := newScratch(cfg, rng.New(2))
+	for it := 0; it < cfg.EMIters; it++ {
+		st.refreshCaches()
+		st.sweepSerial(sc)
+		st.mStepEta()
+		st.mStepNu(sc)
+	}
+	st.refreshCaches()
+	var posMean, negMean float64
+	for e := range g.Diffs {
+		posMean += st.diffusionArg(e, sc)
+	}
+	posMean /= float64(len(g.Diffs))
+	nd := len(g.Docs)
+	const nNeg = 400
+	for k := 0; k < nNeg; k++ {
+		i, j, ok := st.sampleNegativePair(sc, nd)
+		if !ok {
+			t.Fatal("negative sampling failed")
+		}
+		negMean += st.pairOffset(int32(i), int32(j), sc) + st.indivTermForPair(i, j)
+	}
+	negMean /= nNeg
+	if posMean <= negMean {
+		t.Fatalf("trained Eq.5 argument does not separate: pos %v <= neg %v", posMean, negMean)
+	}
+}
+
+// indivTermForPair computes nu^T f for an arbitrary pair (test helper).
+func (st *state) indivTermForPair(i, j int) float64 {
+	f := st.g.PairFeatures(nil, int(st.g.Docs[i].User), int(st.g.Docs[j].User))
+	return mathx.Dot(st.nu, f)
+}
+
+func TestDiffusionLogitTopicConsistency(t *testing.T) {
+	// DiffusionProb must equal the pz-weighted sigmoid of
+	// DiffusionLogitTopic — the decomposition the dblp_citation example
+	// relies on.
+	g, m := trainSmall(t, nil)
+	u, j := 3, 5
+	v := int(g.Docs[j].User)
+	b := m.DocBucket[j]
+	feats := g.PairFeatures(nil, u, v)
+	pz := m.DocTopicDist(g.Docs[j].Words, v)
+	var want float64
+	for z, w := range pz {
+		if w < 1e-6 {
+			continue
+		}
+		want += w * mathx.Sigmoid(m.DiffusionLogitTopic(u, v, z, b, feats))
+	}
+	got := m.DiffusionProb(g, u, j, b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DiffusionProb %v != decomposed %v", got, want)
+	}
+}
+
+func TestEtaScaleMonotoneInvariance(t *testing.T) {
+	// AUC-style orderings must be invariant to EtaScale at prediction time
+	// given identical assignments: scaling eta inside the sigmoid is
+	// monotone per (u, v, z). Verify pairwise ordering of logits is
+	// preserved across two models differing only in cached scale.
+	g, m := trainSmall(t, nil)
+	m2 := *m
+	m2.Cfg.EtaScale = m.Cfg.EtaScale * 3
+	m2.initCaches()
+	u := 1
+	type pair struct{ a, b float64 }
+	var pairs []pair
+	for j := 2; j < 12; j++ {
+		v := int(g.Docs[j].User)
+		z := 0
+		pairs = append(pairs, pair{
+			m.DiffusionLogitTopic(u, v, z, 0, nil),
+			m2.DiffusionLogitTopic(u, v, z, 0, nil),
+		})
+	}
+	for i := 1; i < len(pairs); i++ {
+		d1 := pairs[i].a - pairs[i-1].a
+		d2 := pairs[i].b - pairs[i-1].b
+		if d1*d2 < 0 && math.Abs(d1) > 1e-9 && math.Abs(d2) > 1e-9 {
+			t.Fatalf("EtaScale changed pairwise ordering: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestProfileWordProbsRowsNormalized(t *testing.T) {
+	_, m := trainSmall(t, nil)
+	p := m.ProfileWordProbs()
+	for c := 0; c < m.Cfg.NumCommunities; c++ {
+		var s float64
+		for w := 0; w < m.NumWords; w++ {
+			s += p.At(c, w)
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("profile %d word probs sum to %v", c, s)
+		}
+	}
+	// TopCommunity agrees with Pi argmax.
+	for u := 0; u < 20; u++ {
+		if got, want := m.TopCommunity(u), mathx.MaxIndex(m.Pi.Row(u)); got != want {
+			t.Fatalf("TopCommunity(%d) = %d, want %d", u, got, want)
+		}
+	}
+}

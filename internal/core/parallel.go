@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/knapsack"
+	"repro/internal/lda"
+)
+
+// parallelPlan is the Sect. 4.3 work assignment: users are segmented by
+// their dominant LDA topic (so same-topic documents land on the same
+// thread, reducing conflicting counter updates), segment workloads are
+// estimated from an operation-count model, and segments are packed onto
+// workers by repeated 0-1 knapsack solves targeting O/M per worker
+// (Eq. 17). Each friendship link is owned by its source user's worker and
+// each diffusion link by its diffusing document's worker, so every
+// Pólya-Gamma variable has a single writer.
+type parallelPlan struct {
+	workers     int
+	usersOf     [][]int32
+	friendsOf   [][]int32
+	negsOf      [][]int32
+	diffsOf     [][]int32
+	estLoad     []float64
+	numSegments int
+	scs         []*scratch
+}
+
+// buildParallelPlan runs the segmentation LDA and the knapsack packing.
+func buildParallelPlan(st *state) *parallelPlan {
+	cfg := st.cfg
+	pp := &parallelPlan{workers: cfg.Workers}
+
+	// Segment users by dominant LDA topic over their documents.
+	docWords := make([][]int32, len(st.g.Docs))
+	for i := range st.g.Docs {
+		docWords[i] = st.g.Docs[i].Words
+	}
+	seg := make([]int, st.g.NumUsers)
+	numSeg := cfg.NumTopics
+	ldaModel := lda.Train(docWords, st.g.NumWords, lda.Config{
+		NumTopics: cfg.NumTopics,
+		Iters:     cfg.SegmentLDAIters,
+		Seed:      cfg.Seed ^ 0xD1F,
+	})
+	for u := 0; u < st.g.NumUsers; u++ {
+		votes := make(map[int]int)
+		for _, d := range st.g.UserDocs(u) {
+			votes[ldaModel.DominantTopic(int(d))]++
+		}
+		best, bestN := 0, -1
+		for t, n := range votes {
+			if n > bestN || (n == bestN && t < best) {
+				best, bestN = t, n
+			}
+		}
+		seg[u] = best
+	}
+	pp.numSegments = numSeg
+
+	// Workload estimate per user: an operation-count proxy for the per-doc
+	// sampling cost (|Z| topic candidates + |C| community candidates +
+	// word terms) and the per-link Pólya-Gamma cost. The proxy plays the
+	// role of the paper's measured per-document/per-link averages.
+	const pgCost = 24
+	userLoad := make([]float64, st.g.NumUsers)
+	diffCount := make([]int, st.g.NumUsers)
+	for _, l := range st.g.Diffs {
+		diffCount[st.g.Docs[l.I].User]++
+	}
+	for u := 0; u < st.g.NumUsers; u++ {
+		var words int
+		for _, d := range st.g.UserDocs(u) {
+			words += len(st.g.Docs[d].Words)
+		}
+		nd := float64(len(st.g.UserDocs(u)))
+		userLoad[u] = nd*float64(cfg.NumTopics+cfg.NumCommunities) +
+			float64(words)*float64(cfg.NumTopics)/4 +
+			float64(len(st.userFriendLinks[u]))*(pgCost+nd) +
+			float64(diffCount[u])*float64(cfg.NumCommunities+pgCost)
+	}
+	segLoad := make([]float64, numSeg)
+	segUsers := make([][]int32, numSeg)
+	for u, s := range seg {
+		segLoad[s] += userLoad[u]
+		segUsers[s] = append(segUsers[s], int32(u))
+	}
+
+	bins := knapsack.Pack(segLoad, cfg.Workers)
+	pp.usersOf = make([][]int32, cfg.Workers)
+	pp.estLoad = make([]float64, cfg.Workers)
+	workerOf := make([]int, st.g.NumUsers)
+	for w, segs := range bins {
+		for _, s := range segs {
+			pp.usersOf[w] = append(pp.usersOf[w], segUsers[s]...)
+			pp.estLoad[w] += segLoad[s]
+			for _, u := range segUsers[s] {
+				workerOf[u] = w
+			}
+		}
+	}
+	pp.friendsOf = make([][]int32, cfg.Workers)
+	for l, f := range st.g.Friends {
+		w := workerOf[f.U]
+		pp.friendsOf[w] = append(pp.friendsOf[w], int32(l))
+	}
+	pp.negsOf = make([][]int32, cfg.Workers)
+	for l, f := range st.negFriends {
+		w := workerOf[f.U]
+		pp.negsOf[w] = append(pp.negsOf[w], int32(l))
+	}
+	pp.diffsOf = make([][]int32, cfg.Workers)
+	for e, l := range st.g.Diffs {
+		w := workerOf[st.g.Docs[l.I].User]
+		pp.diffsOf[w] = append(pp.diffsOf[w], int32(e))
+	}
+	pp.scs = make([]*scratch, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		pp.scs[w] = newScratch(cfg, st.root.Split(uint64(w)+101))
+	}
+	return pp
+}
+
+// sweep runs one parallel E-step and returns the measured per-worker wall
+// time. Counter updates go through atomics (Hogwild-style); assignments
+// are read/written atomically, so concurrent sweeps are race-free while
+// tolerating the same cross-thread staleness the paper's design accepts.
+func (pp *parallelPlan) sweep(st *state) []float64 {
+	actual := make([]float64, pp.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < pp.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := pp.scs[w]
+			t0 := time.Now()
+			for _, u := range pp.usersOf[w] {
+				if !st.contentOn {
+					st.sampleUserCommunityBlock(u, sc)
+					continue
+				}
+				for _, d := range st.g.UserDocs(int(u)) {
+					st.sampleDocTopic(d, sc)
+					if !st.cFrozen {
+						st.sampleDocCommunity(d, sc)
+					}
+				}
+				if st.attrOn {
+					for k := range st.g.Attrs[u] {
+						st.sampleUserAttr(u, k, sc)
+					}
+				}
+			}
+			if !st.cfg.NoFriendship {
+				for _, li := range pp.friendsOf[w] {
+					st.sampleLambda(int(li), sc)
+				}
+				for _, li := range pp.negsOf[w] {
+					st.sampleLambdaNeg(int(li), sc)
+				}
+			}
+			if st.contentOn {
+				for _, e := range pp.diffsOf[w] {
+					st.sampleDelta(int(e), sc)
+				}
+			}
+			actual[w] = time.Since(t0).Seconds()
+		}(w)
+	}
+	wg.Wait()
+	return actual
+}

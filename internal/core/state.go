@@ -1,0 +1,493 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/rng"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+)
+
+// table is a 2-D integer counter accessed through atomics so the parallel
+// E-step can update shared counts Hogwild-style without data races (the
+// staleness this admits is the same staleness the paper's multi-thread
+// design accepts; see Sect. 4.3).
+type table struct {
+	rows, cols int
+	data       []int64
+}
+
+func newTable(rows, cols int) *table {
+	return &table{rows: rows, cols: cols, data: make([]int64, rows*cols)}
+}
+
+func (t *table) at(i, j int) int64 {
+	return atomic.LoadInt64(&t.data[i*t.cols+j])
+}
+
+func (t *table) add(i, j int, d int64) {
+	atomic.AddInt64(&t.data[i*t.cols+j], d)
+}
+
+// vec is a 1-D atomic counter.
+type vec struct{ data []int64 }
+
+func newVec(n int) *vec { return &vec{data: make([]int64, n)} }
+
+func (v *vec) at(i int) int64     { return atomic.LoadInt64(&v.data[i]) }
+func (v *vec) add(i int, d int64) { atomic.AddInt64(&v.data[i], d) }
+
+// floats is a slice of float64 values with atomic access (bit-cast through
+// uint64): each Pólya-Gamma variable has a single writer (its owning
+// worker) but is read by the workers of both link endpoints.
+type floats struct{ bits []uint64 }
+
+func newFloats(n, fillBits uint64) *floats {
+	f := &floats{bits: make([]uint64, n)}
+	for i := range f.bits {
+		f.bits[i] = fillBits
+	}
+	return f
+}
+
+func (f *floats) get(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&f.bits[i]))
+}
+
+func (f *floats) set(i int, v float64) {
+	atomic.StoreUint64(&f.bits[i], math.Float64bits(v))
+}
+
+// state is the full sampler state for one training run.
+type state struct {
+	cfg Config
+	g   *socialgraph.Graph
+
+	numDocs int
+
+	// Assignments, accessed atomically (other workers read them when
+	// materialising a neighbour's pi-hat or a linked document's topic).
+	docC []int32 // community assignment c_ui per document
+	docZ []int32 // topic assignment z_ui per document
+
+	// Counters of Sect. 4.1. The user-community counts n_u^c are *derived*
+	// from docC on demand (a user's support is exactly the multiset of her
+	// documents' assignments), which keeps pi-hat construction lock-free.
+	nCZ  *table // community-topic counts n_c^z
+	nCT  *vec   // community totals n_c
+	nZW  *table // topic-word counts n_z^w
+	nZT  *vec   // topic totals n_z
+	nTZ  *table // timebucket-topic counts (popularity factor n_tz)
+	nTT  *vec   // timebucket totals
+	nDoc []int  // |D_u| per user (fixed)
+
+	// Attribute-profile extension (Config.ModelAttributes): one latent
+	// community per user attribute token, contributing to π̂ like a
+	// document, plus the community-attribute counters behind ξ.
+	attrOn bool
+	attrC  [][]int32 // per user, parallel to g.Attrs[u]
+	nCA    *table    // community-attribute counts
+	nCATot *vec      // per-community attribute totals
+	nAttr  []int     // attribute tokens per user (fixed)
+
+	// Pólya-Gamma augmentation variables, one per link; each is owned by a
+	// single worker but read across workers, hence atomic floats.
+	lambda *floats // per friendship link
+	delta  *floats // per diffusion link
+
+	// Model parameters updated in the M-step.
+	eta *sparse.Tensor3 // |C| x |C| x |Z|
+	nu  []float64       // socialgraph.FeatureDim
+
+	// Per-document metadata.
+	docBucket []int // time bucket of each document
+
+	// Per-diffusion-link metadata (fixed during training).
+	linkFeat   [][]float64 // f_uv per link
+	linkOffset []float64   // nu^T f_uv, refreshed after each nu update
+
+	// userFriendLinks[u] lists the friendship link ids with u as either
+	// endpoint (the Λ_u products of Eqs. 13–14 run over links, so a pair
+	// connected in both directions contributes two ψ factors, matching
+	// p(F) = ∏_{(u,v) ∈ F}).
+	userFriendLinks [][]int32
+	// negFriends are sampled non-links conditioned on as zeros (see
+	// Config.NegFriendPerPos), with their own PG variables and a per-user
+	// incidence index.
+	negFriends         []socialgraph.FriendLink
+	lambdaNeg          *floats
+	userNegFriendLinks [][]int32
+	// diffPairSet holds observed (I, J) document pairs for negative
+	// sampling rejection in the nu M-step.
+	diffPairSet map[int64]struct{}
+
+	// Per-sweep caches (Sect. 4.3's stale-cache trade-off): eta slices per
+	// topic, bilinear aggregates per topic, the theta-hat snapshot columns
+	// used as the bilinear weight vectors, and per-user pi-hat snapshots.
+	// The snapshots serve all *neighbour* reads during a sweep — rebuilding
+	// pi-hat_v per incident link would make the sweep quadratic in the
+	// per-user document density; reading a sweep-start snapshot keeps it
+	// linear, at the cost of the same within-sweep staleness the parallel
+	// E-step already accepts. The sampled user's own pi-hat is always
+	// exact.
+	etaSlice  []*sparse.Dense       // [z] -> |C| x |C|
+	aggs      []*sparse.BilinearAgg // [z]
+	thetaCol  [][]float64           // [z][c] = theta-hat_{c,z}
+	piSnapIdx [][]int32             // per-user snapshot support
+	piSnapVal [][]float64           // per-user snapshot residuals
+	cFrozen   bool                  // phase-2 of NoJointModeling: freeze C
+	contentOn bool                  // phase-1 of NoJointModeling disables content+diffusion
+
+	root *rng.RNG
+}
+
+// newState initializes assignments uniformly at random and builds every
+// counter.
+func newState(g *socialgraph.Graph, cfg Config) *state {
+	st := &state{
+		cfg:       cfg,
+		g:         g,
+		numDocs:   len(g.Docs),
+		docC:      make([]int32, len(g.Docs)),
+		docZ:      make([]int32, len(g.Docs)),
+		nCZ:       newTable(cfg.NumCommunities, cfg.NumTopics),
+		nCT:       newVec(cfg.NumCommunities),
+		nZW:       newTable(cfg.NumTopics, g.NumWords),
+		nZT:       newVec(cfg.NumTopics),
+		nDoc:      make([]int, g.NumUsers),
+		eta:       sparse.NewTensor3(cfg.NumCommunities, cfg.NumCommunities, cfg.NumTopics),
+		nu:        make([]float64, socialgraph.FeatureDim),
+		contentOn: true,
+		root:      rng.New(cfg.Seed),
+	}
+	buckets, nb := g.TimeBuckets(cfg.TimeBuckets)
+	st.docBucket = buckets
+	st.nTZ = newTable(nb, cfg.NumTopics)
+	st.nTT = newVec(nb)
+
+	for i, d := range g.Docs {
+		st.nDoc[d.User]++
+		c := int32(st.root.Intn(cfg.NumCommunities))
+		z := int32(st.root.Intn(cfg.NumTopics))
+		st.docC[i] = c
+		st.docZ[i] = z
+		st.nCZ.add(int(c), int(z), 1)
+		st.nCT.add(int(c), 1)
+		for _, w := range d.Words {
+			st.nZW.add(int(z), int(w), 1)
+			st.nZT.add(int(z), 1)
+		}
+		st.nTZ.add(st.docBucket[i], int(z), 1)
+		st.nTT.add(st.docBucket[i], 1)
+	}
+	// Attribute extension: random initial assignments, counted like docs.
+	st.nAttr = make([]int, g.NumUsers)
+	if cfg.ModelAttributes && g.Attrs != nil {
+		st.attrOn = true
+		st.attrC = make([][]int32, g.NumUsers)
+		st.nCA = newTable(cfg.NumCommunities, g.NumAttrs)
+		st.nCATot = newVec(cfg.NumCommunities)
+		for u := 0; u < g.NumUsers; u++ {
+			as := g.Attrs[u]
+			st.nAttr[u] = len(as)
+			st.attrC[u] = make([]int32, len(as))
+			for k, a := range as {
+				c := int32(st.root.Intn(cfg.NumCommunities))
+				st.attrC[u][k] = c
+				st.nCA.add(int(c), int(a), 1)
+				st.nCATot.add(int(c), 1)
+			}
+		}
+	}
+	// Pólya-Gamma variables start at the PG(1, 0) mean.
+	pgInit := math.Float64bits(0.25)
+	st.lambda = newFloats(uint64(len(g.Friends)), pgInit)
+	st.delta = newFloats(uint64(len(g.Diffs)), pgInit)
+	// Uniform eta start so the diffusion bilinear form is informative from
+	// sweep one.
+	st.eta.Fill(1 / float64(cfg.NumCommunities*cfg.NumCommunities*cfg.NumTopics))
+	// Per-link features (fixed) and nu offsets (nu starts at zero).
+	st.linkFeat = make([][]float64, len(g.Diffs))
+	st.linkOffset = make([]float64, len(g.Diffs))
+	st.diffPairSet = make(map[int64]struct{}, len(g.Diffs))
+	for e, l := range g.Diffs {
+		u := int(g.Docs[l.I].User)
+		v := int(g.Docs[l.J].User)
+		st.linkFeat[e] = g.PairFeatures(nil, u, v)
+		st.diffPairSet[int64(l.I)*int64(len(g.Docs))+int64(l.J)] = struct{}{}
+	}
+	st.userFriendLinks = make([][]int32, g.NumUsers)
+	for l, f := range g.Friends {
+		st.userFriendLinks[f.U] = append(st.userFriendLinks[f.U], int32(l))
+		if f.V != f.U {
+			st.userFriendLinks[f.V] = append(st.userFriendLinks[f.V], int32(l))
+		}
+	}
+	st.sampleNegFriends()
+	st.refreshCaches()
+	return st
+}
+
+// sampleNegFriends draws the fixed negative friendship pair sample and its
+// incidence index (see Config.NegFriendPerPos).
+func (st *state) sampleNegFriends() {
+	g := st.g
+	want := len(g.Friends) * st.cfg.NegFriendPerPos
+	if want == 0 || g.NumUsers < 3 {
+		st.lambdaNeg = newFloats(0, 0)
+		st.userNegFriendLinks = make([][]int32, g.NumUsers)
+		return
+	}
+	existing := make(map[int64]bool, len(g.Friends))
+	for _, f := range g.Friends {
+		existing[int64(f.U)*int64(g.NumUsers)+int64(f.V)] = true
+	}
+	st.negFriends = make([]socialgraph.FriendLink, 0, want)
+	for tries := 0; len(st.negFriends) < want && tries < 20*want+100; tries++ {
+		u := int32(st.root.Intn(g.NumUsers))
+		v := int32(st.root.Intn(g.NumUsers))
+		if u == v || existing[int64(u)*int64(g.NumUsers)+int64(v)] {
+			continue
+		}
+		st.negFriends = append(st.negFriends, socialgraph.FriendLink{U: u, V: v})
+	}
+	st.lambdaNeg = newFloats(uint64(len(st.negFriends)), math.Float64bits(0.25))
+	st.userNegFriendLinks = make([][]int32, g.NumUsers)
+	for l, f := range st.negFriends {
+		st.userNegFriendLinks[f.U] = append(st.userNegFriendLinks[f.U], int32(l))
+		st.userNegFriendLinks[f.V] = append(st.userNegFriendLinks[f.V], int32(l))
+	}
+}
+
+// cload / czload are the atomic assignment readers.
+func (st *state) cload(doc int32) int32 { return atomic.LoadInt32(&st.docC[doc]) }
+func (st *state) zload(doc int32) int32 { return atomic.LoadInt32(&st.docZ[doc]) }
+
+func (st *state) cstore(doc int32, c int32) { atomic.StoreInt32(&st.docC[doc], c) }
+func (st *state) zstore(doc int32, z int32) { atomic.StoreInt32(&st.docZ[doc], z) }
+
+// refreshCaches rebuilds the per-topic eta slices, theta-hat snapshot
+// columns and bilinear aggregates. Called once per sweep and after each
+// M-step; costs O(|Z| |C|^2).
+func (st *state) refreshCaches() {
+	C, Z := st.cfg.NumCommunities, st.cfg.NumTopics
+	if st.etaSlice == nil {
+		st.etaSlice = make([]*sparse.Dense, Z)
+		st.aggs = make([]*sparse.BilinearAgg, Z)
+		st.thetaCol = make([][]float64, Z)
+		for z := 0; z < Z; z++ {
+			st.thetaCol[z] = make([]float64, C)
+		}
+	}
+	alpha := st.cfg.Alpha
+	zAlpha := float64(Z) * alpha
+	for z := 0; z < Z; z++ {
+		col := st.thetaCol[z]
+		for c := 0; c < C; c++ {
+			col[c] = (float64(st.nCZ.at(c, z)) + alpha) / (float64(st.nCT.at(c)) + zAlpha)
+		}
+		slice := st.eta.SliceK(z)
+		slice.Scale(st.cfg.EtaScale)
+		st.etaSlice[z] = slice
+		st.aggs[z] = sparse.NewBilinearAgg(slice, col)
+	}
+	st.refreshPiSnapshots()
+}
+
+// refreshPiSnapshots rebuilds the per-user pi-hat snapshots (O(total
+// tokens) per sweep).
+func (st *state) refreshPiSnapshots() {
+	if st.piSnapIdx == nil {
+		st.piSnapIdx = make([][]int32, st.g.NumUsers)
+		st.piSnapVal = make([][]float64, st.g.NumUsers)
+	}
+	cnt := make([]float64, st.cfg.NumCommunities)
+	var touched []int32
+	for u := 0; u < st.g.NumUsers; u++ {
+		touched = touched[:0]
+		bump := func(c int32) {
+			if cnt[c] == 0 {
+				touched = append(touched, c)
+			}
+			cnt[c]++
+		}
+		for _, d := range st.g.UserDocs(u) {
+			bump(st.cload(d))
+		}
+		if st.attrOn {
+			for k := range st.attrC[u] {
+				bump(atomic.LoadInt32(&st.attrC[u][k]))
+			}
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		den := st.piHatDen(int32(u))
+		idx := st.piSnapIdx[u][:0]
+		val := st.piSnapVal[u][:0]
+		for _, c := range touched {
+			idx = append(idx, c)
+			val = append(val, cnt[c]/den)
+			cnt[c] = 0
+		}
+		st.piSnapIdx[u] = idx
+		st.piSnapVal[u] = val
+	}
+}
+
+// piSnap materialises the sweep-start snapshot of pi-hat_u into out (a
+// view; do not mutate).
+func (st *state) piSnap(u int32, out *sparse.SmoothedVec) {
+	out.Dim = st.cfg.NumCommunities
+	out.Base = st.cfg.Rho / st.piHatDen(u)
+	out.Idx = st.piSnapIdx[u]
+	out.Val = st.piSnapVal[u]
+}
+
+// refreshNuOffsets recomputes the cached nu^T f_uv per diffusion link.
+func (st *state) refreshNuOffsets() {
+	for e := range st.linkOffset {
+		var s float64
+		for k, f := range st.linkFeat[e] {
+			s += st.nu[k] * f
+		}
+		st.linkOffset[e] = s
+	}
+}
+
+// scratch is per-worker reusable storage; nothing here is shared.
+type scratch struct {
+	r *rng.RNG
+	// pi-hat materialisation buffers.
+	cnt     []float64 // |C| dense accumulation buffer
+	touched []int32   // indexes of cnt currently non-zero
+	piU     sparse.SmoothedVec
+	piV     sparse.SmoothedVec
+	idxBufU []int32
+	valBufU []float64
+	idxBufV []int32
+	valBufV []float64
+	// sampling weights (log domain), size max(|C|, |Z|).
+	logw []float64
+	// per-candidate diffusion contributions.
+	yBuf []float64 // |C|
+	// per-doc word count pairs.
+	wordIDs []int32
+	wordCnt []int
+}
+
+func newScratch(cfg Config, r *rng.RNG) *scratch {
+	n := cfg.NumCommunities
+	if cfg.NumTopics > n {
+		n = cfg.NumTopics
+	}
+	return &scratch{
+		r:       r,
+		cnt:     make([]float64, cfg.NumCommunities),
+		logw:    make([]float64, n),
+		yBuf:    make([]float64, cfg.NumCommunities),
+		idxBufU: make([]int32, 0, 64),
+		valBufU: make([]float64, 0, 64),
+		idxBufV: make([]int32, 0, 64),
+		valBufV: make([]float64, 0, 64),
+	}
+}
+
+// piHat materialises pi-hat_u into out, excluding document excl (pass -1
+// for no exclusion): base rho/(n_u + |C| rho) plus the sparse residual
+// count_c/(n_u + |C| rho) derived from u's documents' — and, with the
+// attribute extension, attribute tokens' — current (atomic) community
+// assignments. idxBuf/valBuf back the SmoothedVec storage.
+func (st *state) piHat(u int32, excl int32, out *sparse.SmoothedVec, idxBuf *[]int32, valBuf *[]float64, sc *scratch) {
+	st.piHatExcl(u, excl, -1, out, idxBuf, valBuf, sc)
+}
+
+// piHatExcl is piHat with an additional attribute-token exclusion
+// (exclAttr indexes u's attribute list; -1 for none). Only the attribute
+// sampler passes exclAttr >= 0.
+func (st *state) piHatExcl(u int32, exclDoc int32, exclAttr int, out *sparse.SmoothedVec, idxBuf *[]int32, valBuf *[]float64, sc *scratch) {
+	C := st.cfg.NumCommunities
+	den := st.piHatDen(u)
+	out.Dim = C
+	out.Base = st.cfg.Rho / den
+	// Accumulate counts into the dense scratch, tracking touched entries.
+	sc.touched = sc.touched[:0]
+	bump := func(c int32) {
+		if sc.cnt[c] == 0 {
+			sc.touched = append(sc.touched, c)
+		}
+		sc.cnt[c]++
+	}
+	for _, d := range st.g.UserDocs(int(u)) {
+		if d == exclDoc {
+			continue
+		}
+		bump(st.cload(d))
+	}
+	if st.attrOn {
+		for k := range st.attrC[u] {
+			if k == exclAttr {
+				continue
+			}
+			bump(atomic.LoadInt32(&st.attrC[u][k]))
+		}
+	}
+	sort.Slice(sc.touched, func(i, j int) bool { return sc.touched[i] < sc.touched[j] })
+	*idxBuf = (*idxBuf)[:0]
+	*valBuf = (*valBuf)[:0]
+	for _, c := range sc.touched {
+		*idxBuf = append(*idxBuf, c)
+		*valBuf = append(*valBuf, sc.cnt[c]/den)
+		sc.cnt[c] = 0
+	}
+	out.Idx = *idxBuf
+	out.Val = *valBuf
+}
+
+// piHatDen returns the pi-hat denominator for user u: every community-
+// assigned token (documents, plus attribute tokens under the extension)
+// counts toward the Dirichlet posterior.
+func (st *state) piHatDen(u int32) float64 {
+	return float64(st.nDoc[u]+st.nAttr[u]) + float64(st.cfg.NumCommunities)*st.cfg.Rho
+}
+
+// piHatAt returns a single coordinate pi-hat_{u,c} (O(|D_u| + |A_u|)).
+func (st *state) piHatAt(u int32, c int32) float64 {
+	den := st.piHatDen(u)
+	var cnt float64
+	for _, d := range st.g.UserDocs(int(u)) {
+		if st.cload(d) == c {
+			cnt++
+		}
+	}
+	if st.attrOn {
+		for k := range st.attrC[u] {
+			if atomic.LoadInt32(&st.attrC[u][k]) == c {
+				cnt++
+			}
+		}
+	}
+	return (cnt + st.cfg.Rho) / den
+}
+
+// popTerm returns the topic-popularity contribution PopScale * n_tz / n_t
+// for bucket b and topic z, or 0 when disabled or the bucket is empty.
+func (st *state) popTerm(b int, z int) float64 {
+	if st.cfg.NoTopicPopularity {
+		return 0
+	}
+	tot := st.nTT.at(b)
+	if tot <= 0 {
+		return 0
+	}
+	return st.cfg.PopScale * float64(st.nTZ.at(b, z)) / float64(tot)
+}
+
+// indivTerm returns the cached individual-preference contribution for link
+// e, or 0 when disabled.
+func (st *state) indivTerm(e int) float64 {
+	if st.cfg.NoIndividual {
+		return 0
+	}
+	return st.linkOffset[e]
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/socialgraph"
+)
+
+// Train runs the full Sect. 4 inference — Alg. 1's variational EM with a
+// collapsed, Pólya-Gamma-augmented Gibbs E-step — and returns the trained
+// model plus timing diagnostics. The graph is validated and its indexes
+// built; cfg zero values take the paper's defaults.
+func Train(g *socialgraph.Graph, cfg Config) (*Model, *Diagnostics, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: invalid graph: %w", err)
+	}
+	if len(g.Docs) == 0 {
+		return nil, nil, fmt.Errorf("core: graph has no documents")
+	}
+	g.BuildIndexes()
+
+	st := newState(g, cfg)
+	diag := &Diagnostics{}
+	var plan *parallelPlan
+	if cfg.Workers > 1 {
+		plan = buildParallelPlan(st)
+		diag.Segments = plan.numSegments
+		diag.WorkerEstimated = append([]float64(nil), plan.estLoad...)
+	}
+	sc := newScratch(cfg, st.root.Split(0xE11))
+
+	// Warm start: detection-only block sweeps seed the joint sampler with
+	// an assortative configuration (see Config.WarmStartSweeps).
+	if !cfg.NoJointModeling && !cfg.NoFriendship && cfg.WarmStartSweeps > 0 {
+		st.contentOn = false
+		for i := 0; i < cfg.WarmStartSweeps; i++ {
+			st.refreshPiSnapshots()
+			if plan != nil {
+				plan.sweep(st)
+			} else {
+				st.sweepSerial(sc)
+			}
+		}
+		st.contentOn = true
+	}
+
+	// The "no joint modeling" ablation runs two full phases: detection from
+	// friendship links alone (cheap sweeps — no content, no diffusion),
+	// then profile learning with communities frozen. Detection-only block
+	// Gibbs needs its own full budget to mix (it lacks the content signal
+	// that accelerates the joint sampler), with a floor for small EMIters.
+	phase1 := 0
+	totalIters := cfg.EMIters
+	if cfg.NoJointModeling {
+		phase1 = cfg.EMIters
+		if phase1 < 30 {
+			phase1 = 30
+		}
+		totalIters = phase1 + cfg.EMIters
+		st.contentOn = false
+	}
+
+	for iter := 0; iter < totalIters; iter++ {
+		if cfg.NoJointModeling && iter == phase1 {
+			// Phase 2 of "no joint modeling": freeze the detected
+			// communities and learn profiles on top.
+			st.contentOn = true
+			st.cFrozen = true
+		}
+		st.refreshCaches()
+		t0 := time.Now()
+		var actual []float64
+		if plan != nil {
+			actual = plan.sweep(st)
+		} else {
+			st.sweepSerial(sc)
+		}
+		dt := time.Since(t0).Seconds()
+		diag.EStepSeconds += dt
+		diag.SweepSeconds = append(diag.SweepSeconds, dt)
+		if actual != nil {
+			diag.WorkerActual = actual
+		}
+
+		t1 := time.Now()
+		if st.contentOn {
+			st.mStepEta()
+			if !cfg.NoIndividual && !cfg.NoHeterogeneity {
+				st.mStepNu(sc)
+			}
+		}
+		diag.MStepSeconds += time.Since(t1).Seconds()
+	}
+	st.refreshCaches()
+	return st.buildModel(), diag, nil
+}
+
+// sweepSerial is Alg. 1's E-step on a single goroutine: for each user's
+// each document sample the topic (step 5) then the community (step 6),
+// then refresh the friendship (steps 7–8) and diffusion (steps 9–10)
+// augmentation variables.
+func (st *state) sweepSerial(sc *scratch) {
+	for u := 0; u < st.g.NumUsers; u++ {
+		if !st.contentOn {
+			// Detection-only phase (no-joint ablation): block moves.
+			st.sampleUserCommunityBlock(int32(u), sc)
+			continue
+		}
+		for _, d := range st.g.UserDocs(u) {
+			st.sampleDocTopic(d, sc)
+			if !st.cFrozen {
+				st.sampleDocCommunity(d, sc)
+			}
+		}
+		if st.attrOn {
+			for k := range st.g.Attrs[u] {
+				st.sampleUserAttr(int32(u), k, sc)
+			}
+		}
+	}
+	if !st.cfg.NoFriendship {
+		for li := range st.g.Friends {
+			st.sampleLambda(li, sc)
+		}
+		for li := range st.negFriends {
+			st.sampleLambdaNeg(li, sc)
+		}
+	}
+	if st.contentOn {
+		for e := range st.g.Diffs {
+			st.sampleDelta(e, sc)
+		}
+	}
+}

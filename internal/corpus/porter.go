@@ -1,0 +1,257 @@
+package corpus
+
+// PorterStem applies the classic Porter (1980) stemming algorithm to a
+// lower-case ASCII word and returns the stem. Words shorter than three
+// letters are returned unchanged, per the original paper's guidance.
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := &porter{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type porter struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense: a
+// letter other than a/e/i/o/u, with y counting as a consonant only when
+// preceded by a vowel-position letter.
+func (p *porter) isConsonant(i int) bool {
+	switch p.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !p.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure returns m, the number of VC sequences in the prefix b[:end].
+func (p *porter) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip the initial consonant run.
+	for i < end && p.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !p.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run: one full VC.
+		for i < end && p.isConsonant(i) {
+			i++
+		}
+		m++
+	}
+	return m
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func (p *porter) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !p.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b[:end] ends with a doubled
+// consonant.
+func (p *porter) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return p.b[end-1] == p.b[end-2] && p.isConsonant(end-1)
+}
+
+// endsCVC reports whether b[:end] ends consonant-vowel-consonant with the
+// final consonant not w, x or y (Porter's *o condition).
+func (p *porter) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !p.isConsonant(end-3) || p.isConsonant(end-2) || !p.isConsonant(end-1) {
+		return false
+	}
+	switch p.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the current word ends with suf and, if so,
+// returns the stem length.
+func (p *porter) hasSuffix(suf string) (int, bool) {
+	n := len(p.b) - len(suf)
+	if n < 0 {
+		return 0, false
+	}
+	if string(p.b[n:]) != suf {
+		return 0, false
+	}
+	return n, true
+}
+
+// replace replaces the suffix of length len(suf) with rep, assuming the
+// caller checked the suffix.
+func (p *porter) replace(suf, rep string) {
+	n := len(p.b) - len(suf)
+	p.b = append(p.b[:n], rep...)
+}
+
+func (p *porter) step1a() {
+	switch {
+	case endsWith(p.b, "sses"):
+		p.replace("sses", "ss")
+	case endsWith(p.b, "ies"):
+		p.replace("ies", "i")
+	case endsWith(p.b, "ss"):
+		// keep
+	case endsWith(p.b, "s"):
+		p.replace("s", "")
+	}
+}
+
+func (p *porter) step1b() {
+	if n, ok := p.hasSuffix("eed"); ok {
+		if p.measure(n) > 0 {
+			p.replace("eed", "ee")
+		}
+		return
+	}
+	applied := false
+	if n, ok := p.hasSuffix("ed"); ok && p.hasVowel(n) {
+		p.replace("ed", "")
+		applied = true
+	} else if n, ok := p.hasSuffix("ing"); ok && p.hasVowel(n) {
+		p.replace("ing", "")
+		applied = true
+	}
+	if !applied {
+		return
+	}
+	switch {
+	case endsWith(p.b, "at"):
+		p.replace("at", "ate")
+	case endsWith(p.b, "bl"):
+		p.replace("bl", "ble")
+	case endsWith(p.b, "iz"):
+		p.replace("iz", "ize")
+	case p.endsDoubleConsonant(len(p.b)):
+		last := p.b[len(p.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			p.b = p.b[:len(p.b)-1]
+		}
+	case p.measure(len(p.b)) == 1 && p.endsCVC(len(p.b)):
+		p.b = append(p.b, 'e')
+	}
+}
+
+func (p *porter) step1c() {
+	if n, ok := p.hasSuffix("y"); ok && p.hasVowel(n) {
+		p.b[len(p.b)-1] = 'i'
+	}
+}
+
+// step2Rules maps suffixes to replacements, applied when measure(stem) > 0.
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+	{"logi", "log"},
+}
+
+func (p *porter) step2() {
+	for _, r := range step2Rules {
+		if n, ok := p.hasSuffix(r.suf); ok {
+			if p.measure(n) > 0 {
+				p.replace(r.suf, r.rep)
+			}
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (p *porter) step3() {
+	for _, r := range step3Rules {
+		if n, ok := p.hasSuffix(r.suf); ok {
+			if p.measure(n) > 0 {
+				p.replace(r.suf, r.rep)
+			}
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (p *porter) step4() {
+	for _, suf := range step4Suffixes {
+		n, ok := p.hasSuffix(suf)
+		if !ok {
+			continue
+		}
+		if p.measure(n) <= 1 {
+			return
+		}
+		if suf == "ion" && n > 0 && p.b[n-1] != 's' && p.b[n-1] != 't' {
+			return
+		}
+		p.replace(suf, "")
+		return
+	}
+}
+
+func (p *porter) step5a() {
+	if n, ok := p.hasSuffix("e"); ok {
+		m := p.measure(n)
+		if m > 1 || (m == 1 && !p.endsCVC(n)) {
+			p.replace("e", "")
+		}
+	}
+}
+
+func (p *porter) step5b() {
+	n := len(p.b)
+	if n >= 2 && p.b[n-1] == 'l' && p.endsDoubleConsonant(n) && p.measure(n) > 1 {
+		p.b = p.b[:n-1]
+	}
+}
+
+func endsWith(b []byte, suf string) bool {
+	if len(b) < len(suf) {
+		return false
+	}
+	return string(b[len(b)-len(suf):]) == suf
+}

@@ -1,0 +1,91 @@
+// Package corpus implements the text-processing substrate of Sect. 6.1:
+// vocabulary interning, tokenization, stop-word removal, Porter stemming,
+// a part-of-speech-style lexical filter (the paper keeps nouns, verbs and
+// hashtags), and the short-document filters (drop documents with fewer than
+// two words, drop users with no documents — the latter is applied by the
+// socialgraph package).
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Vocabulary interns words to dense integer ids.
+type Vocabulary struct {
+	byWord map[string]int
+	byID   []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{byWord: make(map[string]int)}
+}
+
+// Add interns w and returns its id, allocating a new id for unseen words.
+func (v *Vocabulary) Add(w string) int {
+	if id, ok := v.byWord[w]; ok {
+		return id
+	}
+	id := len(v.byID)
+	v.byWord[w] = id
+	v.byID = append(v.byID, w)
+	return id
+}
+
+// ID returns the id of w and whether it is known.
+func (v *Vocabulary) ID(w string) (int, bool) {
+	id, ok := v.byWord[w]
+	return id, ok
+}
+
+// Word returns the word for id. It panics on out-of-range ids.
+func (v *Vocabulary) Word(id int) string {
+	return v.byID[id]
+}
+
+// Len returns the number of interned words.
+func (v *Vocabulary) Len() int { return len(v.byID) }
+
+// Words returns the id-ordered word list (aliasing internal storage; do not
+// mutate).
+func (v *Vocabulary) Words() []string { return v.byID }
+
+// WriteTo serializes the vocabulary, one word per line in id order.
+func (v *Vocabulary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, word := range v.byID {
+		k, err := fmt.Fprintln(bw, word)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadVocabulary parses the WriteTo format.
+func ReadVocabulary(r io.Reader) (*Vocabulary, error) {
+	v := NewVocabulary()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		w := strings.TrimSpace(sc.Text())
+		if w == "" {
+			return nil, fmt.Errorf("corpus: empty word at line %d", line)
+		}
+		if _, ok := v.byWord[w]; ok {
+			return nil, fmt.Errorf("corpus: duplicate word %q at line %d", w, line)
+		}
+		v.Add(w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: reading vocabulary: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/socialgraph"
+)
+
+// scaleIters is the EM iteration count for timing experiments (enough for
+// a stable per-sweep average; the sampler's cost per sweep is constant).
+const scaleIters = 4
+
+// RunFigure10 regenerates the scalability study: (a) per-sweep E-step time
+// versus dataset fraction for serial and parallel training, on both
+// datasets; (b) speedup versus core count. Fractions and core counts are
+// scaled presets of the paper's {0.1..1.0} x {2,4,6,8} grids.
+func RunFigure10(o Options) []*Table {
+	o = o.withDefaults()
+	fractions := []float64{0.25, 0.5, 0.75, 1.0}
+	var tables []*Table
+
+	for _, ds := range []*Dataset{TwitterDataset(o), DBLPDataset(o)} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 10(a) E-step seconds/sweep vs data fraction — %s", ds.Name),
+			Header: []string{"fraction", "serial", fmt.Sprintf("parallel (%d cores)", runtime.NumCPU())},
+		}
+		for _, p := range fractions {
+			g := socialgraph.Subsample(ds.Graph, p, o.Seed^uint64(p*1000))
+			serial := sweepSeconds(o, g, 1)
+			par := sweepSeconds(o, g, runtime.NumCPU())
+			t.AddRow(fmt.Sprintf("%.2f", p), fmt.Sprintf("%.3f", serial), fmt.Sprintf("%.3f", par))
+		}
+		t.Notes = append(t.Notes, "the paper's claim under test: time grows linearly with the data fraction")
+		tables = append(tables, t)
+	}
+
+	cores := coreSweep()
+	for _, ds := range []*Dataset{TwitterDataset(o), DBLPDataset(o)} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 10(b) parallel speedup vs #cores — %s", ds.Name),
+			Header: []string{"#cores", "seconds/sweep", "speedup"},
+		}
+		serial := sweepSeconds(o, ds.Graph, 1)
+		t.AddRow("1", fmt.Sprintf("%.3f", serial), "1.00")
+		for _, nc := range cores {
+			par := sweepSeconds(o, ds.Graph, nc)
+			sp := serial / par
+			t.AddRow(fmt.Sprintf("%d", nc), fmt.Sprintf("%.3f", par), fmt.Sprintf("%.2f", sp))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func coreSweep() []int {
+	max := runtime.NumCPU()
+	var out []int
+	for _, nc := range []int{2, 4, 6, 8} {
+		if nc <= max {
+			out = append(out, nc)
+		}
+	}
+	if len(out) == 0 && max > 1 {
+		out = append(out, max)
+	}
+	return out
+}
+
+// sweepSeconds trains briefly and returns the average E-step seconds per
+// sweep (first sweep discarded as warmup when possible).
+func sweepSeconds(o Options, g *socialgraph.Graph, workers int) float64 {
+	c := o.CommunitySweep[len(o.CommunitySweep)/2]
+	cfg := o.cpdConfig(c, core.Config{Seed: o.Seed ^ 0x10A})
+	cfg.EMIters = scaleIters
+	cfg.Workers = workers
+	_, diag, err := core.Train(g, cfg)
+	if err != nil || len(diag.SweepSeconds) == 0 {
+		return nanVal
+	}
+	ss := diag.SweepSeconds
+	if len(ss) > 1 {
+		ss = ss[1:]
+	}
+	return mathx.Mean(ss)
+}
+
+// RunFigure11 regenerates the workload-balancing study: estimated versus
+// actual per-core E-step workload under the knapsack allocation, on both
+// datasets.
+func RunFigure11(o Options) []*Table {
+	o = o.withDefaults()
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	var tables []*Table
+	for _, ds := range []*Dataset{TwitterDataset(o), DBLPDataset(o)} {
+		c := o.CommunitySweep[len(o.CommunitySweep)/2]
+		cfg := o.cpdConfig(c, core.Config{Seed: o.Seed ^ 0x11B})
+		cfg.EMIters = scaleIters
+		cfg.Workers = workers
+		_, diag, err := core.Train(ds.Graph, cfg)
+		if err != nil || len(diag.WorkerActual) == 0 {
+			continue
+		}
+		// Normalize estimates to the actual total so the two columns are
+		// comparable (the estimate is an operation count, not seconds).
+		estSum := mathx.Sum(diag.WorkerEstimated)
+		actSum := mathx.Sum(diag.WorkerActual)
+		scale := 1.0
+		if estSum > 0 {
+			scale = actSum / estSum
+		}
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 11 workload balancing (knapsack allocation over %d segments) — %s", diag.Segments, ds.Name),
+			Header: []string{"core", "estimated (s-equiv)", "actual (s)"},
+		}
+		for w := 0; w < workers; w++ {
+			t.AddRow(fmt.Sprintf("%d", w+1),
+				fmt.Sprintf("%.3f", diag.WorkerEstimated[w]*scale),
+				fmt.Sprintf("%.3f", diag.WorkerActual[w]))
+		}
+		imb := imbalance(diag.WorkerActual)
+		t.Notes = append(t.Notes, fmt.Sprintf("actual max/mean imbalance = %.2f (1.00 is perfect balance)", imb))
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return nanVal
+	}
+	mean := mathx.Mean(loads)
+	if mean == 0 {
+		return nanVal
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max / mean
+}

@@ -1,0 +1,169 @@
+// Package knapsack solves the 0-1 knapsack instances the parallel E-step
+// uses to balance Gibbs workload across threads (Sect. 4.3, Eq. 17): given
+// per-segment workload estimates o_i, each thread greedily takes the subset
+// of remaining segments whose total workload is as close to O/M as possible
+// without exceeding it.
+package knapsack
+
+// Solve returns the indices of a subset of weights whose sum is maximal
+// without exceeding capacity (the classic subset-sum form of 0-1 knapsack,
+// value == weight). Weights must be non-negative. The solver scales the
+// weights to a fixed integer resolution and runs exact DP on the scaled
+// problem, so the answer is optimal up to the scaling granularity.
+func Solve(weights []float64, capacity float64) []int {
+	if capacity <= 0 || len(weights) == 0 {
+		return nil
+	}
+	const resolution = 4096
+	var maxW float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("knapsack: negative weight")
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		// All weights zero: everything fits.
+		all := make([]int, len(weights))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	scale := float64(resolution) / capacity
+	capInt := resolution
+	wInt := make([]int, len(weights))
+	for i, w := range weights {
+		wi := int(w*scale + 0.5)
+		wInt[i] = wi
+	}
+	// DP over achievable sums with predecessor tracking.
+	// best[s] = true if sum s achievable; from[s] = item index used to
+	// reach s first (with prev sum s - wInt[item]).
+	reachable := make([]bool, capInt+1)
+	from := make([]int, capInt+1)
+	for i := range from {
+		from[i] = -1
+	}
+	reachable[0] = true
+	for i, wi := range wInt {
+		if wi > capInt {
+			continue
+		}
+		if wi == 0 {
+			continue // handled after DP: zero-weight items always fit
+		}
+		for s := capInt; s >= wi; s-- {
+			if !reachable[s] && reachable[s-wi] {
+				reachable[s] = true
+				from[s] = i
+			}
+		}
+	}
+	best := 0
+	for s := capInt; s >= 0; s-- {
+		if reachable[s] {
+			best = s
+			break
+		}
+	}
+	var picked []int
+	used := make([]bool, len(weights))
+	for s := best; s > 0 && from[s] >= 0; {
+		i := from[s]
+		picked = append(picked, i)
+		used[i] = true
+		s -= wInt[i]
+	}
+	// Zero-scaled-weight items ride along for free.
+	for i, wi := range wInt {
+		if wi == 0 && !used[i] {
+			picked = append(picked, i)
+		}
+	}
+	return picked
+}
+
+// Pack distributes n items with the given workloads onto m bins by solving
+// one knapsack per bin against the ideal per-bin load total/m (Eq. 17),
+// assigning leftovers — which exist because the per-bin capacity is a
+// target, not a bound — to the currently lightest bin. It returns the item
+// indices per bin.
+func Pack(workloads []float64, m int) [][]int {
+	if m <= 0 {
+		panic("knapsack: Pack with non-positive bin count")
+	}
+	bins := make([][]int, m)
+	if len(workloads) == 0 {
+		return bins
+	}
+	var total float64
+	for _, w := range workloads {
+		total += w
+	}
+	target := total / float64(m)
+	remainingIdx := make([]int, len(workloads))
+	for i := range remainingIdx {
+		remainingIdx[i] = i
+	}
+	loads := make([]float64, m)
+	for b := 0; b < m && len(remainingIdx) > 0; b++ {
+		w := make([]float64, len(remainingIdx))
+		for i, idx := range remainingIdx {
+			w[i] = workloads[idx]
+		}
+		picked := Solve(w, target)
+		if len(picked) == 0 {
+			break
+		}
+		pickedSet := make(map[int]bool, len(picked))
+		for _, i := range picked {
+			idx := remainingIdx[i]
+			bins[b] = append(bins[b], idx)
+			loads[b] += workloads[idx]
+			pickedSet[i] = true
+		}
+		next := remainingIdx[:0]
+		for i, idx := range remainingIdx {
+			if !pickedSet[i] {
+				next = append(next, idx)
+			}
+		}
+		remainingIdx = next
+	}
+	// Leftovers: least-loaded bin first.
+	for _, idx := range remainingIdx {
+		lightest := 0
+		for b := 1; b < m; b++ {
+			if loads[b] < loads[lightest] {
+				lightest = b
+			}
+		}
+		bins[lightest] = append(bins[lightest], idx)
+		loads[lightest] += workloads[idx]
+	}
+	return bins
+}
+
+// RoundRobin is the naive baseline allocator used by the Fig. 11 workload-
+// balancing ablation: item i goes to bin i mod m regardless of weight.
+func RoundRobin(n, m int) [][]int {
+	bins := make([][]int, m)
+	for i := 0; i < n; i++ {
+		bins[i%m] = append(bins[i%m], i)
+	}
+	return bins
+}
+
+// Loads returns the total workload per bin for an assignment.
+func Loads(workloads []float64, bins [][]int) []float64 {
+	loads := make([]float64, len(bins))
+	for b, items := range bins {
+		for _, i := range items {
+			loads[b] += workloads[i]
+		}
+	}
+	return loads
+}

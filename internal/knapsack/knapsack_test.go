@@ -1,0 +1,195 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// bruteBest returns the maximal subset sum <= capacity by exhaustive
+// search (n <= 16).
+func bruteBest(weights []float64, capacity float64) float64 {
+	n := len(weights)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s += weights[i]
+			}
+		}
+		if s <= capacity && s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(12)
+		weights := make([]float64, n)
+		var total float64
+		for i := range weights {
+			weights[i] = r.Float64() * 10
+			total += weights[i]
+		}
+		capacity := total * (0.2 + 0.6*r.Float64())
+		picked := Solve(weights, capacity)
+		var got float64
+		seen := map[int]bool{}
+		for _, i := range picked {
+			if seen[i] {
+				return false // duplicate pick
+			}
+			seen[i] = true
+			got += weights[i]
+		}
+		if got > capacity*1.001 {
+			return false // capacity violated beyond scaling slack
+		}
+		want := bruteBest(weights, capacity)
+		// The DP is exact up to the scaling resolution.
+		return got >= want-capacity/1000-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	if got := Solve(nil, 10); got != nil {
+		t.Fatalf("empty weights: %v", got)
+	}
+	if got := Solve([]float64{1, 2}, 0); got != nil {
+		t.Fatalf("zero capacity: %v", got)
+	}
+	// All-zero weights fit everywhere.
+	if got := Solve([]float64{0, 0, 0}, 5); len(got) != 3 {
+		t.Fatalf("zero weights: %v", got)
+	}
+	// Oversized item skipped.
+	picked := Solve([]float64{100, 1}, 2)
+	if len(picked) != 1 || picked[0] != 1 {
+		t.Fatalf("oversized item: %v", picked)
+	}
+}
+
+func TestSolvePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight accepted")
+		}
+	}()
+	Solve([]float64{-1}, 5)
+}
+
+func TestPackCoversAllItemsOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(30)
+		m := 1 + r.Intn(5)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64() * 5
+		}
+		bins := Pack(weights, m)
+		if len(bins) != m {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, bin := range bins {
+			for _, i := range bin {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackBeatsRoundRobinOnSkewedLoads(t *testing.T) {
+	// A heavy-tailed workload: knapsack packing must balance better than
+	// round-robin, measured by max/mean load.
+	r := rng.New(7)
+	n, m := 40, 4
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = math.Exp(2 * r.Norm())
+	}
+	imbalance := func(bins [][]int) float64 {
+		loads := Loads(weights, bins)
+		var max, sum float64
+		for _, l := range loads {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		return max / (sum / float64(len(loads)))
+	}
+	kn := imbalance(Pack(weights, m))
+	rr := imbalance(RoundRobin(n, m))
+	if kn > rr*1.05 {
+		t.Fatalf("knapsack imbalance %v worse than round-robin %v", kn, rr)
+	}
+	if kn > 1.6 {
+		t.Fatalf("knapsack imbalance %v too high", kn)
+	}
+}
+
+func TestPackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pack with 0 bins accepted")
+		}
+	}()
+	Pack([]float64{1}, 0)
+}
+
+func TestLoads(t *testing.T) {
+	w := []float64{1, 2, 3}
+	loads := Loads(w, [][]int{{0, 2}, {1}})
+	if loads[0] != 4 || loads[1] != 2 {
+		t.Fatalf("Loads = %v", loads)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	r := rng.New(1)
+	weights := make([]float64, 100)
+	var total float64
+	for i := range weights {
+		weights[i] = r.Float64() * 10
+		total += weights[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(weights, total/4)
+	}
+}
+
+func BenchmarkSegmentPacking(b *testing.B) {
+	r := rng.New(2)
+	weights := make([]float64, 150)
+	for i := range weights {
+		weights[i] = math.Exp(r.Norm())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pack(weights, 8)
+	}
+}

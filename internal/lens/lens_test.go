@@ -1,0 +1,150 @@
+package lens
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+var (
+	once sync.Once
+	srv  *Server
+	bare *Server // no vocabulary
+)
+
+func testServer(t *testing.T) (*Server, *Server) {
+	t.Helper()
+	once.Do(func() {
+		cfg := synth.TwitterLike(150, 77)
+		g, _ := synth.Generate(cfg)
+		m, _, err := core.Train(g, core.Config{
+			NumCommunities: 8, NumTopics: 10, EMIters: 8, Workers: 1,
+			Seed: 2, Rho: 0.125,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv = New(m, synth.BuildVocabulary(cfg))
+		bare = New(m, nil)
+	})
+	return srv, bare
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "SocialLens") {
+		t.Fatalf("index: code=%d", rec.Code)
+	}
+	if get(t, s, "/nope").Code != http.StatusNotFound {
+		t.Fatal("unknown path not 404")
+	}
+}
+
+func TestCommunitiesEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/api/communities")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("got %d communities", len(out))
+	}
+	// Sorted by member count descending.
+	prev := int(out[0]["members"].(float64))
+	for _, c := range out[1:] {
+		cur := int(c["members"].(float64))
+		if cur > prev {
+			t.Fatal("communities not sorted by size")
+		}
+		prev = cur
+	}
+}
+
+func TestCommunityDetail(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/api/community?id=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	var d map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d["topTopics"]; !ok {
+		t.Fatal("detail missing topTopics")
+	}
+	if _, ok := d["outFlows"]; !ok {
+		t.Fatal("detail missing outFlows")
+	}
+	for _, bad := range []string{"/api/community", "/api/community?id=99", "/api/community?id=x"} {
+		if get(t, s, bad).Code != http.StatusBadRequest {
+			t.Fatalf("%s not rejected", bad)
+		}
+	}
+}
+
+func TestRankEndpoint(t *testing.T) {
+	s, b := testServer(t)
+	// A real vocabulary word.
+	rec := get(t, s, "/api/rank?q=network_00&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results", len(out))
+	}
+	if get(t, s, "/api/rank").Code != http.StatusBadRequest {
+		t.Fatal("empty query accepted")
+	}
+	if get(t, s, "/api/rank?q=zzzz-unknown").Code != http.StatusBadRequest {
+		t.Fatal("unknown word accepted")
+	}
+	if get(t, b, "/api/rank?q=x").Code != http.StatusNotImplemented {
+		t.Fatal("vocab-less rank should be 501")
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/api/graph")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	var dg map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &dg); err != nil {
+		t.Fatal(err)
+	}
+	if dg["Edges"] == nil {
+		t.Fatal("graph missing edges")
+	}
+	dot := get(t, s, "/api/graph?topic=0&format=dot")
+	if dot.Code != http.StatusOK || !strings.HasPrefix(dot.Body.String(), "digraph") {
+		t.Fatalf("dot export: code=%d", dot.Code)
+	}
+	if get(t, s, "/api/graph?topic=999").Code != http.StatusBadRequest {
+		t.Fatal("bad topic accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Package logreg implements L2-regularised logistic regression trained by
+// full-batch gradient descent with optional per-example fixed offsets.
+// The CPD M-step fits the individual-preference weights ν this way
+// (Sect. 4.2): positives are the observed diffusion links, negatives are
+// sampled non-links, and the community/topic factors enter as fixed
+// offsets so only ν is optimised. The WTM baseline reuses the package for
+// its feature-based diffusion model.
+package logreg
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Config controls training.
+type Config struct {
+	Iters        int     // gradient steps; 0 means 100
+	LearningRate float64 // 0 means 0.5
+	L2           float64 // 0 means 1e-4
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.5
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Model holds the learned weights. Callers append their own bias feature
+// if they want an intercept.
+type Model struct {
+	W []float64
+}
+
+// Train fits weights on examples X with labels y in {0,1} and fixed
+// per-example offsets (pass nil for all-zero offsets). It returns an error
+// on shape mismatches or empty input.
+func Train(x [][]float64, offsets []float64, y []int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(x) == 0 {
+		return nil, fmt.Errorf("logreg: no training examples")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("logreg: %d examples but %d labels", len(x), len(y))
+	}
+	if offsets != nil && len(offsets) != len(x) {
+		return nil, fmt.Errorf("logreg: %d examples but %d offsets", len(x), len(offsets))
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("logreg: example %d has dim %d, want %d", i, len(xi), dim)
+		}
+	}
+	m := &Model{W: make([]float64, dim)}
+	grad := make([]float64, dim)
+	n := float64(len(x))
+	lr := cfg.LearningRate
+	for it := 0; it < cfg.Iters; it++ {
+		for j := range grad {
+			grad[j] = cfg.L2 * m.W[j]
+		}
+		for i, xi := range x {
+			z := mathx.Dot(m.W, xi)
+			if offsets != nil {
+				z += offsets[i]
+			}
+			err := mathx.Sigmoid(z) - float64(y[i])
+			for j, xj := range xi {
+				grad[j] += err * xj / n
+			}
+		}
+		for j := range m.W {
+			m.W[j] -= lr * grad[j]
+		}
+	}
+	return m, nil
+}
+
+// Score returns the linear predictor w·x + offset.
+func (m *Model) Score(x []float64, offset float64) float64 {
+	return mathx.Dot(m.W, x) + offset
+}
+
+// Predict returns sigmoid(w·x + offset).
+func (m *Model) Predict(x []float64, offset float64) float64 {
+	return mathx.Sigmoid(m.Score(x, offset))
+}
+
+// LogLoss returns the mean negative log-likelihood of the examples under
+// the model (diagnostic; tests use it to confirm optimisation progress).
+func (m *Model) LogLoss(x [][]float64, offsets []float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i, xi := range x {
+		z := mathx.Dot(m.W, xi)
+		if offsets != nil {
+			z += offsets[i]
+		}
+		if y[i] == 1 {
+			s -= mathx.LogSigmoid(z)
+		} else {
+			s -= mathx.LogSigmoid(-z)
+		}
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,113 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// separable builds a linearly separable 2-D dataset.
+func separable(n int, seed uint64) (x [][]float64, y []int) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		a := r.Norm()
+		b := r.Norm()
+		label := 0
+		if a+b > 0 {
+			label = 1
+		}
+		x = append(x, []float64{a, b, 1})
+		y = append(y, label)
+	}
+	return
+}
+
+func TestTrainSeparable(t *testing.T) {
+	x, y := separable(400, 1)
+	m, err := Train(x, nil, y, Config{Iters: 400, LearningRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		pred := 0
+		if m.Predict(x[i], 0) > 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestOffsetsAreUsed(t *testing.T) {
+	// Labels determined entirely by the offset; features are noise. The
+	// trained weights must stay near zero and predictions must track the
+	// offset.
+	r := rng.New(2)
+	var x [][]float64
+	var offsets []float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		x = append(x, []float64{r.Norm()})
+		off := -3.0
+		label := 0
+		if i%2 == 0 {
+			off = 3.0
+			label = 1
+		}
+		offsets = append(offsets, off)
+		y = append(y, label)
+	}
+	m, err := Train(x, offsets, y, Config{Iters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.W[0]) > 0.3 {
+		t.Fatalf("weight on noise feature = %v", m.W[0])
+	}
+	if p := m.Predict([]float64{0}, 3); p < 0.9 {
+		t.Fatalf("Predict with +3 offset = %v", p)
+	}
+	if p := m.Predict([]float64{0}, -3); p > 0.1 {
+		t.Fatalf("Predict with -3 offset = %v", p)
+	}
+}
+
+func TestLogLossDecreases(t *testing.T) {
+	x, y := separable(300, 3)
+	zero := &Model{W: make([]float64, 3)}
+	m, err := Train(x, nil, y, Config{Iters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LogLoss(x, nil, y) >= zero.LogLoss(x, nil, y) {
+		t.Fatal("training did not reduce log loss")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, nil, Config{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Train([][]float64{{1}}, nil, []int{1, 0}, Config{}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, nil, []int{1, 0}, Config{}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, []int{1}, Config{}); err == nil {
+		t.Fatal("offset mismatch accepted")
+	}
+}
+
+func TestScoreIsLinear(t *testing.T) {
+	m := &Model{W: []float64{2, -1}}
+	if got := m.Score([]float64{3, 4}, 0.5); got != 2*3-4+0.5 {
+		t.Fatalf("Score = %v", got)
+	}
+}

@@ -1,0 +1,316 @@
+// Package rng implements the deterministic random number generation
+// substrate for the samplers: a xoshiro256** generator seeded through
+// splitmix64, plus the non-uniform samplers (Gamma, Dirichlet, Beta,
+// categorical, Poisson, truncated draws) the CPD Gibbs sampler and the
+// synthetic data generator need and the standard library does not provide.
+//
+// Every experiment in this repository is reproducible because all
+// randomness flows through explicitly seeded *rng.RNG values.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** pseudo random generator. It is NOT safe for
+// concurrent use; the parallel E-step gives each worker its own RNG derived
+// with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from seed via splitmix64 (so nearby seeds give
+// uncorrelated streams).
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	// Avoid the all-zero state (cannot occur from splitmix64, but be safe).
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split returns a new RNG whose stream is independent of r's, derived from
+// r's state and the stream index. Used to hand one generator per worker.
+func (r *RNG) Split(stream uint64) *RNG {
+	return New(r.Uint64() ^ (0x9E3779B97F4A7C15 * (stream + 1)))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float64Open returns a uniform value in (0, 1): never exactly zero, so it
+// is safe as a log() or division argument.
+func (r *RNG) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias with 64-bit inputs and n < 2^32 is negligible, but reject
+	// to keep the distribution exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles p in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Norm returns a standard normal draw (polar Marsaglia method).
+func (r *RNG) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exp returns an Exponential(1) draw.
+func (r *RNG) Exp() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Gamma returns a Gamma(shape, 1) draw using Marsaglia–Tsang for shape >= 1
+// and the boost transform Gamma(a) = Gamma(a+1) * U^{1/a} for shape < 1.
+// It panics if shape <= 0.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		return r.Gamma(shape+1) * math.Pow(r.Float64Open(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(a, b) draw.
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	return x / (x + y)
+}
+
+// Dirichlet fills dst with a Dirichlet draw with concentration alpha (one
+// entry per dimension). dst and alpha must have the same length.
+func (r *RNG) Dirichlet(dst, alpha []float64) {
+	if len(dst) != len(alpha) {
+		panic("rng: Dirichlet length mismatch")
+	}
+	var s float64
+	for i, a := range alpha {
+		g := r.Gamma(a)
+		dst[i] = g
+		s += g
+	}
+	if s <= 0 {
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= s
+	}
+}
+
+// DirichletSym fills dst with a symmetric Dirichlet(alpha) draw.
+func (r *RNG) DirichletSym(dst []float64, alpha float64) {
+	var s float64
+	for i := range dst {
+		g := r.Gamma(alpha)
+		dst[i] = g
+		s += g
+	}
+	if s <= 0 {
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= s
+	}
+}
+
+// Categorical draws an index proportional to the non-negative weights. The
+// weights need not be normalized. It panics if all weights are zero or any
+// is negative/NaN.
+func (r *RNG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: Categorical with negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Categorical with all-zero weights")
+	}
+	u := r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// CategoricalLog draws an index proportional to exp(logits[i]) using the
+// Gumbel-max trick, which avoids normalizing and is stable for very
+// negative logits.
+func (r *RNG) CategoricalLog(logits []float64) int {
+	best, bestV := -1, math.Inf(-1)
+	for i, l := range logits {
+		if math.IsNaN(l) {
+			panic("rng: CategoricalLog with NaN logit")
+		}
+		v := l - math.Log(r.Exp()) // l + Gumbel noise
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best < 0 {
+		panic("rng: CategoricalLog with empty logits")
+	}
+	return best
+}
+
+// Poisson returns a Poisson(lambda) draw. Knuth's method for small lambda,
+// normal approximation with continuity correction for large lambda — the
+// synthetic generator only needs modest rates so accuracy at huge lambda is
+// not critical.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 50 {
+		k := int(math.Floor(lambda + math.Sqrt(lambda)*r.Norm() + 0.5))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Zipf returns a draw from {0, ..., n-1} with P(k) proportional to
+// 1/(k+1)^s, via inverse CDF on a precomputable weight table. For repeated
+// draws with the same (n, s), prefer building weights once and using
+// Categorical; this helper is for one-off draws.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += math.Pow(float64(k), -s)
+	}
+	u := r.Float64() * total
+	var acc float64
+	for k := 1; k <= n; k++ {
+		acc += math.Pow(float64(k), -s)
+		if u < acc {
+			return k - 1
+		}
+	}
+	return n - 1
+}

@@ -1,0 +1,352 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("nearby seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(1)
+	s1 := r.Split(0)
+	s2 := r.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap: %d/100", same)
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if u := r.Float64Open(); u <= 0 || u >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", u)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(3)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	exp := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-exp) > 5*math.Sqrt(exp) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, exp)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v", variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("Exp negative: %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean = %v", mean)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	for _, shape := range []float64{0.3, 1, 2.5, 8} {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(shape)
+			if x <= 0 {
+				t.Fatalf("Gamma(%v) non-positive: %v", shape, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-shape) > 0.06*shape+0.02 {
+			t.Errorf("Gamma(%v) mean = %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.12*shape+0.05 {
+			t.Errorf("Gamma(%v) variance = %v", shape, variance)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(14)
+	const n = 100000
+	a, b := 2.0, 5.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Beta(a, b)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta out of range: %v", x)
+		}
+		sum += x
+	}
+	want := a / (a + b)
+	if mean := sum / n; math.Abs(mean-want) > 0.01 {
+		t.Fatalf("Beta mean = %v, want %v", mean, want)
+	}
+}
+
+func TestDirichlet(t *testing.T) {
+	r := New(15)
+	alpha := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	sums := make([]float64, 3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r.Dirichlet(dst, alpha)
+		var s float64
+		for _, v := range dst {
+			if v < 0 {
+				t.Fatalf("Dirichlet negative component: %v", dst)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Dirichlet sums to %v", s)
+		}
+		for k, v := range dst {
+			sums[k] += v
+		}
+	}
+	for k, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		if got := sums[k] / n; math.Abs(got-want) > 0.01 {
+			t.Errorf("Dirichlet mean[%d] = %v, want %v", k, got, want)
+		}
+	}
+	// Symmetric variant sums to 1 too.
+	r.DirichletSym(dst, 0.5)
+	var s float64
+	for _, v := range dst {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("DirichletSym sums to %v", s)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(16)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	if got := float64(counts[2]) / n; math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("category 2 frequency = %v, want 0.75", got)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	r := New(1)
+	for _, w := range [][]float64{{0, 0}, {-1, 2}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			r.Categorical(w)
+		}()
+	}
+}
+
+func TestCategoricalLogMatchesCategorical(t *testing.T) {
+	r := New(17)
+	w := []float64{0.2, 0.5, 0.3}
+	logits := make([]float64, 3)
+	for i, v := range w {
+		logits[i] = math.Log(v) - 10 // shift invariance
+	}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.CategoricalLog(logits)]++
+	}
+	for i, want := range w {
+		if got := float64(counts[i]) / n; math.Abs(got-want) > 0.01 {
+			t.Errorf("CategoricalLog freq[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// Very negative logits are fine.
+	deep := []float64{-1e6, -1e6 + math.Log(3)}
+	c := 0
+	for i := 0; i < 10000; i++ {
+		if r.CategoricalLog(deep) == 1 {
+			c++
+		}
+	}
+	if got := float64(c) / 10000; math.Abs(got-0.75) > 0.03 {
+		t.Fatalf("deep logit freq = %v, want 0.75", got)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(18)
+	for _, lambda := range []float64{0.5, 4, 80} {
+		var sum float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			k := r.Poisson(lambda)
+			if k < 0 {
+				t.Fatalf("Poisson negative: %d", k)
+			}
+			sum += float64(k)
+		}
+		if mean := sum / n; math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if New(1).Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(19)
+	c := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			c++
+		}
+	}
+	if got := float64(c) / n; math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) freq = %v", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(20)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		k := r.Zipf(5, 1.2)
+		if k < 0 || k >= 5 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	for i := 1; i < 5; i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("Zipf not decreasing: %v", counts)
+		}
+	}
+}
+
+func TestShuffleCoverage(t *testing.T) {
+	r := New(21)
+	x := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		r.Shuffle(len(x), func(i, j int) { x[i], x[j] = x[j], x[i] })
+		seen[x[0]+x[1]+x[2]] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("shuffle produced %d/6 permutations", len(seen))
+	}
+}

@@ -1,0 +1,45 @@
+package socialgraph
+
+import "repro/internal/rng"
+
+// Subsample returns a new graph keeping roughly fraction p of the
+// documents, friendship links and diffusion links — the protocol behind
+// the paper's Fig. 10(a) "training time vs data set size" sweep. Document
+// ids are remapped densely; diffusion links survive only if both endpoint
+// documents survive. Users are kept (with their original ids) so link
+// endpoints stay valid; users left without documents keep an empty
+// document set, matching how a sampled crawl would look.
+func Subsample(g *Graph, p float64, seed uint64) *Graph {
+	if p >= 1 {
+		return g
+	}
+	if p < 0 {
+		p = 0
+	}
+	r := rng.New(seed)
+	out := &Graph{NumUsers: g.NumUsers, NumWords: g.NumWords}
+	remap := make([]int32, len(g.Docs))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, d := range g.Docs {
+		if r.Float64() < p {
+			remap[i] = int32(len(out.Docs))
+			out.Docs = append(out.Docs, d)
+		}
+	}
+	for _, f := range g.Friends {
+		if r.Float64() < p {
+			out.Friends = append(out.Friends, f)
+		}
+	}
+	for _, e := range g.Diffs {
+		if remap[e.I] < 0 || remap[e.J] < 0 {
+			continue
+		}
+		if r.Float64() < p {
+			out.Diffs = append(out.Diffs, DiffLink{I: remap[e.I], J: remap[e.J], T: e.T})
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+// Package sparse provides the linear-algebra substrate for the samplers:
+// dense matrices and rank-3 tensors (for the community diffusion profile
+// eta), sparse vectors, and the smoothed-multinomial decomposition that
+// turns the paper's O(|C|) and O(|C|^2) bilinear forms (Eqs. 3–5) into
+// O(nnz) operations. The reproduction bands flag "awkward numeric/sparse-
+// matrix support for samplers" as the main Go friction point — this package
+// is the answer.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("sparse: NewDense with negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Scale multiplies every element by s.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// MulVec computes dst = M * x. dst must have length Rows, x length Cols.
+func (m *Dense) MulVec(dst, x []float64) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = M^T * x. dst must have length Cols, x length Rows.
+func (m *Dense) MulVecT(dst, x []float64) {
+	if len(dst) != m.Cols || len(x) != m.Rows {
+		panic("sparse: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// Bilinear returns x^T M y.
+func (m *Dense) Bilinear(x, y []float64) float64 {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("sparse: Bilinear dimension mismatch")
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		var t float64
+		for j, v := range row {
+			t += v * y[j]
+		}
+		s += xi * t
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// NormalizeRows scales each row to sum to 1; rows summing to <= 0 become
+// uniform.
+func (m *Dense) NormalizeRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s <= 0 || math.IsNaN(s) {
+			u := 1 / float64(m.Cols)
+			for j := range row {
+				row[j] = u
+			}
+			continue
+		}
+		inv := 1 / s
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// Tensor3 is a dense rank-3 tensor indexed (i, j, k); the community
+// diffusion profile eta is a Tensor3 with shape |C| x |C| x |Z|.
+type Tensor3 struct {
+	D1, D2, D3 int
+	Data       []float64
+}
+
+// NewTensor3 allocates a zeroed d1 x d2 x d3 tensor.
+func NewTensor3(d1, d2, d3 int) *Tensor3 {
+	if d1 < 0 || d2 < 0 || d3 < 0 {
+		panic("sparse: NewTensor3 with negative dimension")
+	}
+	return &Tensor3{D1: d1, D2: d2, D3: d3, Data: make([]float64, d1*d2*d3)}
+}
+
+// At returns element (i, j, k).
+func (t *Tensor3) At(i, j, k int) float64 { return t.Data[(i*t.D2+j)*t.D3+k] }
+
+// Set assigns element (i, j, k).
+func (t *Tensor3) Set(i, j, k int, v float64) { t.Data[(i*t.D2+j)*t.D3+k] = v }
+
+// Add increments element (i, j, k) by v.
+func (t *Tensor3) Add(i, j, k int, v float64) { t.Data[(i*t.D2+j)*t.D3+k] += v }
+
+// Fill sets every element to v.
+func (t *Tensor3) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor3) Clone() *Tensor3 {
+	c := NewTensor3(t.D1, t.D2, t.D3)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// SliceK returns the D1 x D2 matrix t[:, :, k] as a fresh Dense. For the
+// CPD model this is the per-topic community-to-community diffusion matrix
+// M_z = eta[:, :, z].
+func (t *Tensor3) SliceK(k int) *Dense {
+	m := NewDense(t.D1, t.D2)
+	for i := 0; i < t.D1; i++ {
+		for j := 0; j < t.D2; j++ {
+			m.Set(i, j, t.At(i, j, k))
+		}
+	}
+	return m
+}
+
+// SumK returns the D1 x D2 matrix of sums over the third index: the
+// topic-aggregated diffusion strengths of Fig. 7(a).
+func (t *Tensor3) SumK() *Dense {
+	m := NewDense(t.D1, t.D2)
+	for i := 0; i < t.D1; i++ {
+		for j := 0; j < t.D2; j++ {
+			var s float64
+			base := (i*t.D2 + j) * t.D3
+			for k := 0; k < t.D3; k++ {
+				s += t.Data[base+k]
+			}
+			m.Set(i, j, s)
+		}
+	}
+	return m
+}
+
+// Vector is a sparse vector with sorted, unique indices.
+type Vector struct {
+	Dim     int
+	Indices []int32
+	Values  []float64
+}
+
+// NewVectorFromDense builds a sparse vector from a dense slice, dropping
+// zeros.
+func NewVectorFromDense(x []float64) *Vector {
+	v := &Vector{Dim: len(x)}
+	for i, val := range x {
+		if val != 0 {
+			v.Indices = append(v.Indices, int32(i))
+			v.Values = append(v.Values, val)
+		}
+	}
+	return v
+}
+
+// NNZ returns the number of stored entries.
+func (v *Vector) NNZ() int { return len(v.Indices) }
+
+// Dense expands v to a dense slice.
+func (v *Vector) Dense() []float64 {
+	x := make([]float64, v.Dim)
+	for k, i := range v.Indices {
+		x[i] = v.Values[k]
+	}
+	return x
+}
+
+// Dot returns the sparse-sparse dot product (merge join over sorted
+// indices).
+func (v *Vector) Dot(w *Vector) float64 {
+	if v.Dim != w.Dim {
+		panic("sparse: Vector.Dot dimension mismatch")
+	}
+	var s float64
+	i, j := 0, 0
+	for i < len(v.Indices) && j < len(w.Indices) {
+		switch {
+		case v.Indices[i] < w.Indices[j]:
+			i++
+		case v.Indices[i] > w.Indices[j]:
+			j++
+		default:
+			s += v.Values[i] * w.Values[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// DotDense returns the dot product with a dense vector.
+func (v *Vector) DotDense(x []float64) float64 {
+	if v.Dim != len(x) {
+		panic("sparse: Vector.DotDense dimension mismatch")
+	}
+	var s float64
+	for k, i := range v.Indices {
+		s += v.Values[k] * x[i]
+	}
+	return s
+}
+
+// Sum returns the sum of stored values.
+func (v *Vector) Sum() float64 {
+	var s float64
+	for _, x := range v.Values {
+		s += x
+	}
+	return s
+}
+
+// String implements fmt.Stringer for debugging.
+func (v *Vector) String() string {
+	return fmt.Sprintf("sparse.Vector{dim=%d nnz=%d}", v.Dim, v.NNZ())
+}

@@ -1,0 +1,318 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At = %v", m.At(0, 1))
+	}
+	if got := m.Row(0)[1]; got != 7 {
+		t.Fatalf("Row alias = %v", got)
+	}
+	if m.Sum() != 7 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	c := m.Clone()
+	c.Set(0, 1, 0)
+	if m.At(0, 1) != 7 {
+		t.Fatal("Clone aliases original")
+	}
+	m.Fill(2)
+	if m.Sum() != 12 {
+		t.Fatalf("Fill sum = %v", m.Sum())
+	}
+	m.Scale(0.5)
+	if m.Sum() != 6 {
+		t.Fatalf("Scale sum = %v", m.Sum())
+	}
+}
+
+func TestDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dims did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDense(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+	dstT := make([]float64, 3)
+	m.MulVecT(dstT, []float64{1, 2})
+	if dstT[0] != 9 || dstT[1] != 12 || dstT[2] != 15 {
+		t.Fatalf("MulVecT = %v", dstT)
+	}
+}
+
+func TestBilinear(t *testing.T) {
+	m := NewDense(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	// [1 2] * M * [3 4]^T = [1 2]·[(3+8),(9+16)] = 11 + 2*25... compute:
+	// M*[3,4] = [3+8, 9+16] = [11, 25]; x·that = 1*11 + 2*25 = 61.
+	if got := m.Bilinear([]float64{1, 2}, []float64{3, 4}); got != 61 {
+		t.Fatalf("Bilinear = %v", got)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := NewDense(2, 2)
+	copy(m.Data, []float64{1, 3, 0, 0})
+	m.NormalizeRows()
+	if m.At(0, 0) != 0.25 || m.At(0, 1) != 0.75 {
+		t.Fatalf("row 0 = %v", m.Row(0))
+	}
+	if m.At(1, 0) != 0.5 || m.At(1, 1) != 0.5 {
+		t.Fatalf("zero row fallback = %v", m.Row(1))
+	}
+}
+
+func TestTensor3(t *testing.T) {
+	tt := NewTensor3(2, 3, 4)
+	tt.Set(1, 2, 3, 5)
+	tt.Add(1, 2, 3, 1)
+	if tt.At(1, 2, 3) != 6 {
+		t.Fatalf("At = %v", tt.At(1, 2, 3))
+	}
+	s := tt.SliceK(3)
+	if s.At(1, 2) != 6 || s.At(0, 0) != 0 {
+		t.Fatalf("SliceK = %v", s.Data)
+	}
+	// SliceK is a copy.
+	s.Set(1, 2, 0)
+	if tt.At(1, 2, 3) != 6 {
+		t.Fatal("SliceK aliases tensor")
+	}
+	tt.Set(1, 2, 0, 4)
+	sum := tt.SumK()
+	if sum.At(1, 2) != 10 {
+		t.Fatalf("SumK = %v", sum.At(1, 2))
+	}
+	c := tt.Clone()
+	c.Set(0, 0, 0, 9)
+	if tt.At(0, 0, 0) != 0 {
+		t.Fatal("Clone aliases tensor")
+	}
+}
+
+func TestVectorDotMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(40)
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for i := range a {
+			if r.Float64() < 0.3 {
+				a[i] = r.Norm()
+			}
+			if r.Float64() < 0.3 {
+				b[i] = r.Norm()
+			}
+		}
+		va := NewVectorFromDense(a)
+		vb := NewVectorFromDense(b)
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		got := va.Dot(vb)
+		gotD := va.DotDense(b)
+		return math.Abs(got-want) < 1e-9 && math.Abs(gotD-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	x := []float64{0, 1.5, 0, -2, 0}
+	v := NewVectorFromDense(x)
+	if v.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", v.NNZ())
+	}
+	d := v.Dense()
+	for i := range x {
+		if d[i] != x[i] {
+			t.Fatalf("Dense round trip = %v", d)
+		}
+	}
+	if v.Sum() != -0.5 {
+		t.Fatalf("Sum = %v", v.Sum())
+	}
+	if v.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// randomSmoothed builds a random smoothed vector and its dense expansion.
+func randomSmoothed(r *rng.RNG, dim int) (*SmoothedVec, []float64) {
+	sv := &SmoothedVec{Dim: dim, Base: r.Float64() * 0.1}
+	for i := 0; i < dim; i++ {
+		if r.Float64() < 0.2 {
+			sv.Idx = append(sv.Idx, int32(i))
+			sv.Val = append(sv.Val, r.Float64())
+		}
+	}
+	return sv, sv.Dense()
+}
+
+func TestSmoothedDotMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 2 + r.Intn(30)
+		x, xd := randomSmoothed(r, dim)
+		y, yd := randomSmoothed(r, dim)
+		var want float64
+		for i := range xd {
+			want += xd[i] * yd[i]
+		}
+		return math.Abs(x.Dot(y)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBilinearAggMatchesDense(t *testing.T) {
+	// The central scalability property: the O(nnz^2) smoothed evaluation
+	// must equal the O(C^2) dense evaluation exactly.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 2 + r.Intn(20)
+		m := NewDense(dim, dim)
+		for i := range m.Data {
+			m.Data[i] = r.Norm()
+		}
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		agg := NewBilinearAgg(m, w)
+		x, xd := randomSmoothed(r, dim)
+		y, yd := randomSmoothed(r, dim)
+		want := EvalDense(m, w, xd, yd)
+		got := agg.Eval(m, w, x, y)
+		return math.Abs(got-want) < 1e-8*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBilinearAggComponents(t *testing.T) {
+	m := NewDense(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	w := []float64{1, 0.5}
+	agg := NewBilinearAgg(m, w)
+	// G = M w = [1+1, 3+2] = [2, 5]; H = M^T w = [1+1.5, 2+2] = [2.5, 4];
+	// T = w^T M w = 1*2 + 0.5*5 = 4.5.
+	if agg.G[0] != 2 || agg.G[1] != 5 {
+		t.Fatalf("G = %v", agg.G)
+	}
+	if agg.H[0] != 2.5 || agg.H[1] != 4 {
+		t.Fatalf("H = %v", agg.H)
+	}
+	if agg.T != 4.5 {
+		t.Fatalf("T = %v", agg.T)
+	}
+}
+
+func TestBilinearAggPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square did not panic")
+		}
+	}()
+	NewBilinearAgg(NewDense(2, 3), []float64{1, 2})
+}
+
+func TestSmoothedResidualSumAndDense(t *testing.T) {
+	sv := &SmoothedVec{Dim: 4, Base: 0.1, Idx: []int32{1, 3}, Val: []float64{0.5, 0.2}}
+	if got := sv.ResidualSum(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("ResidualSum = %v", got)
+	}
+	d := sv.Dense()
+	want := []float64{0.1, 0.6, 0.1, 0.3}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Fatalf("Dense = %v", d)
+		}
+	}
+}
+
+func BenchmarkBilinearSparse(b *testing.B) {
+	r := rng.New(1)
+	const dim = 100
+	m := NewDense(dim, dim)
+	for i := range m.Data {
+		m.Data[i] = r.Float64()
+	}
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	agg := NewBilinearAgg(m, w)
+	x, _ := randomSmoothedNNZ(r, dim, 5)
+	y, _ := randomSmoothedNNZ(r, dim, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Eval(m, w, x, y)
+	}
+}
+
+func BenchmarkBilinearDense(b *testing.B) {
+	r := rng.New(1)
+	const dim = 100
+	m := NewDense(dim, dim)
+	for i := range m.Data {
+		m.Data[i] = r.Float64()
+	}
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	x, xd := randomSmoothedNNZ(r, dim, 5)
+	_, yd := randomSmoothedNNZ(r, dim, 5)
+	_ = x
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalDense(m, w, xd, yd)
+	}
+}
+
+func randomSmoothedNNZ(r *rng.RNG, dim, nnz int) (*SmoothedVec, []float64) {
+	sv := &SmoothedVec{Dim: dim, Base: 0.01}
+	used := map[int32]bool{}
+	for len(sv.Idx) < nnz {
+		i := int32(r.Intn(dim))
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		sv.Idx = append(sv.Idx, i)
+		sv.Val = append(sv.Val, r.Float64())
+	}
+	// Indices must be sorted.
+	for i := 1; i < len(sv.Idx); i++ {
+		for j := i; j > 0 && sv.Idx[j] < sv.Idx[j-1]; j-- {
+			sv.Idx[j], sv.Idx[j-1] = sv.Idx[j-1], sv.Idx[j]
+			sv.Val[j], sv.Val[j-1] = sv.Val[j-1], sv.Val[j]
+		}
+	}
+	return sv, sv.Dense()
+}

@@ -1,0 +1,525 @@
+// Package synth generates synthetic social graphs from a planted CPD
+// generative process. It is the substitution (DESIGN.md §3) for the paper's
+// proprietary Twitter and DBLP crawls: every statistical coupling the
+// evaluation section measures — community-assortative friendship,
+// community-specific content, topic-aware community-to-community diffusion,
+// topic-popularity bursts and individual-preference effects — is planted
+// explicitly, with the ground-truth parameters returned for
+// parameter-recovery tests.
+package synth
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+)
+
+// Config controls the planted generative process.
+type Config struct {
+	Name string
+	Seed uint64
+
+	Users       int
+	Communities int // ground-truth |C*|
+	Topics      int // ground-truth |Z*|
+	VocabSize   int
+
+	DocsPerUserMean float64
+	WordsPerDocMean float64 // >= 2 enforced
+
+	// Expected per-user friendship out-degree, split into links inside the
+	// user's home community vs anywhere.
+	FriendIntraDeg float64
+	FriendInterDeg float64
+	// Symmetric stores each friendship link in both directions (DBLP
+	// co-authorship).
+	Symmetric bool
+
+	// DiffLinks is the number of diffusion events to generate; each one
+	// creates the diffusing document (a retweet or a citing paper) and
+	// CitesPerDoc diffusion links from it.
+	DiffLinks int
+	// CitesPerDoc is the number of source documents each diffusing
+	// document links to: 1 for a retweet, several for a citing paper's
+	// reference list (this is what makes DBLP's |E| exceed |F| in Table 3).
+	CitesPerDoc int
+	// CopyWords makes the diffusing document copy the source document's
+	// words (a retweet is near-identical content); otherwise the diffusing
+	// document draws fresh words from the same topic (a citing paper).
+	CopyWords bool
+	// NoiseDiff is the fraction of diffusion links generated uniformly at
+	// random — the nonconformity the paper insists a profiling model must
+	// tolerate.
+	NoiseDiff float64
+
+	TimeBuckets int
+	// PopularityBurst gives each topic a peak time bucket and biases both
+	// document timestamps and diffusion-source selection toward it,
+	// planting the n_tz factor of Eq. 5.
+	PopularityBurst bool
+
+	// SelfDiffBias is the planted weight of intra-community diffusion; the
+	// generator also plants strong *inter*-community pairs ("weak ties"
+	// are not weak, Sect. 1) so the heterogeneity ablation has signal.
+	SelfDiffBias float64
+
+	// AttrVocab > 0 plants per-community categorical attribute profiles
+	// (the paper's future-work "other types of X"): each user draws
+	// AttrsPerUserMean attribute tokens from her home community's
+	// attribute distribution.
+	AttrVocab        int
+	AttrsPerUserMean float64
+}
+
+// TwitterLike returns a Twitter-flavoured preset scaled to roughly `users`
+// users: directed followership, many short documents per user, retweets
+// copying source content, fewer diffusion than friendship links (Table 3's
+// Twitter row has |E| ≈ 0.28 |F|).
+func TwitterLike(users int, seed uint64) Config {
+	return Config{
+		Name: "twitter-like", Seed: seed,
+		Users: users, Communities: 20, Topics: 25,
+		VocabSize:       1500,
+		DocsPerUserMean: 6, WordsPerDocMean: 6,
+		FriendIntraDeg: 10, FriendInterDeg: 3, Symmetric: false,
+		DiffLinks: users * 4, CitesPerDoc: 1, CopyWords: true, NoiseDiff: 0.15,
+		TimeBuckets: 24, PopularityBurst: true,
+		SelfDiffBias: 3,
+	}
+}
+
+// DBLPLike returns a DBLP-flavoured preset: symmetric co-authorship, few
+// documents per user, citing documents with fresh same-topic words, and
+// more diffusion than friendship links (Table 3's DBLP row has
+// |E| ≈ 3.3 |F|).
+func DBLPLike(users int, seed uint64) Config {
+	return Config{
+		Name: "dblp-like", Seed: seed,
+		Users: users, Communities: 20, Topics: 25,
+		VocabSize:       1200,
+		DocsPerUserMean: 3.5, WordsPerDocMean: 7,
+		FriendIntraDeg: 4, FriendInterDeg: 1, Symmetric: true,
+		DiffLinks: users * 3, CitesPerDoc: 4, CopyWords: false, NoiseDiff: 0.1,
+		TimeBuckets: 24, PopularityBurst: true,
+		SelfDiffBias: 2,
+	}
+}
+
+// GroundTruth carries the planted parameters for recovery tests and the
+// harness's oracle plots (Fig. 5).
+type GroundTruth struct {
+	// HomeCommunity[u] is user u's dominant community.
+	HomeCommunity []int32
+	// Pi[u] is the planted community membership of user u (|C*| dims).
+	Pi *sparse.Dense
+	// Theta[c] is the planted topic profile of community c (|Z*| dims).
+	Theta *sparse.Dense
+	// Phi[z] is the planted word distribution of topic z (|W| dims).
+	Phi *sparse.Dense
+	// Eta is the planted diffusion profile (|C*| x |C*| x |Z*|).
+	Eta *sparse.Tensor3
+	// DocCommunity / DocTopic are the planted per-document assignments.
+	DocCommunity, DocTopic []int32
+	// TopicPeak[z] is the peak time bucket of topic z (nil without bursts).
+	TopicPeak []int
+	// UserProminence[u] is the latent popularity score shaping both
+	// friendship in-degree and diffusion targeting.
+	UserProminence []float64
+	// Xi is the planted community attribute profile (|C*| x |A|), nil
+	// unless AttrVocab > 0.
+	Xi *sparse.Dense
+}
+
+// Generate runs the planted process and returns the graph plus ground
+// truth. The graph always passes Validate.
+func Generate(cfg Config) (*socialgraph.Graph, *GroundTruth) {
+	if cfg.Users <= 0 || cfg.Communities <= 0 || cfg.Topics <= 0 || cfg.VocabSize <= 0 {
+		panic("synth: Config with non-positive dimensions")
+	}
+	r := rng.New(cfg.Seed)
+	gt := &GroundTruth{}
+
+	plantTopics(cfg, r, gt)
+	plantCommunities(cfg, r, gt)
+	plantUsers(cfg, r, gt)
+	g := &socialgraph.Graph{NumUsers: cfg.Users, NumWords: cfg.VocabSize}
+	generateDocs(cfg, r, gt, g)
+	generateAttributes(cfg, r, gt, g)
+	generateFriendships(cfg, r, gt, g)
+	plantEta(cfg, r, gt)
+	generateDiffusion(cfg, r, gt, g)
+	g.DropUsersWithoutDocs() // mirrors the paper's preprocessing; remaps ids
+	// Ground-truth per-user slices may now be misaligned if users were
+	// dropped; regenerate alignment by construction: every user gets at
+	// least one doc below, so drops are rare — but handle them anyway.
+	return g, gt
+}
+
+// plantTopics draws phi_z concentrated on a per-topic block of anchor words
+// plus a smoothed background, which keeps topics identifiable at small
+// corpus sizes.
+func plantTopics(cfg Config, r *rng.RNG, gt *GroundTruth) {
+	gt.Phi = sparse.NewDense(cfg.Topics, cfg.VocabSize)
+	block := cfg.VocabSize / cfg.Topics
+	if block < 1 {
+		block = 1
+	}
+	alpha := make([]float64, cfg.VocabSize)
+	for z := 0; z < cfg.Topics; z++ {
+		for w := range alpha {
+			alpha[w] = 0.01
+		}
+		lo := (z * block) % cfg.VocabSize
+		for k := 0; k < block; k++ {
+			alpha[(lo+k)%cfg.VocabSize] = 2.0
+		}
+		r.Dirichlet(gt.Phi.Row(z), alpha)
+	}
+	if cfg.PopularityBurst {
+		gt.TopicPeak = make([]int, cfg.Topics)
+		for z := range gt.TopicPeak {
+			gt.TopicPeak[z] = r.Intn(max(cfg.TimeBuckets, 1))
+		}
+	}
+}
+
+// plantCommunities draws theta_c concentrated on two preferred topics per
+// community.
+func plantCommunities(cfg Config, r *rng.RNG, gt *GroundTruth) {
+	gt.Theta = sparse.NewDense(cfg.Communities, cfg.Topics)
+	alpha := make([]float64, cfg.Topics)
+	for c := 0; c < cfg.Communities; c++ {
+		for z := range alpha {
+			alpha[z] = 0.05
+		}
+		primary := c % cfg.Topics
+		secondary := (c + 7) % cfg.Topics
+		alpha[primary] = 6.0
+		alpha[secondary] = 2.0
+		r.Dirichlet(gt.Theta.Row(c), alpha)
+	}
+}
+
+// plantUsers assigns each user a home community (Zipf-skewed sizes), a
+// membership vector concentrated on the home plus one secondary community,
+// and a latent prominence score.
+func plantUsers(cfg Config, r *rng.RNG, gt *GroundTruth) {
+	gt.HomeCommunity = make([]int32, cfg.Users)
+	gt.Pi = sparse.NewDense(cfg.Users, cfg.Communities)
+	gt.UserProminence = make([]float64, cfg.Users)
+	sizes := make([]float64, cfg.Communities)
+	for c := range sizes {
+		sizes[c] = math.Pow(float64(c+1), -0.6)
+	}
+	for u := 0; u < cfg.Users; u++ {
+		home := r.Categorical(sizes)
+		gt.HomeCommunity[u] = int32(home)
+		second := r.Intn(cfg.Communities)
+		row := gt.Pi.Row(u)
+		for c := range row {
+			row[c] = 0.02 / float64(cfg.Communities)
+		}
+		row[home] += 0.75
+		row[second] += 0.23
+		norm := 0.0
+		for _, v := range row {
+			norm += v
+		}
+		for c := range row {
+			row[c] /= norm
+		}
+		// Log-normal prominence: a few celebrities, many ordinary users.
+		gt.UserProminence[u] = math.Exp(0.8 * r.Norm())
+	}
+}
+
+// generateDocs draws each user's documents from the planted CPD process:
+// c ~ pi_u, z ~ theta_c, words ~ phi_z, time biased to the topic's peak
+// bucket when bursts are on. Every user gets at least one document so the
+// graph keeps its planned size.
+func generateDocs(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph.Graph) {
+	for u := 0; u < cfg.Users; u++ {
+		nd := r.Poisson(cfg.DocsPerUserMean)
+		if nd < 1 {
+			nd = 1
+		}
+		for d := 0; d < nd; d++ {
+			c := r.Categorical(gt.Pi.Row(u))
+			z := r.Categorical(gt.Theta.Row(c))
+			doc := socialgraph.Doc{
+				User:  int32(u),
+				Time:  int64(drawTime(cfg, r, gt, z)),
+				Words: drawWords(cfg, r, gt, z),
+			}
+			g.Docs = append(g.Docs, doc)
+			gt.DocCommunity = append(gt.DocCommunity, int32(c))
+			gt.DocTopic = append(gt.DocTopic, int32(z))
+		}
+	}
+}
+
+func drawWords(cfg Config, r *rng.RNG, gt *GroundTruth, z int) []int32 {
+	n := 2 + r.Poisson(math.Max(cfg.WordsPerDocMean-2, 0))
+	words := make([]int32, n)
+	row := gt.Phi.Row(z)
+	for k := range words {
+		words[k] = int32(r.Categorical(row))
+	}
+	return words
+}
+
+// drawTime returns a bucket id; with bursts on, 60% of a topic's documents
+// land within ±1 bucket of its peak.
+func drawTime(cfg Config, r *rng.RNG, gt *GroundTruth, z int) int {
+	nb := max(cfg.TimeBuckets, 1)
+	if !cfg.PopularityBurst || gt.TopicPeak == nil {
+		return r.Intn(nb)
+	}
+	if r.Float64() < 0.6 {
+		t := gt.TopicPeak[z] + r.Intn(3) - 1
+		if t < 0 {
+			t = 0
+		}
+		if t >= nb {
+			t = nb - 1
+		}
+		return t
+	}
+	return r.Intn(nb)
+}
+
+// generateAttributes plants per-community attribute distributions (block-
+// anchored like the topics) and draws each user's attribute tokens from
+// her home community's distribution. No-op unless cfg.AttrVocab > 0.
+func generateAttributes(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph.Graph) {
+	if cfg.AttrVocab <= 0 {
+		return
+	}
+	gt.Xi = sparse.NewDense(cfg.Communities, cfg.AttrVocab)
+	block := cfg.AttrVocab / cfg.Communities
+	if block < 1 {
+		block = 1
+	}
+	alpha := make([]float64, cfg.AttrVocab)
+	for c := 0; c < cfg.Communities; c++ {
+		for a := range alpha {
+			alpha[a] = 0.02
+		}
+		lo := (c * block) % cfg.AttrVocab
+		for k := 0; k < block; k++ {
+			alpha[(lo+k)%cfg.AttrVocab] = 2.0
+		}
+		r.Dirichlet(gt.Xi.Row(c), alpha)
+	}
+	g.NumAttrs = cfg.AttrVocab
+	g.Attrs = make([][]int32, cfg.Users)
+	mean := cfg.AttrsPerUserMean
+	if mean <= 0 {
+		mean = 2
+	}
+	for u := 0; u < cfg.Users; u++ {
+		n := 1 + r.Poisson(mean-1)
+		row := gt.Xi.Row(int(gt.HomeCommunity[u]))
+		for k := 0; k < n; k++ {
+			g.Attrs[u] = append(g.Attrs[u], int32(r.Categorical(row)))
+		}
+	}
+}
+
+// generateFriendships wires intra-community links (preferentially toward
+// prominent users, so prominence manifests as follower count) plus uniform
+// inter-community links.
+func generateFriendships(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph.Graph) {
+	members := make([][]int, cfg.Communities)
+	for u := 0; u < cfg.Users; u++ {
+		members[gt.HomeCommunity[u]] = append(members[gt.HomeCommunity[u]], u)
+	}
+	memberWeights := make([][]float64, cfg.Communities)
+	for c, ms := range members {
+		w := make([]float64, len(ms))
+		for i, u := range ms {
+			w[i] = gt.UserProminence[u]
+		}
+		memberWeights[c] = w
+	}
+	seen := make(map[int64]bool, cfg.Users*8)
+	addLink := func(u, v int) {
+		if u == v {
+			return
+		}
+		key := int64(u)*int64(cfg.Users) + int64(v)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		g.Friends = append(g.Friends, socialgraph.FriendLink{U: int32(u), V: int32(v)})
+		if cfg.Symmetric {
+			rkey := int64(v)*int64(cfg.Users) + int64(u)
+			if !seen[rkey] {
+				seen[rkey] = true
+				g.Friends = append(g.Friends, socialgraph.FriendLink{U: int32(v), V: int32(u)})
+			}
+		}
+	}
+	for u := 0; u < cfg.Users; u++ {
+		home := int(gt.HomeCommunity[u])
+		nIntra := r.Poisson(cfg.FriendIntraDeg)
+		if len(members[home]) > 1 {
+			for k := 0; k < nIntra; k++ {
+				v := members[home][r.Categorical(memberWeights[home])]
+				addLink(u, v)
+			}
+		}
+		nInter := r.Poisson(cfg.FriendInterDeg)
+		for k := 0; k < nInter; k++ {
+			addLink(u, r.Intn(cfg.Users))
+		}
+	}
+}
+
+// plantEta builds the ground-truth diffusion profile: strong self-diffusion
+// on each community's preferred topics, plus planted inter-community
+// corridors — pairs (c, c+1) diffusing strongly on their shared secondary
+// topic, deliberately stronger than some self-links so that "weak ties"
+// carry real diffusion (Sect. 1's heterogeneity challenge).
+func plantEta(cfg Config, r *rng.RNG, gt *GroundTruth) {
+	gt.Eta = sparse.NewTensor3(cfg.Communities, cfg.Communities, cfg.Topics)
+	for c := 0; c < cfg.Communities; c++ {
+		theta := gt.Theta.Row(c)
+		for z := 0; z < cfg.Topics; z++ {
+			gt.Eta.Set(c, c, z, cfg.SelfDiffBias*theta[z])
+		}
+		// Inter-community corridor: c diffuses c+1 on c+1's primary topic,
+		// with strength comparable to (often exceeding) self-diffusion.
+		cn := (c + 1) % cfg.Communities
+		zShared := cn % cfg.Topics
+		gt.Eta.Set(c, cn, zShared, cfg.SelfDiffBias*1.5)
+		// Low-level background diffusion everywhere.
+		for c2 := 0; c2 < cfg.Communities; c2++ {
+			for z := 0; z < cfg.Topics; z++ {
+				gt.Eta.Add(c, c2, z, 0.01*r.Float64())
+			}
+		}
+	}
+	// Normalize each source community's profile to a distribution over
+	// (c', z), matching Definition 5.
+	for c := 0; c < cfg.Communities; c++ {
+		var s float64
+		for c2 := 0; c2 < cfg.Communities; c2++ {
+			for z := 0; z < cfg.Topics; z++ {
+				s += gt.Eta.At(c, c2, z)
+			}
+		}
+		for c2 := 0; c2 < cfg.Communities; c2++ {
+			for z := 0; z < cfg.Topics; z++ {
+				gt.Eta.Set(c, c2, z, gt.Eta.At(c, c2, z)/s)
+			}
+		}
+	}
+}
+
+// generateDiffusion creates cfg.DiffLinks diffusion events. Each event
+// picks a source document (biased by author prominence and, with bursts,
+// topic-time popularity), picks the diffusing community from the planted
+// eta column for the source's (community, topic), picks a diffusing user
+// from that community (biased by activeness-in-waiting: prominence again),
+// creates the diffusing document and records the link.
+func generateDiffusion(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph.Graph) {
+	if len(g.Docs) == 0 || cfg.DiffLinks <= 0 {
+		return
+	}
+	members := make([][]int, cfg.Communities)
+	for u := 0; u < cfg.Users; u++ {
+		members[gt.HomeCommunity[u]] = append(members[gt.HomeCommunity[u]], u)
+	}
+	nOriginal := len(g.Docs)
+	// Source-document weights: prominence of author × burst factor.
+	srcW := make([]float64, nOriginal)
+	for i := 0; i < nOriginal; i++ {
+		w := gt.UserProminence[originalUser(gt, g, i)]
+		if cfg.PopularityBurst && gt.TopicPeak != nil {
+			z := int(gt.DocTopic[i])
+			dist := absInt(int(g.Docs[i].Time) - gt.TopicPeak[z])
+			w *= 1 + 2*math.Exp(-float64(dist))
+		}
+		srcW[i] = w
+	}
+	colWeights := make([]float64, cfg.Communities)
+	for made := 0; made < cfg.DiffLinks; made++ {
+		j := r.Categorical(srcW)
+		cj := int(gt.DocCommunity[j])
+		zj := int(gt.DocTopic[j])
+		var u int
+		if r.Float64() < cfg.NoiseDiff {
+			// Nonconformity: a random user diffuses for reasons outside the
+			// community model.
+			u = r.Intn(cfg.Users)
+		} else {
+			for c := 0; c < cfg.Communities; c++ {
+				colWeights[c] = gt.Eta.At(c, cj, zj) + 1e-9
+			}
+			c := r.Categorical(colWeights)
+			if len(members[c]) == 0 {
+				u = r.Intn(cfg.Users)
+			} else {
+				u = members[c][r.Intn(len(members[c]))]
+			}
+		}
+		if int32(u) == g.Docs[j].User {
+			// No self-diffusion of one's own document; retry counts as one
+			// attempt to keep generation O(DiffLinks).
+			continue
+		}
+		t := g.Docs[j].Time + int64(r.Intn(2))
+		if t >= int64(max(cfg.TimeBuckets, 1)) {
+			t = int64(max(cfg.TimeBuckets, 1)) - 1
+		}
+		var words []int32
+		if cfg.CopyWords {
+			words = append([]int32(nil), g.Docs[j].Words...)
+			if len(words) > 2 && r.Float64() < 0.5 {
+				words = words[:len(words)-1] // truncation noise
+			}
+		} else {
+			words = drawWords(cfg, r, gt, zj)
+		}
+		i := len(g.Docs)
+		g.Docs = append(g.Docs, socialgraph.Doc{User: int32(u), Time: t, Words: words})
+		gt.DocCommunity = append(gt.DocCommunity, gt.HomeCommunity[u])
+		gt.DocTopic = append(gt.DocTopic, int32(zj))
+		g.Diffs = append(g.Diffs, socialgraph.DiffLink{I: int32(i), J: int32(j), T: t})
+		// A citing paper links several earlier sources (its reference
+		// list); the extras are drawn from the same prominence/burst-
+		// weighted source pool, restricted to documents by other users no
+		// later than the citing document.
+		cited := map[int]bool{j: true}
+		for extra := 1; extra < cfg.CitesPerDoc; extra++ {
+			j2 := r.Categorical(srcW)
+			if g.Docs[j2].User == int32(u) || cited[j2] || g.Docs[j2].Time > t {
+				continue
+			}
+			cited[j2] = true
+			g.Diffs = append(g.Diffs, socialgraph.DiffLink{I: int32(i), J: int32(j2), T: t})
+		}
+	}
+}
+
+func originalUser(gt *GroundTruth, g *socialgraph.Graph, doc int) int {
+	return int(g.Docs[doc].User)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+)
+
+// themes name the vocabulary's topic blocks so that qualitative artifacts
+// (Table 5's topic-word lists, Table 6's community labels, Fig. 7's node
+// labels) read like the paper's CS-flavoured examples instead of raw word
+// ids.
+var themes = []string{
+	"network", "wireless", "databas", "learn", "secur", "mobil", "social",
+	"circuit", "code", "graph", "queri", "cloud", "video", "robot",
+	"energi", "vision", "speech", "crypto", "sensor", "logic", "kernel",
+	"market", "health", "agent", "stream", "parallel", "compil", "storag",
+	"search", "neural",
+}
+
+// BuildVocabulary names cfg.VocabSize words to match the planted topic
+// blocks of plantTopics: word w in block b gets the b-th theme as a prefix,
+// so topic z's top words share the theme of block z and qualitative tables
+// are human-readable. Names are unique by construction.
+func BuildVocabulary(cfg Config) *corpus.Vocabulary {
+	v := corpus.NewVocabulary()
+	block := cfg.VocabSize / cfg.Topics
+	if block < 1 {
+		block = 1
+	}
+	for w := 0; w < cfg.VocabSize; w++ {
+		b := w / block
+		base := themes[b%len(themes)]
+		if rep := b / len(themes); rep > 0 {
+			base = fmt.Sprintf("%s%d", base, rep)
+		}
+		v.Add(fmt.Sprintf("%s_%02d", base, w%block))
+	}
+	return v
+}
