@@ -6,9 +6,10 @@ package repro
 // the figures depend on (the Gibbs sweep, the Pólya-Gamma sampler, the
 // sparse bilinear forms, prediction). Benchmark scale is deliberately small
 // (Tiny preset, 2 folds) so `go test -bench=. -benchmem` finishes in
-// minutes; EXPERIMENTS.md records the full-scale runs.
+// minutes; run cmd/cpd-experiments at -scale medium for full-scale runs.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -135,14 +136,44 @@ func BenchmarkFigure10Scalability(b *testing.B) {
 }
 
 // BenchmarkFigure11WorkloadBalance regenerates Fig. 11: estimated vs actual
-// per-core workload under the knapsack allocation.
+// per-worker workload under the knapsack allocation.
 func BenchmarkFigure11WorkloadBalance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		drainTables(b, exp.RunFigure11(benchOptions()))
+		tables, err := exp.RunFigure11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainTables(b, tables)
 	}
 }
 
 // --- micro-benchmarks ----------------------------------------------------
+
+// BenchmarkEngineSweep measures one E-step sweep of the persistent
+// worker-pool engine (the unit Fig. 10 times) on the full synthetic
+// Twitter graph, across logical worker counts. Results are bit-identical
+// across the sub-benchmarks; only the schedule differs.
+func BenchmarkEngineSweep(b *testing.B) {
+	cfg := synth.TwitterLike(300, 99)
+	g, _ := synth.Generate(cfg)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng, err := core.NewEngine(g, core.Config{
+				NumCommunities: 15, NumTopics: 15, Workers: w,
+				Rho: 1.0 / 15, Seed: 42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			eng.Sweep() // warm-up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Sweep()
+			}
+		})
+	}
+}
 
 // BenchmarkCPDTrainSerial measures one full serial training run (the unit
 // of every grid cell in Figs. 3/4/8/9).

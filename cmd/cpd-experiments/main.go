@@ -1,6 +1,6 @@
 // Command cpd-experiments regenerates the paper's tables and figures
-// (see DESIGN.md §4 for the per-experiment index). Output is the plain
-// tables EXPERIMENTS.md records.
+// (see README.md for the experiment index and how to run it). Output is
+// plain aligned tables on stdout.
 //
 // Usage:
 //
@@ -123,5 +123,11 @@ func main() {
 	runUnlessAll("fig8", func() []*exp.Table { return exp.RunFigure8(o) })
 	runUnlessAll("fig9", func() []*exp.Table { return exp.RunFigure9(o) })
 	run("fig10", func() []*exp.Table { return exp.RunFigure10(o) })
-	run("fig11", func() []*exp.Table { return exp.RunFigure11(o) })
+	run("fig11", func() []*exp.Table {
+		tables, err := exp.RunFigure11(o)
+		if err != nil {
+			log.Fatalf("fig11: %v", err)
+		}
+		return tables
+	})
 }

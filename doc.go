@@ -10,8 +10,7 @@
 // figure of the paper's evaluation section on synthetic Twitter-like and
 // DBLP-like workloads.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The root package holds the per-table/per-figure benchmarks
+// See README.md for a quickstart, the package map, and how to run the
+// experiments. The root package holds the per-table/per-figure benchmarks
 // (bench_test.go); all implementation lives under internal/.
 package repro

@@ -23,7 +23,7 @@ type COLDConfig struct {
 	EMIters        int
 	Workers        int
 	// Rho is the membership prior; 0 selects 1/|C| (see the experiment
-	// harness's scale note in DESIGN.md §3 — the paper-default 50/|C|
+	// harness's scale note in README.md (design notes) — the paper-default 50/|C|
 	// over-smooths at reproduction scale, for COLD exactly as for CPD).
 	Rho  float64
 	Seed uint64

@@ -62,7 +62,7 @@ type Config struct {
 	// PopScale multiplies the normalized per-bucket topic frequency before
 	// it enters Eq. 5. The paper adds the raw count n_tz; at our data
 	// scale a raw count saturates the sigmoid, so we add
-	// PopScale * n_tz / n_t (DESIGN.md §3). Default 5.
+	// PopScale * n_tz / n_t (README.md design notes). Default 5.
 	PopScale float64
 	// EtaScale multiplies the diffusion profile inside the bilinear form
 	// c̄^T η̄ of Eq. 5. η is a per-community probability distribution over
@@ -88,8 +88,13 @@ type Config struct {
 	// NoFriendship.
 	WarmStartSweeps int
 
-	// Workers > 1 enables the parallel E-step (Sect. 4.3). 0 selects
-	// runtime.NumCPU(); 1 forces the serial path.
+	// Workers is the E-step worker-pool size (Sect. 4.3). 0 selects
+	// runtime.NumCPU(). Workers is a logical goroutine count, decoupled
+	// from the physical core count: training is bit-identical for every
+	// value (including Workers = 1 and Workers > NumCPU), because the unit
+	// of work is the data segment — fixed segmentation, per-segment RNG
+	// streams, snapshot reads across segments — and Workers only controls
+	// how segments are packed onto pool goroutines. See Engine.
 	Workers int
 	// SegmentLDAIters bounds the segmentation LDA's Gibbs sweeps
 	// (default 15).
@@ -206,11 +211,14 @@ type Diagnostics struct {
 	EStepSeconds, MStepSeconds float64
 	// SweepSeconds is the per-iteration E-step wall time.
 	SweepSeconds []float64
-	// WorkerEstimated / WorkerActual are per-worker workload estimates
-	// (operation counts, normalized to seconds-equivalents) and measured
-	// E-step seconds for the last iteration (nil in serial mode).
+	// WorkerEstimated / WorkerActual are per-worker workload predictions
+	// (the loads the last knapsack packing balanced — operation counts
+	// initially, measured seconds after a re-pack) and measured E-step
+	// seconds for the last recorded sweep.
 	WorkerEstimated, WorkerActual []float64
-	// Segments is the number of LDA data segments built (0 in serial
-	// mode).
+	// Segments is the number of LDA data segments built.
 	Segments int
+	// Repacks counts how many times the engine re-ran the knapsack packing
+	// because the measured worker imbalance drifted past its threshold.
+	Repacks int
 }

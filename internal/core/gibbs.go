@@ -53,14 +53,14 @@ func (st *state) sampleDocTopic(d int32, sc *scratch) {
 
 	// Remove the document from all z-dependent counters (the ¬{ui}
 	// convention).
-	st.nCZ.add(c, zOld, -1)
-	st.nCT.add(c, -1)
+	st.addCZ(sc, c, zOld, -1)
+	st.addCT(sc, c, -1)
 	for _, w := range doc.Words {
-		st.nZW.add(zOld, int(w), -1)
+		st.addZW(sc, zOld, int(w), -1)
 	}
-	st.nZT.add(zOld, -int64(len(doc.Words)))
-	st.nTZ.add(b, zOld, -1)
-	st.nTT.add(b, -1)
+	st.addZT(sc, zOld, -int64(len(doc.Words)))
+	st.addTZ(sc, b, zOld, -1)
+	st.addTT(sc, b, -1)
 
 	Z := st.cfg.NumTopics
 	beta := st.cfg.Beta
@@ -69,14 +69,14 @@ func (st *state) sampleDocTopic(d int32, sc *scratch) {
 	sc.groupWords(doc.Words)
 	logw := sc.logw[:Z]
 	for z := 0; z < Z; z++ {
-		lw := math.Log(float64(st.nCZ.at(c, z)) + alpha)
+		lw := math.Log(float64(st.cntCZ(sc, c, z)) + alpha)
 		for k, w := range sc.wordIDs {
-			base := float64(st.nZW.at(z, int(w))) + beta
+			base := float64(st.cntZW(sc, z, int(w))) + beta
 			for m := 0; m < sc.wordCnt[k]; m++ {
 				lw += math.Log(base + float64(m))
 			}
 		}
-		den := float64(st.nZT.at(z)) + wBeta
+		den := float64(st.cntZT(sc, z)) + wBeta
 		for j := 0; j < len(doc.Words); j++ {
 			lw -= math.Log(den + float64(j))
 		}
@@ -101,11 +101,11 @@ func (st *state) sampleDocTopic(d int32, sc *scratch) {
 			vUser := st.g.Docs[l.J].User
 			st.neighborPi(vUser, doc.User, d, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
 			indiv := st.indivTerm(int(e))
-			delta := st.delta.get(int(e))
+			delta := st.delAt(sc, int(e))
 			lb := st.docBucket[l.I]
 			for z := 0; z < Z; z++ {
 				x := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV) +
-					st.popTerm(lb, z) + indiv
+					st.popTerm(sc, lb, z) + indiv
 				logw[z] += logPsi(x, delta)
 			}
 		}
@@ -113,14 +113,14 @@ func (st *state) sampleDocTopic(d int32, sc *scratch) {
 
 	zNew := sc.r.CategoricalLog(logw)
 	st.zstore(d, int32(zNew))
-	st.nCZ.add(c, zNew, 1)
-	st.nCT.add(c, 1)
+	st.addCZ(sc, c, zNew, 1)
+	st.addCT(sc, c, 1)
 	for _, w := range doc.Words {
-		st.nZW.add(zNew, int(w), 1)
+		st.addZW(sc, zNew, int(w), 1)
 	}
-	st.nZT.add(zNew, int64(len(doc.Words)))
-	st.nTZ.add(b, zNew, 1)
-	st.nTT.add(b, 1)
+	st.addZT(sc, zNew, int64(len(doc.Words)))
+	st.addTZ(sc, b, zNew, 1)
+	st.addTT(sc, b, 1)
 }
 
 // pickExcl returns d when cond (same user on both link endpoints) so the
@@ -143,6 +143,7 @@ func (st *state) neighborPi(user, cur int32, exclDoc int32, out *sparse.Smoothed
 	st.piSnap(user, out)
 }
 
+
 // sampleDocCommunity resamples c_ui per Eq. 14: the user-community prior,
 // the community-topic term, the friendship kernels over Λ_u and the
 // diffusion kernels over Λ_i.
@@ -152,8 +153,8 @@ func (st *state) sampleDocCommunity(d int32, sc *scratch) {
 	cOld := int(st.cload(d))
 	z := int(st.zload(d))
 
-	st.nCZ.add(cOld, z, -1)
-	st.nCT.add(cOld, -1)
+	st.addCZ(sc, cOld, z, -1)
+	st.addCT(sc, cOld, -1)
 
 	C := st.cfg.NumCommunities
 	rho := st.cfg.Rho
@@ -178,8 +179,8 @@ func (st *state) sampleDocCommunity(d int32, sc *scratch) {
 	// content does not inform detection).
 	if st.contentOn {
 		for cc := 0; cc < C; cc++ {
-			logw[cc] += math.Log(float64(st.nCZ.at(cc, z))+alpha) -
-				math.Log(float64(st.nCT.at(cc))+zAlpha)
+			logw[cc] += math.Log(float64(st.cntCZ(sc, cc, z))+alpha) -
+				math.Log(float64(st.cntCT(sc, cc))+zAlpha)
 		}
 	}
 
@@ -191,11 +192,11 @@ func (st *state) sampleDocCommunity(d int32, sc *scratch) {
 	if !st.cfg.NoFriendship {
 		for _, li := range st.userFriendLinks[u] {
 			f := st.g.Friends[li]
-			st.addFriendKernel(u, d, f, st.lambda.get(int(li)), true, invDenU, sc, logw)
+			st.addFriendKernel(u, d, f, st.lamAt(sc, int(li)), true, invDenU, sc, logw)
 		}
 		for _, li := range st.userNegFriendLinks[u] {
 			f := st.negFriends[li]
-			st.addFriendKernel(u, d, f, st.lambdaNeg.get(int(li)), false, invDenU, sc, logw)
+			st.addFriendKernel(u, d, f, st.lamNegAt(sc, int(li)), false, invDenU, sc, logw)
 		}
 	}
 
@@ -208,8 +209,8 @@ func (st *state) sampleDocCommunity(d int32, sc *scratch) {
 
 	cNew := sc.r.CategoricalLog(logw)
 	st.cstore(d, int32(cNew))
-	st.nCZ.add(cNew, z, 1)
-	st.nCT.add(cNew, 1)
+	st.addCZ(sc, cNew, z, 1)
+	st.addCT(sc, cNew, 1)
 }
 
 // addFriendKernel adds one friendship link's Pólya-Gamma kernel to the
@@ -247,7 +248,7 @@ func (st *state) addFriendKernel(u, d int32, f socialgraph.FriendLink, lam float
 // of the link's endpoints).
 func (st *state) addDiffusionCommunityTerms(d int32, e int, invDenU float64, sc *scratch, logw []float64) {
 	l := st.g.Diffs[e]
-	delta := st.delta.get(e)
+	delta := st.delAt(sc, e)
 	uI := st.g.Docs[l.I].User
 	uJ := st.g.Docs[l.J].User
 	C := st.cfg.NumCommunities
@@ -278,11 +279,11 @@ func (st *state) addDiffusionCommunityTerms(d int32, e int, invDenU float64, sc 
 		return
 	}
 
-	z := int(st.zload(l.I)) // link topic = diffusing document's topic
+	z := int(st.zAt(sc, l.I, d)) // link topic = diffusing document's topic
 	w := st.thetaCol[z]
 	m := st.etaSlice[z]
 	agg := st.aggs[z]
-	pop := st.popTerm(st.docBucket[l.I], z)
+	pop := st.popTerm(sc, st.docBucket[l.I], z)
 	indiv := st.indivTerm(e)
 
 	if l.I == d {
@@ -344,8 +345,8 @@ func (st *state) addDiffusionCommunityTerms(d int32, e int, invDenU float64, sc 
 func (st *state) sampleUserAttr(u int32, k int, sc *scratch) {
 	a := int(st.g.Attrs[u][k])
 	cOld := int(atomic.LoadInt32(&st.attrC[u][k]))
-	st.nCA.add(cOld, a, -1)
-	st.nCATot.add(cOld, -1)
+	st.addCA(sc, cOld, a, -1)
+	st.addCATot(sc, cOld, -1)
 
 	C := st.cfg.NumCommunities
 	rho := st.cfg.Rho
@@ -364,24 +365,24 @@ func (st *state) sampleUserAttr(u int32, k int, sc *scratch) {
 		logw[cc] = math.Log(rho + sc.piU.Val[kk]*denU)
 	}
 	for cc := 0; cc < C; cc++ {
-		logw[cc] += math.Log(float64(st.nCA.at(cc, a))+mu) -
-			math.Log(float64(st.nCATot.at(cc))+aMu)
+		logw[cc] += math.Log(float64(st.cntCA(sc, cc, a))+mu) -
+			math.Log(float64(st.cntCATot(sc, cc))+aMu)
 	}
 	if !st.cfg.NoFriendship {
 		for _, li := range st.userFriendLinks[u] {
 			f := st.g.Friends[li]
-			st.addFriendKernel(u, -1, f, st.lambda.get(int(li)), true, invDenU, sc, logw)
+			st.addFriendKernel(u, -1, f, st.lamAt(sc, int(li)), true, invDenU, sc, logw)
 		}
 		for _, li := range st.userNegFriendLinks[u] {
 			f := st.negFriends[li]
-			st.addFriendKernel(u, -1, f, st.lambdaNeg.get(int(li)), false, invDenU, sc, logw)
+			st.addFriendKernel(u, -1, f, st.lamNegAt(sc, int(li)), false, invDenU, sc, logw)
 		}
 	}
 
 	cNew := int32(sc.r.CategoricalLog(logw))
 	atomic.StoreInt32(&st.attrC[u][k], cNew)
-	st.nCA.add(int(cNew), a, 1)
-	st.nCATot.add(int(cNew), 1)
+	st.addCA(sc, int(cNew), a, 1)
+	st.addCATot(sc, int(cNew), 1)
 }
 
 // sampleUserCommunityBlock block-samples one community for ALL of user u's
@@ -402,14 +403,14 @@ func (st *state) sampleUserCommunityBlock(u int32, sc *scratch) {
 	for _, d := range docs {
 		c := int(st.cload(d))
 		z := int(st.zload(d))
-		st.nCZ.add(c, z, -1)
-		st.nCT.add(c, -1)
+		st.addCZ(sc, c, z, -1)
+		st.addCT(sc, c, -1)
 	}
 	if st.attrOn {
 		for k, a := range st.g.Attrs[u] {
 			c := int(atomic.LoadInt32(&st.attrC[u][k]))
-			st.nCA.add(c, int(a), -1)
-			st.nCATot.add(c, -1)
+			st.addCA(sc, c, int(a), -1)
+			st.addCATot(sc, c, -1)
 		}
 	}
 	C := st.cfg.NumCommunities
@@ -424,7 +425,7 @@ func (st *state) sampleUserCommunityBlock(u int32, sc *scratch) {
 	// x(c) = fs * (rho/den + nd/den * pi-hat_v[c]).
 	baseU := st.cfg.Rho / denU
 	massU := nd / denU
-	addLinks := func(links []int32, friends []socialgraph.FriendLink, lams *floats, positive bool) {
+	addLinks := func(links []int32, friends []socialgraph.FriendLink, lamAt func(int) float64, positive bool) {
 		kernel := logPsi
 		if !positive {
 			kernel = logPsiNeg
@@ -435,12 +436,15 @@ func (st *state) sampleUserCommunityBlock(u int32, sc *scratch) {
 			if other == u {
 				other = f.V
 			}
-			// Exact (asynchronous) neighbour reads here: the detection-only
-			// phase has no content signal, and synchronous snapshot reads
-			// stall its label-propagation-style mixing; the rebuild is
-			// cheap because these sweeps move one label per user.
+			// Exact (fresh) neighbour reads: the detection-only phase has
+			// no content signal, and snapshot reads stall its label-
+			// propagation-style mixing — which is why the engine runs
+			// detection sweeps sequentially in direct mode (see
+			// Engine.sweepDetect) instead of on the snapshot-read pool;
+			// the rebuild is cheap because these sweeps move one label
+			// per user.
 			st.piHat(other, -1, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
-			lam := lams.get(int(li))
+			lam := lamAt(int(li))
 			x0 := fs * (baseU + massU*sc.piV.Base)
 			const0 := kernel(x0, lam)
 			for cc := range logw {
@@ -452,21 +456,21 @@ func (st *state) sampleUserCommunityBlock(u int32, sc *scratch) {
 			}
 		}
 	}
-	addLinks(st.userFriendLinks[u], st.g.Friends, st.lambda, true)
-	addLinks(st.userNegFriendLinks[u], st.negFriends, st.lambdaNeg, false)
+	addLinks(st.userFriendLinks[u], st.g.Friends, func(li int) float64 { return st.lamAt(sc, li) }, true)
+	addLinks(st.userNegFriendLinks[u], st.negFriends, func(li int) float64 { return st.lamNegAt(sc, li) }, false)
 
 	cNew := int32(sc.r.CategoricalLog(logw))
 	for _, d := range docs {
 		z := int(st.zload(d))
 		st.cstore(d, cNew)
-		st.nCZ.add(int(cNew), z, 1)
-		st.nCT.add(int(cNew), 1)
+		st.addCZ(sc, int(cNew), z, 1)
+		st.addCT(sc, int(cNew), 1)
 	}
 	if st.attrOn {
 		for k, a := range st.g.Attrs[u] {
 			atomic.StoreInt32(&st.attrC[u][k], cNew)
-			st.nCA.add(int(cNew), int(a), 1)
-			st.nCATot.add(int(cNew), 1)
+			st.addCA(sc, int(cNew), int(a), 1)
+			st.addCATot(sc, int(cNew), 1)
 		}
 	}
 }
@@ -509,7 +513,9 @@ func (st *state) diffusionArg(e int, sc *scratch) float64 {
 	if st.cfg.NoHeterogeneity {
 		return st.cfg.FriendScale * sc.piU.Dot(&sc.piV)
 	}
+	// l.I is always owned by the sampling segment (diffusion links belong to
+	// the diffusing document's user), so the live read is deterministic.
 	z := int(st.zload(l.I))
 	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV)
-	return s + st.popTerm(st.docBucket[l.I], z) + st.indivTerm(e)
+	return s + st.popTerm(sc, st.docBucket[l.I], z) + st.indivTerm(e)
 }

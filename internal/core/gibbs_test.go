@@ -220,7 +220,7 @@ func TestDiffusionArgMatchesBrute(t *testing.T) {
 		l := g.Diffs[e]
 		z := int(st.docZ[l.I])
 		want := bruteDiffusionArg(st, e, -1, -1, -1) +
-			st.popTerm(st.docBucket[l.I], z) + st.indivTerm(e)
+			st.popTerm(sc, st.docBucket[l.I], z) + st.indivTerm(e)
 		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
 			t.Fatalf("link %d: diffusionArg %v != brute %v", e, got, want)
 		}
@@ -232,17 +232,18 @@ func TestPopTermProperties(t *testing.T) {
 	g := testGraph(60, 44)
 	cfg := testConfig().withDefaults()
 	st := newState(g, cfg)
+	sc := newScratch(cfg, rng.New(7))
 	// Sum over topics of n_tz/n_t is 1, so popTerm sums to PopScale.
 	var s float64
 	for z := 0; z < cfg.NumTopics; z++ {
-		s += st.popTerm(0, z)
+		s += st.popTerm(sc, 0, z)
 	}
 	if math.Abs(s-cfg.PopScale) > 1e-9 {
 		t.Fatalf("popTerm sums to %v, want %v", s, cfg.PopScale)
 	}
 	// Ablated: always zero.
 	st.cfg.NoTopicPopularity = true
-	if st.popTerm(0, 0) != 0 {
+	if st.popTerm(sc, 0, 0) != 0 {
 		t.Fatal("popTerm nonzero under ablation")
 	}
 }

@@ -113,5 +113,5 @@ func (st *state) pairOffset(i, j int32, sc *scratch) float64 {
 	}
 	z := int(st.zload(i))
 	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV)
-	return s + st.popTerm(st.docBucket[i], z)
+	return s + st.popTerm(sc, st.docBucket[i], z)
 }

@@ -358,6 +358,10 @@ func (st *state) refreshNuOffsets() {
 // scratch is per-worker reusable storage; nothing here is shared.
 type scratch struct {
 	r *rng.RNG
+	// ov selects the engine's snapshot/overlay counter access for the
+	// parallel E-step; nil selects direct in-place access (serial reference
+	// sweep, M-step, unit tests). See engine.go.
+	ov *overlay
 	// pi-hat materialisation buffers.
 	cnt     []float64 // |C| dense accumulation buffer
 	touched []int32   // indexes of cnt currently non-zero
@@ -472,15 +476,15 @@ func (st *state) piHatAt(u int32, c int32) float64 {
 
 // popTerm returns the topic-popularity contribution PopScale * n_tz / n_t
 // for bucket b and topic z, or 0 when disabled or the bucket is empty.
-func (st *state) popTerm(b int, z int) float64 {
+func (st *state) popTerm(sc *scratch, b int, z int) float64 {
 	if st.cfg.NoTopicPopularity {
 		return 0
 	}
-	tot := st.nTT.at(b)
+	tot := st.cntTT(sc, b)
 	if tot <= 0 {
 		return 0
 	}
-	return st.cfg.PopScale * float64(st.nTZ.at(b, z)) / float64(tot)
+	return st.cfg.PopScale * float64(st.cntTZ(sc, b, z)) / float64(tot)
 }
 
 // indivTerm returns the cached individual-preference contribution for link

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/socialgraph"
@@ -11,40 +10,31 @@ import (
 // collapsed, Pólya-Gamma-augmented Gibbs E-step — and returns the trained
 // model plus timing diagnostics. The graph is validated and its indexes
 // built; cfg zero values take the paper's defaults.
+//
+// Every E-step sweep runs on the persistent worker-pool Engine, so training
+// with any Workers value — including 1 — produces bit-identical results
+// from the same seed; Workers only changes how the fixed set of data
+// segments is executed.
 func Train(g *socialgraph.Graph, cfg Config) (*Model, *Diagnostics, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	e, err := NewEngine(g, cfg)
+	if err != nil {
 		return nil, nil, err
 	}
-	if err := g.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("core: invalid graph: %w", err)
-	}
-	if len(g.Docs) == 0 {
-		return nil, nil, fmt.Errorf("core: graph has no documents")
-	}
-	g.BuildIndexes()
+	defer e.Close()
+	return e.train()
+}
 
-	st := newState(g, cfg)
-	diag := &Diagnostics{}
-	var plan *parallelPlan
-	if cfg.Workers > 1 {
-		plan = buildParallelPlan(st)
-		diag.Segments = plan.numSegments
-		diag.WorkerEstimated = append([]float64(nil), plan.estLoad...)
-	}
+func (e *Engine) train() (*Model, *Diagnostics, error) {
+	st, cfg := e.st, e.cfg
 	sc := newScratch(cfg, st.root.Split(0xE11))
 
 	// Warm start: detection-only block sweeps seed the joint sampler with
-	// an assortative configuration (see Config.WarmStartSweeps).
+	// an assortative configuration (see Config.WarmStartSweeps). Not
+	// recorded in the sweep diagnostics — Fig. 10 times joint sweeps.
 	if !cfg.NoJointModeling && !cfg.NoFriendship && cfg.WarmStartSweeps > 0 {
 		st.contentOn = false
 		for i := 0; i < cfg.WarmStartSweeps; i++ {
-			st.refreshPiSnapshots()
-			if plan != nil {
-				plan.sweep(st)
-			} else {
-				st.sweepSerial(sc)
-			}
+			e.sweep(false)
 		}
 		st.contentOn = true
 	}
@@ -65,6 +55,7 @@ func Train(g *socialgraph.Graph, cfg Config) (*Model, *Diagnostics, error) {
 		st.contentOn = false
 	}
 
+	var mstepSecs float64
 	for iter := 0; iter < totalIters; iter++ {
 		if cfg.NoJointModeling && iter == phase1 {
 			// Phase 2 of "no joint modeling": freeze the detected
@@ -72,20 +63,7 @@ func Train(g *socialgraph.Graph, cfg Config) (*Model, *Diagnostics, error) {
 			st.contentOn = true
 			st.cFrozen = true
 		}
-		st.refreshCaches()
-		t0 := time.Now()
-		var actual []float64
-		if plan != nil {
-			actual = plan.sweep(st)
-		} else {
-			st.sweepSerial(sc)
-		}
-		dt := time.Since(t0).Seconds()
-		diag.EStepSeconds += dt
-		diag.SweepSeconds = append(diag.SweepSeconds, dt)
-		if actual != nil {
-			diag.WorkerActual = actual
-		}
+		e.sweep(true)
 
 		t1 := time.Now()
 		if st.contentOn {
@@ -94,16 +72,20 @@ func Train(g *socialgraph.Graph, cfg Config) (*Model, *Diagnostics, error) {
 				st.mStepNu(sc)
 			}
 		}
-		diag.MStepSeconds += time.Since(t1).Seconds()
+		mstepSecs += time.Since(t1).Seconds()
 	}
 	st.refreshCaches()
+	diag := e.Diagnostics()
+	diag.MStepSeconds = mstepSecs
 	return st.buildModel(), diag, nil
 }
 
-// sweepSerial is Alg. 1's E-step on a single goroutine: for each user's
-// each document sample the topic (step 5) then the community (step 6),
-// then refresh the friendship (steps 7–8) and diffusion (steps 9–10)
-// augmentation variables.
+// sweepSerial is Alg. 1's E-step on a single goroutine with direct
+// in-place counter access: for each user's each document sample the topic
+// (step 5) then the community (step 6), then refresh the friendship
+// (steps 7–8) and diffusion (steps 9–10) augmentation variables. It is the
+// reference implementation the unit tests exercise and the engine's
+// segment runner mirrors.
 func (st *state) sweepSerial(sc *scratch) {
 	for u := 0; u < st.g.NumUsers; u++ {
 		if !st.contentOn {

@@ -51,7 +51,7 @@ func Tokenize(text string) []string {
 // adverbSuffixes drive the heuristic POS filter: the paper keeps nouns,
 // verbs and hashtags after running the Stanford tagger; our lexical
 // substitute drops function words (the stop list), pure numbers and
-// -ly adverbs. See DESIGN.md §3 for why this substitution is behaviour-
+// -ly adverbs. See README.md (design notes) for why this substitution is behaviour-
 // preserving for the pipeline.
 var adverbSuffixes = []string{"ly"}
 

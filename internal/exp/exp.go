@@ -1,7 +1,7 @@
 // Package exp is the experiment harness: one runner per table/figure of
 // the paper's evaluation section (Sect. 6), printing the same rows/series
 // the paper reports. The workloads are the synthetic Twitter-like and
-// DBLP-like datasets of internal/synth (DESIGN.md §3 documents the
+// DBLP-like datasets of internal/synth (README.md design notes document the
 // substitution); the protocols — k-fold link cross-validation, AUC,
 // conductance with top-5 memberships, MAF@K ranking, perplexity, paired
 // one-tailed t-tests — follow Sect. 6.1.
@@ -57,7 +57,8 @@ type Options struct {
 	Topics int
 	// Rho overrides the membership prior. The paper's ρ = 50/|C| assumes
 	// hundreds of documents per user; at our docs-per-user scale it
-	// over-smooths π, so experiments default to ρ = 10/|C| (DESIGN.md §3).
+	// over-smooths π, so experiments default to ρ = 10/|C| (README.md
+	// design notes).
 	Rho  float64
 	Seed uint64
 }

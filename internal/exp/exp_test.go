@@ -138,8 +138,7 @@ func TestRunFigure8PerplexityGap(t *testing.T) {
 		checkTable(t, tab, 3)
 		// The paper's Fig. 8 direction: CPD's content profiles explain user
 		// content clearly better than the aggregated profiles (orders of
-		// magnitude at the paper's scale; a solid margin at ours —
-		// EXPERIMENTS.md records the measured ratios).
+		// magnitude at the paper's scale; a solid margin at ours).
 		ours := avgRow(t, findRow(tab, MCPD))
 		for _, name := range []string{MCOLDAgg, MCRMAgg} {
 			if base := avgRow(t, findRow(tab, name)); ours > base*0.95 {
@@ -234,12 +233,37 @@ func TestRunFigure10And11(t *testing.T) {
 			t.Errorf("%s: time not increasing with data size (%v -> %v)", tab.Title, first, last)
 		}
 	}
-	t11 := RunFigure11(o)
-	if len(t11) == 0 {
-		t.Fatal("Figure 11: no tables")
+	// Fig 10(b) must sweep the full {2,4,6,8} worker grid regardless of the
+	// physical core count (workers are goroutines): 1 serial row + 4 sweep
+	// rows, always.
+	for _, tab := range tables {
+		if !strings.Contains(tab.Title, "10(b)") {
+			continue
+		}
+		if len(tab.Rows) != 5 {
+			t.Errorf("%s: %d rows, want 5 (1 serial + workers {2,4,6,8})", tab.Title, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if sec := parseF(t, row[1]); !(sec > 0) {
+				t.Errorf("%s: workers=%s measured %v seconds/sweep", tab.Title, row[0], sec)
+			}
+		}
+	}
+	t11, err := RunFigure11(o)
+	if err != nil {
+		t.Fatalf("Figure 11: %v", err)
+	}
+	if len(t11) != 2 { // one table per dataset — silent drops are bugs
+		t.Fatalf("Figure 11: got %d tables, want 2", len(t11))
 	}
 	for _, tab := range t11 {
 		checkTable(t, tab, 2)
+		// Every worker row reports a positive actual load.
+		for _, row := range tab.Rows {
+			if act := parseF(t, row[2]); !(act >= 0) {
+				t.Errorf("%s: worker %s actual load %v", tab.Title, row[0], act)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestCoreSweepIgnoresPhysicalCores is the regression test for the Fig.
+// 10(b) single-core collapse: the worker sweep is a logical-goroutine grid
+// and must never be truncated by runtime.NumCPU() or GOMAXPROCS.
+func TestCoreSweepIgnoresPhysicalCores(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	got := coreSweep()
+	want := []int{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("coreSweep() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coreSweep() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSweepSecondsMultiWorkerOnOneProc drives the engine-backed timing
+// helper with more workers than GOMAXPROCS allows threads: it must return
+// a real measurement, not NaN — this is the exact failure mode that left
+// TestRunFigure10And11 with a single speedup row on 1-core machines.
+func TestSweepSecondsMultiWorkerOnOneProc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability timing in -short mode")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	o := fastOptions()
+	ds := TwitterDataset(o)
+	for _, workers := range []int{1, 4} {
+		sec := sweepSeconds(o, ds.Graph, workers)
+		if math.IsNaN(sec) || sec <= 0 {
+			t.Fatalf("sweepSeconds(workers=%d) = %v under GOMAXPROCS=1", workers, sec)
+		}
+	}
+}

@@ -14,7 +14,12 @@ func Solve(weights []float64, capacity float64) []int {
 	if capacity <= 0 || len(weights) == 0 {
 		return nil
 	}
-	const resolution = 4096
+	// Round-to-nearest scaling loses up to 0.5 units per item, so the
+	// reconstructed optimum can fall short of the true one by about
+	// n * capacity / resolution. 1<<16 keeps that error under 0.1% of
+	// capacity for any realistic segment count while the DP stays O(n)
+	// rows over a 64k-entry table.
+	const resolution = 1 << 16
 	var maxW float64
 	for _, w := range weights {
 		if w < 0 {

@@ -3,7 +3,6 @@ package knapsack
 import (
 	"math"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/rng"
 )
@@ -28,7 +27,15 @@ func bruteBest(weights []float64, capacity float64) float64 {
 }
 
 func TestSolveMatchesBruteForce(t *testing.T) {
-	f := func(seed uint64) bool {
+	// Deterministic seed sweep (testing/quick draws time-based seeds, which
+	// made tier-1 flaky) plus the regression seed on which the old
+	// resolution-4096 scaling exceeded its own error budget: twelve items'
+	// round-to-nearest losses accumulated past capacity/1000.
+	seeds := []uint64{0xfa7ba8de563942a0}
+	for s := uint64(0); s < 200; s++ {
+		seeds = append(seeds, s*0x9E3779B97F4A7C15+1)
+	}
+	for _, seed := range seeds {
 		r := rng.New(seed)
 		n := 1 + r.Intn(12)
 		weights := make([]float64, n)
@@ -43,20 +50,19 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 		seen := map[int]bool{}
 		for _, i := range picked {
 			if seen[i] {
-				return false // duplicate pick
+				t.Fatalf("seed %#x: duplicate pick %d in %v", seed, i, picked)
 			}
 			seen[i] = true
 			got += weights[i]
 		}
 		if got > capacity*1.001 {
-			return false // capacity violated beyond scaling slack
+			t.Fatalf("seed %#x: capacity violated beyond scaling slack: %v > %v", seed, got, capacity)
 		}
 		want := bruteBest(weights, capacity)
 		// The DP is exact up to the scaling resolution.
-		return got >= want-capacity/1000-1e-9
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
+		if got < want-capacity/1000-1e-9 {
+			t.Fatalf("seed %#x: suboptimal beyond resolution: got %v, want %v (capacity %v)", seed, got, want, capacity)
+		}
 	}
 }
 
@@ -88,8 +94,8 @@ func TestSolvePanicsOnNegative(t *testing.T) {
 }
 
 func TestPackCoversAllItemsOnce(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := rng.New(seed)
+	for seed := uint64(0); seed < 200; seed++ {
+		r := rng.New(seed*0x9E3779B97F4A7C15 + 3)
 		n := r.Intn(30)
 		m := 1 + r.Intn(5)
 		weights := make([]float64, n)
@@ -98,26 +104,22 @@ func TestPackCoversAllItemsOnce(t *testing.T) {
 		}
 		bins := Pack(weights, m)
 		if len(bins) != m {
-			return false
+			t.Fatalf("seed %d: %d bins, want %d", seed, len(bins), m)
 		}
 		seen := make([]bool, n)
 		for _, bin := range bins {
 			for _, i := range bin {
 				if seen[i] {
-					return false
+					t.Fatalf("seed %d: item %d packed twice", seed, i)
 				}
 				seen[i] = true
 			}
 		}
-		for _, s := range seen {
+		for i, s := range seen {
 			if !s {
-				return false
+				t.Fatalf("seed %d: item %d dropped", seed, i)
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
 	}
 }
 

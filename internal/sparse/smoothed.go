@@ -137,7 +137,7 @@ func (a *BilinearAgg) Eval(m *Dense, w []float64, x, y *SmoothedVec) float64 {
 
 // EvalDense is the O(Dim^2) reference evaluation of the same bilinear form
 // on fully dense vectors; tests verify Eval against it, and the
-// BenchmarkBilinear* pair quantifies the ablation in DESIGN.md §5.4.
+// BenchmarkBilinear* pair quantifies the ablation.
 func EvalDense(m *Dense, w, x, y []float64) float64 {
 	n := m.Rows
 	var s float64

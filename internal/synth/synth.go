@@ -1,5 +1,5 @@
 // Package synth generates synthetic social graphs from a planted CPD
-// generative process. It is the substitution (DESIGN.md §3) for the paper's
+// generative process. It is the substitution (README.md design notes) for the paper’s
 // proprietary Twitter and DBLP crawls: every statistical coupling the
 // evaluation section measures — community-assortative friendship,
 // community-specific content, topic-aware community-to-community diffusion,
