@@ -112,8 +112,11 @@ func main() {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			return render(f)
+			if err := render(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
 		}
 		if *dotDir == "" {
 			return exp.RunFigure7(o, "", nil)

@@ -1,12 +1,18 @@
 // Command cpd-lens serves the SocialLens companion system (the paper's
 // footnote 1): an interactive HTTP service for browsing communities by
 // content and interaction — community profiles, profile-driven ranking and
-// the Fig. 7 diffusion graphs.
+// the Fig. 7 diffusion graphs. The browser UI runs on a serve.Engine, so
+// the model can be hot-swapped without restarting (see cmd/cpd-serve for
+// the headless API, which shares the engine design).
 //
 // Usage:
 //
-//	cpd-lens -model model.json -vocab data.vocab -addr :8080
+//	cpd-lens -model model.snap -vocab data.vocab -addr :8080
 //	cpd-lens -demo               # train on a synthetic network and serve it
+//
+// -model accepts both the binary snapshot format (internal/store) and the
+// legacy JSON format. The server shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests.
 package main
 
 import (
@@ -14,11 +20,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/lens"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -26,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpd-lens: ")
 	var (
-		modelPath = flag.String("model", "", "trained model file")
+		modelPath = flag.String("model", "", "trained model file (binary snapshot or JSON)")
 		vocabPath = flag.String("vocab", "", "vocabulary file")
 		addr      = flag.String("addr", ":8080", "listen address")
 		demo      = flag.Bool("demo", false, "train a demo model on synthetic data and serve it")
@@ -39,6 +46,9 @@ func main() {
 	case *demo:
 		cfg := synth.TwitterLike(500, 42)
 		g, _ := synth.Generate(cfg)
+		if err := g.Validate(); err != nil {
+			log.Fatalf("demo graph generation produced an invalid graph: %v", err)
+		}
 		fmt.Println("training demo model on a synthetic Twitter-like network...")
 		m, _, err := core.Train(g, core.Config{
 			NumCommunities: 20, NumTopics: 25, EMIters: 20, Workers: 0,
@@ -50,30 +60,27 @@ func main() {
 		model = m
 		vocab = synth.BuildVocabulary(cfg)
 	case *modelPath != "":
-		f, err := os.Open(*modelPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		model, err = core.Load(f)
-		f.Close()
+		var err error
+		model, err = store.LoadFile(*modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if *vocabPath != "" {
-			vf, err := os.Open(*vocabPath)
+			vf, err := corpus.ReadVocabularyFile(*vocabPath)
 			if err != nil {
 				log.Fatal(err)
 			}
-			vocab, err = corpus.ReadVocabulary(vf)
-			vf.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
+			vocab = vf
 		}
 	default:
 		log.Fatal("pass -model (and optionally -vocab), or -demo")
 	}
 
+	engine := serve.New(model, vocab, serve.Options{})
+	defer engine.Close()
 	fmt.Printf("SocialLens listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, lens.New(model, vocab)))
+	if err := serve.RunHTTP(*addr, lens.New(engine)); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	fmt.Println("shut down cleanly")
 }

@@ -11,12 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/store"
 )
 
 func main() {
@@ -32,21 +31,11 @@ func main() {
 	if *modelPath == "" || *vocabPath == "" || flag.NArg() == 0 {
 		log.Fatal("usage: cpd-rank -model m.json -vocab v.txt [-k 5] <query words>")
 	}
-	mf, err := os.Open(*modelPath)
+	m, err := store.LoadFile(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := core.Load(mf)
-	mf.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	vf, err := os.Open(*vocabPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vocab, err := corpus.ReadVocabulary(vf)
-	vf.Close()
+	vocab, err := corpus.ReadVocabularyFile(*vocabPath)
 	if err != nil {
 		log.Fatal(err)
 	}

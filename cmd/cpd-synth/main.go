@@ -40,12 +40,20 @@ func main() {
 		log.Fatalf("unknown preset %q (want twitter or dblp)", *preset)
 	}
 	g, _ := synth.Generate(cfg)
+	if err := g.Validate(); err != nil {
+		log.Fatalf("generator produced an invalid graph: %v", err)
+	}
+	// Close errors are checked on every written file: a deferred,
+	// unchecked Close can silently truncate the output on a full disk.
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	if *vocab != "" {
@@ -53,8 +61,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer vf.Close()
 		if _, err := synth.BuildVocabulary(cfg).WriteTo(vf); err != nil {
+			vf.Close()
+			log.Fatal(err)
+		}
+		if err := vf.Close(); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,9 +1,12 @@
 // Command cpd-train trains a CPD model on a social graph file and saves
-// the model as JSON.
+// the model — by default as a binary snapshot (internal/store), the format
+// the serving layer loads ~10x faster than JSON; -format json keeps the
+// legacy encoding. Every reader in this repository sniffs both formats.
 //
 // Usage:
 //
-//	cpd-train -graph twitter.graph -communities 50 -topics 25 -iters 30 -out model.json
+//	cpd-train -graph twitter.graph -communities 50 -topics 25 -iters 30 -out model.snap
+//	cpd-train -graph twitter.graph -format json -out model.json
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/socialgraph"
+	"repro/internal/store"
 )
 
 func main() {
@@ -28,6 +32,7 @@ func main() {
 		seed        = flag.Uint64("seed", 7, "sampler seed")
 		rho         = flag.Float64("rho", 0, "membership prior (0 = paper default 50/|C|)")
 		out         = flag.String("out", "", "model output file (required)")
+		format      = flag.String("format", "binary", "model output format: binary | json")
 	)
 	flag.Parse()
 	if *graphPath == "" || *out == "" {
@@ -53,13 +58,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	of, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer of.Close()
-	if err := m.Save(of); err != nil {
-		log.Fatal(err)
+	switch *format {
+	case "binary":
+		if err := store.Save(*out, m); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		of, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(of); err != nil {
+			of.Close()
+			log.Fatal(err)
+		}
+		// An unchecked Close here can silently lose the tail of the model
+		// on a full disk.
+		if err := of.Close(); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown format %q (want binary or json)", *format)
 	}
 	fmt.Printf("trained |C|=%d |Z|=%d in %.1fs E-step + %.1fs M-step; model written to %s\n",
 		*communities, *topics, diag.EStepSeconds, diag.MStepSeconds, *out)

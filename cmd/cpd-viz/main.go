@@ -12,8 +12,8 @@ import (
 	"os"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/store"
 )
 
 func main() {
@@ -29,23 +29,13 @@ func main() {
 	if *modelPath == "" {
 		log.Fatal("-model is required")
 	}
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	m, err := core.Load(mf)
-	mf.Close()
+	m, err := store.LoadFile(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var vocab *corpus.Vocabulary
 	if *vocabPath != "" {
-		vf, err := os.Open(*vocabPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		vocab, err = corpus.ReadVocabulary(vf)
-		vf.Close()
+		vocab, err = corpus.ReadVocabularyFile(*vocabPath)
 		if err != nil {
 			log.Fatal(err)
 		}

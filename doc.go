@@ -6,9 +6,13 @@
 // baselines it is evaluated against (PMTLM, WTM, CRM, COLD) plus the two
 // aggregation baselines, the three community-level applications
 // (community-aware diffusion, profile-driven ranking, profile-driven
-// visualization), and a benchmark harness that regenerates every table and
+// visualization), a benchmark harness that regenerates every table and
 // figure of the paper's evaluation section on synthetic Twitter-like and
-// DBLP-like workloads.
+// DBLP-like workloads, and an online serving layer: versioned binary
+// model snapshots (internal/store), a hot-swappable concurrent query
+// engine with an inverted rank index and fold-in inference for unseen
+// users (internal/serve), the SocialLens browser UI on top of it
+// (internal/lens), and the cpd-serve / cpd-lens servers.
 //
 // See README.md for a quickstart, the package map, and how to run the
 // experiments. The root package holds the per-table/per-figure benchmarks

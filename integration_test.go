@@ -16,7 +16,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/serve"
 	"repro/internal/socialgraph"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -142,6 +144,88 @@ func TestFullPipeline(t *testing.T) {
 	}
 	if tops := loaded.TopAttributes(0, 3); len(tops) != 3 {
 		t.Fatalf("TopAttributes = %v", tops)
+	}
+}
+
+// TestServingPipeline covers the online read path the serving cmds wire
+// together: train → binary snapshot (cpd-train) → serve.Engine
+// (cpd-serve) → rank/membership/fold-in queries → hot-swap reload from a
+// JSON model (format compatibility both ways).
+func TestServingPipeline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synth.TwitterLike(120, 31)
+	g, _ := synth.Generate(cfg)
+	vocab := synth.BuildVocabulary(cfg)
+	model, _, err := core.Train(g, core.Config{
+		NumCommunities: 8, NumTopics: 10, EMIters: 6, Workers: 2, Seed: 4, Rho: 0.125,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot to disk in the binary format, reload, serve.
+	snapPath := filepath.Join(dir, "model.snap")
+	if err := store.Save(snapPath, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := serve.New(loaded, vocab, serve.Options{})
+	defer engine.Close()
+
+	res, err := engine.RankText(vocab.Word(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 || res.Version != 1 {
+		t.Fatalf("rank result %+v", res)
+	}
+	mem, err := engine.Membership(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Communities[0].Community != model.TopCommunity(7) {
+		t.Fatalf("served membership disagrees with the trained model")
+	}
+	fold, err := engine.FoldIn(&serve.FoldInRequest{
+		Docs: [][]int32{g.Docs[0].Words, g.Docs[1].Words}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fold.Pi) != 8 {
+		t.Fatalf("fold-in pi %v", fold.Pi)
+	}
+
+	// Hot-swap to a JSON-format model of a different shape.
+	model2, _, err := core.Train(g, core.Config{
+		NumCommunities: 6, NumTopics: 8, EMIters: 4, Workers: 1, Seed: 5, Rho: 0.125,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "model2.json")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model2.Save(jf); err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Reload(jsonPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := engine.View()
+	if v.Version != 2 || v.Model.Cfg.NumCommunities != 6 {
+		t.Fatalf("hot-swap failed: version %d |C|=%d", v.Version, v.Model.Cfg.NumCommunities)
+	}
+	if got := len(engine.Communities()); got != 6 {
+		t.Fatalf("served %d communities after swap", got)
 	}
 }
 

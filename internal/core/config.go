@@ -125,6 +125,13 @@ type Config struct {
 	NoFriendship bool
 }
 
+// WithDefaults returns the configuration with every zero field filled with
+// the paper's default. Train applies it automatically; it is exported for
+// callers that assemble a Model directly from parameter blocks (the serving
+// layer's synthetic benchmark models) and need the prediction gains
+// (EtaScale, PopScale, FriendScale) populated.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills zero values with the paper's settings.
 func (c Config) withDefaults() Config {
 	if c.Alpha == 0 {

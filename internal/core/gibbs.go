@@ -143,7 +143,6 @@ func (st *state) neighborPi(user, cur int32, exclDoc int32, out *sparse.Smoothed
 	st.piSnap(user, out)
 }
 
-
 // sampleDocCommunity resamples c_ui per Eq. 14: the user-community prior,
 // the community-topic term, the friendship kernels over Λ_u and the
 // diffusion kernels over Λ_i.

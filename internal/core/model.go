@@ -146,6 +146,20 @@ func (m *Model) TopAttributes(c, k int) []int {
 	return mathx.TopKIndices(m.Xi.Row(c), k)
 }
 
+// Rehydrate rebuilds the unexported prediction caches (the sparse-pi
+// decomposition, per-topic bilinear aggregates and the Eq. 19 rank table)
+// from the exported parameter blocks. Load calls it automatically; any
+// other deserializer that fills a Model field-by-field — e.g. the binary
+// snapshot reader in internal/store — must call it before the model serves
+// queries.
+func (m *Model) Rehydrate() { m.initCaches() }
+
+// RankTable exposes the cached Eq. 19 inner sums
+// rankTable[c][z] = Σ_c' η_{c,c',z} θ_{c',z}; the serving layer's inverted
+// rank index is built from it. The returned matrix is owned by the model
+// and must not be mutated.
+func (m *Model) RankTable() *sparse.Dense { return m.rankTable }
+
 // initCaches builds the sparse-pi decomposition and the per-topic bilinear
 // aggregates used by the prediction paths. Must be called after Load.
 func (m *Model) initCaches() {

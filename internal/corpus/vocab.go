@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
@@ -65,6 +66,20 @@ func (v *Vocabulary) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return n, bw.Flush()
+}
+
+// ReadVocabularyFile reads a vocabulary file in the WriteTo format.
+func ReadVocabularyFile(path string) (*Vocabulary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	v, err := ReadVocabulary(f)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", path, err)
+	}
+	return v, nil
 }
 
 // ReadVocabulary parses the WriteTo format.

@@ -1,14 +1,17 @@
 // Package lens is the reproduction of the paper's SocialLens companion
 // system (footnote 1 / reference [4]): an interactive service for browsing
-// communities by both content and interaction. It serves a trained CPD
-// model over HTTP: community summaries (content profile, attribute
-// profile, openness, members), profile-driven ranking for free-text
-// queries (Eq. 19) and the Fig. 7 diffusion graphs, plus a minimal
-// embedded browser page. Everything is stdlib net/http.
+// communities by both content and interaction. It is a thin HTTP/HTML
+// facade over serve.Engine — community summaries (content profile,
+// attribute profile, openness, members), profile-driven ranking for
+// free-text queries (Eq. 19) and the Fig. 7 diffusion graphs, plus a
+// minimal embedded browser page. The lens owns no model state: the engine
+// holds the live snapshot, so a hot-swap (serve.Engine.Reload) propagates
+// to the lens without restarting it. Everything is stdlib net/http.
 package lens
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -16,36 +19,26 @@ import (
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/corpus"
+	"repro/internal/serve"
 )
 
-// Server wires a trained model (and optional vocabulary) into an
-// http.Handler.
+// Server wires a serve.Engine into an http.Handler.
 type Server struct {
-	model *core.Model
-	vocab *corpus.Vocabulary
-	mux   *http.ServeMux
-
-	members  [][]int
-	openness []int
+	engine *serve.Engine
+	mux    *http.ServeMux
 }
 
-// New builds the server. vocab may be nil (numeric labels only; text
-// queries disabled).
-func New(model *core.Model, vocab *corpus.Vocabulary) *Server {
-	s := &Server{
-		model:    model,
-		vocab:    vocab,
-		mux:      http.NewServeMux(),
-		members:  model.CommunityMembers(5),
-		openness: apps.Openness(model),
-	}
+// New builds the server over an engine (see serve.New; the engine's
+// snapshot may or may not carry a vocabulary — without one, labels are
+// numeric and text queries answer 501).
+func New(engine *serve.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/communities", s.handleCommunities)
 	s.mux.HandleFunc("/api/community", s.handleCommunity)
 	s.mux.HandleFunc("/api/rank", s.handleRank)
 	s.mux.HandleFunc("/api/graph", s.handleGraph)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	return s
 }
 
@@ -63,120 +56,24 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// communitySummary is the list-view payload.
-type communitySummary struct {
-	ID       int     `json:"id"`
-	Label    string  `json:"label"`
-	Members  int     `json:"members"`
-	Openness int     `json:"openness"`
-	SelfDiff float64 `json:"selfDiffusion"`
-}
-
 func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
-	C := s.model.Cfg.NumCommunities
-	out := make([]communitySummary, C)
-	for c := 0; c < C; c++ {
-		var selfD float64
-		for z := 0; z < s.model.Cfg.NumTopics; z++ {
-			selfD += s.model.Eta.At(c, c, z)
-		}
-		out[c] = communitySummary{
-			ID:       c,
-			Label:    apps.CommunityLabel(s.model, s.vocab, c, 3),
-			Members:  len(s.members[c]),
-			Openness: s.openness[c],
-			SelfDiff: selfD,
-		}
-	}
+	out := s.engine.Communities()
 	sort.Slice(out, func(i, j int) bool { return out[i].Members > out[j].Members })
 	s.writeJSON(w, out)
 }
 
-// communityDetail is the drill-down payload: the full profile triple.
-type communityDetail struct {
-	communitySummary
-	TopTopics     []topicShare  `json:"topTopics"`
-	TopAttributes []int         `json:"topAttributes,omitempty"`
-	OutFlows      []flowSummary `json:"outFlows"`
-	InFlows       []flowSummary `json:"inFlows"`
-	MemberSample  []int         `json:"memberSample"`
-}
-
-type topicShare struct {
-	Topic int      `json:"topic"`
-	Share float64  `json:"share"`
-	Words []string `json:"words,omitempty"`
-}
-
-type flowSummary struct {
-	Community int     `json:"community"`
-	Topic     int     `json:"topic"`
-	Strength  float64 `json:"strength"`
-}
-
 func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 	c, err := strconv.Atoi(r.URL.Query().Get("id"))
-	if err != nil || c < 0 || c >= s.model.Cfg.NumCommunities {
+	if err != nil {
 		http.Error(w, "bad or missing community id", http.StatusBadRequest)
 		return
 	}
-	m := s.model
-	detail := communityDetail{}
-	detail.ID = c
-	detail.Label = apps.CommunityLabel(m, s.vocab, c, 3)
-	detail.Members = len(s.members[c])
-	detail.Openness = s.openness[c]
-
-	theta := m.Theta.Row(c)
-	for _, z := range topKf(theta, 3) {
-		ts := topicShare{Topic: z, Share: theta[z]}
-		if s.vocab != nil {
-			for _, wid := range m.TopWords(z, 4) {
-				ts.Words = append(ts.Words, s.vocab.Word(wid))
-			}
-		}
-		detail.TopTopics = append(detail.TopTopics, ts)
+	detail, err := s.engine.Community(c)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	detail.TopAttributes = m.TopAttributes(c, 5)
-
-	// Strongest topic-specific flows out of and into c.
-	type flow struct {
-		c2, z int
-		v     float64
-	}
-	var outs, ins []flow
-	for c2 := 0; c2 < m.Cfg.NumCommunities; c2++ {
-		for z := 0; z < m.Cfg.NumTopics; z++ {
-			if v := m.Eta.At(c, c2, z); v > 0 {
-				outs = append(outs, flow{c2, z, v})
-			}
-			if v := m.Eta.At(c2, c, z); v > 0 {
-				ins = append(ins, flow{c2, z, v})
-			}
-		}
-	}
-	sort.Slice(outs, func(i, j int) bool { return outs[i].v > outs[j].v })
-	sort.Slice(ins, func(i, j int) bool { return ins[i].v > ins[j].v })
-	for i := 0; i < 5 && i < len(outs); i++ {
-		detail.OutFlows = append(detail.OutFlows, flowSummary{outs[i].c2, outs[i].z, outs[i].v})
-	}
-	for i := 0; i < 5 && i < len(ins); i++ {
-		detail.InFlows = append(detail.InFlows, flowSummary{ins[i].c2, ins[i].z, ins[i].v})
-	}
-	sample := s.members[c]
-	if len(sample) > 10 {
-		sample = sample[:10]
-	}
-	detail.MemberSample = append(detail.MemberSample, sample...)
 	s.writeJSON(w, detail)
-}
-
-// rankResult is one Eq. 19 ranking entry.
-type rankResult struct {
-	Community int     `json:"community"`
-	Label     string  `json:"label"`
-	Score     float64 `json:"score"`
-	Members   int     `json:"members"`
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -185,48 +82,38 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	if s.vocab == nil {
-		http.Error(w, "server has no vocabulary; text queries disabled", http.StatusNotImplemented)
-		return
-	}
-	ranked, err := apps.RankCommunitiesText(s.model, s.vocab, corpus.Pipeline{MinDocTokens: 1}, q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	k := 10
 	if kq := r.URL.Query().Get("k"); kq != "" {
 		if v, err := strconv.Atoi(kq); err == nil && v > 0 {
 			k = v
 		}
 	}
-	if k > len(ranked) {
-		k = len(ranked)
-	}
-	out := make([]rankResult, k)
-	for i := 0; i < k; i++ {
-		c := ranked[i].Community
-		out[i] = rankResult{
-			Community: c,
-			Label:     apps.CommunityLabel(s.model, s.vocab, c, 3),
-			Score:     ranked[i].Score,
-			Members:   len(s.members[c]),
+	res, err := s.engine.RankText(q, k)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, serve.ErrNoVocabulary) {
+			status = http.StatusNotImplemented
 		}
+		http.Error(w, err.Error(), status)
+		return
 	}
-	s.writeJSON(w, out)
+	s.writeJSON(w, res.Entries)
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	// One coherent snapshot for the whole request: the diffusion graph is
+	// built from the model the engine serves right now.
+	v := s.engine.View()
 	topic := -1
 	if tq := r.URL.Query().Get("topic"); tq != "" {
-		v, err := strconv.Atoi(tq)
-		if err != nil || v < -1 || v >= s.model.Cfg.NumTopics {
+		t, err := strconv.Atoi(tq)
+		if err != nil || t < -1 || t >= v.Model.Cfg.NumTopics {
 			http.Error(w, "bad topic", http.StatusBadRequest)
 			return
 		}
-		topic = v
+		topic = t
 	}
-	dg := apps.BuildDiffusionGraph(s.model, s.vocab, topic)
+	dg := apps.BuildDiffusionGraph(v.Model, v.Vocab, topic)
 	switch r.URL.Query().Get("format") {
 	case "dot":
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
@@ -238,6 +125,10 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.engine.Stats())
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -245,18 +136,6 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, indexHTML)
-}
-
-func topKf(xs []float64, k int) []int {
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] > xs[idx[j]] })
-	if k > len(idx) {
-		k = len(idx)
-	}
-	return idx[:k]
 }
 
 // indexHTML is a minimal single-page browser over the API.

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -30,8 +31,8 @@ func testServer(t *testing.T) (*Server, *Server) {
 		if err != nil {
 			panic(err)
 		}
-		srv = New(m, synth.BuildVocabulary(cfg))
-		bare = New(m, nil)
+		srv = New(serve.New(m, synth.BuildVocabulary(cfg), serve.Options{}))
+		bare = New(serve.New(m, nil, serve.Options{}))
 	})
 	return srv, bare
 }
@@ -124,6 +125,21 @@ func TestRankEndpoint(t *testing.T) {
 	}
 	if get(t, b, "/api/rank?q=x").Code != http.StatusNotImplemented {
 		t.Fatal("vocab-less rank should be 501")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	var stats map[string]map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["rank"]; !ok {
+		t.Fatal("stats missing rank endpoint")
 	}
 }
 

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// FoldInRequest describes a user the model was never trained on: their
+// documents (bags of vocabulary word ids) and, optionally, the trained
+// users they hold friendship links to. Fold-in runs a short seeded Gibbs
+// pass over ONLY this user's latent assignments against the frozen model
+// parameters — the standard way to serve unseen users without retraining.
+type FoldInRequest struct {
+	// Docs must be non-empty: document assignments are the only latent
+	// tokens a CPD membership is built from, so a doc-less request has
+	// nothing to infer and is rejected (friendship links alone cannot
+	// move the membership off the prior).
+	Docs    [][]int32 `json:"docs"`
+	Friends []int32   `json:"friends,omitempty"`
+	// Seed drives the request's private RNG; the result is a pure function
+	// of (snapshot, request), so a fixed seed reproduces bit-identically
+	// regardless of pool size or concurrent load.
+	Seed uint64 `json:"seed"`
+	// Sweeps is the number of Gibbs sweeps (default 20, at most
+	// MaxFoldInSweeps).
+	Sweeps int `json:"sweeps,omitempty"`
+	// TopK bounds the returned membership list (default 5).
+	TopK int `json:"topK,omitempty"`
+}
+
+// Request size limits. Fold-in is exposed on the serving API, so a single
+// request must not be able to pin a worker for an unbounded time; requests
+// beyond these bounds are rejected with an error.
+const (
+	MaxFoldInSweeps  = 500
+	MaxFoldInTokens  = 1 << 20 // total words across a request's documents
+	MaxFoldInFriends = 1 << 16
+)
+
+// FoldInResult is the inferred profile of a folded-in user.
+type FoldInResult struct {
+	Version uint64 `json:"version"`
+	// Pi is the full |C| community membership (Definition 3) of the new
+	// user.
+	Pi []float64 `json:"pi"`
+	// Top lists the TopK highest memberships, descending.
+	Top []CommunityWeight `json:"top"`
+	// TopicMixture is Σ_c π_c θ_c — the user's content profile mixture.
+	TopicMixture []float64 `json:"topicMixture"`
+	// DocCommunity / DocTopic are the final hard assignments per document.
+	DocCommunity []int32 `json:"docCommunity"`
+	DocTopic     []int32 `json:"docTopic"`
+}
+
+// FoldIn infers the profile of one unseen user against the current
+// snapshot. It is deterministic for a fixed request seed.
+func (e *Engine) FoldIn(req *FoldInRequest) (res *FoldInResult, err error) {
+	start := time.Now()
+	defer func() { e.lat[epFoldIn].observe(time.Since(start), err) }()
+	return foldIn(e.View(), req)
+}
+
+// foldJob carries one batch entry to the persistent worker pool.
+type foldJob struct {
+	snap *Snapshot
+	req  *FoldInRequest
+	idx  int
+	out  []*FoldInResult
+	errs []error
+	wg   *sync.WaitGroup
+}
+
+func (e *Engine) foldWorker() {
+	for job := range e.foldJobs {
+		start := time.Now()
+		res, err := foldIn(job.snap, job.req)
+		// Per-request accounting, so the foldin stats (count, errors,
+		// latency) mean the same thing for batch and single requests.
+		e.lat[epFoldIn].observe(time.Since(start), err)
+		job.out[job.idx], job.errs[job.idx] = res, err
+		job.wg.Done()
+	}
+}
+
+// FoldInBatch folds in many users concurrently through the engine's
+// persistent worker pool. All requests in a batch resolve against the same
+// snapshot (one atomic load for the whole batch), and results are in
+// request order. Each entry carries its own error and is counted
+// individually in the foldin latency stats; results are bit-identical for
+// every FoldInWorkers value.
+func (e *Engine) FoldInBatch(reqs []*FoldInRequest) ([]*FoldInResult, []error) {
+	snap := e.View()
+	out := make([]*FoldInResult, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i, req := range reqs {
+		e.foldJobs <- foldJob{snap: snap, req: req, idx: i, out: out, errs: errs, wg: &wg}
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// foldIn is the pure inference kernel: Gibbs over the new user's document
+// assignments (c_i, z_i) with every global (Φ, Θ, π of trained users, ρ)
+// frozen.
+//
+// Per sweep and document it resamples
+//
+//	z_i | c_i        ∝ θ_{c_i,z} · Π_w φ_{z,w}            (Eq. 13's frozen form)
+//	c_i | z_i, c_¬i  ∝ (n^c_¬i + ρ) · θ_{c,z_i} · Π_{v∈friends} σ(s·π̂_u^T π_v)
+//
+// where π̂_u is the candidate-dependent smoothed membership — the same
+// structure as core's sampleDocCommunity, with the Pólya-Gamma kernels
+// replaced by the exact sigmoid likelihood (fold-in conditions on observed
+// links only and needs no augmentation variables, since the globals are
+// fixed).
+func foldIn(s *Snapshot, req *FoldInRequest) (*FoldInResult, error) {
+	m := s.Model
+	C, Z := m.Cfg.NumCommunities, m.Cfg.NumTopics
+	if len(req.Docs) == 0 {
+		return nil, fmt.Errorf("serve: fold-in requires at least one document")
+	}
+	if len(req.Friends) > MaxFoldInFriends {
+		return nil, fmt.Errorf("serve: fold-in request has %d friends (limit %d)", len(req.Friends), MaxFoldInFriends)
+	}
+	tokens := 0
+	for i, doc := range req.Docs {
+		if len(doc) == 0 {
+			return nil, fmt.Errorf("serve: fold-in document %d is empty", i)
+		}
+		tokens += len(doc)
+		for _, w := range doc {
+			if w < 0 || int(w) >= m.NumWords {
+				return nil, fmt.Errorf("serve: fold-in document %d has out-of-range word %d", i, w)
+			}
+		}
+	}
+	if tokens > MaxFoldInTokens {
+		return nil, fmt.Errorf("serve: fold-in request has %d words (limit %d)", tokens, MaxFoldInTokens)
+	}
+	for _, v := range req.Friends {
+		if v < 0 || int(v) >= m.NumUsers {
+			return nil, fmt.Errorf("serve: fold-in friend %d out of range [0, %d)", v, m.NumUsers)
+		}
+	}
+	sweeps := req.Sweeps
+	if sweeps <= 0 {
+		sweeps = 20
+	}
+	if sweeps > MaxFoldInSweeps {
+		return nil, fmt.Errorf("serve: fold-in requests %d sweeps (limit %d)", sweeps, MaxFoldInSweeps)
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+
+	rho := m.Cfg.Rho
+	n := len(req.Docs)
+	den := float64(n) + float64(C)*rho
+	cnt := make([]float64, C)
+	docC := make([]int32, n)
+	docZ := make([]int32, n)
+
+	r := rng.New(req.Seed)
+
+	// Per-document word log-likelihood table wordLL[i][z] = Σ_w log φ_z,w,
+	// computed once: the only per-sweep z-dependence left is θ_{c,z}.
+	wordLL := make([][]float64, n)
+	for i, doc := range req.Docs {
+		ll := make([]float64, Z)
+		for z := 0; z < Z; z++ {
+			phi := m.Phi.Row(z)
+			var lw float64
+			for _, w := range doc {
+				lw += math.Log(phi[w] + 1e-300)
+			}
+			ll[z] = lw
+		}
+		wordLL[i] = ll
+	}
+
+	// Friend membership rows (frozen) for the friendship factor.
+	friendPi := make([][]float64, len(req.Friends))
+	for k, v := range req.Friends {
+		friendPi[k] = m.Pi.Row(int(v))
+	}
+
+	// Seeded random init, counted.
+	for i := range docC {
+		docC[i] = int32(r.Intn(C))
+		docZ[i] = int32(r.Intn(Z))
+		cnt[docC[i]]++
+	}
+
+	dim := Z
+	if C > dim {
+		dim = C
+	}
+	logw := make([]float64, dim)
+	fs := m.Cfg.FriendScale
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i := 0; i < n; i++ {
+			// z_i | c_i.
+			c := int(docC[i])
+			lw := logw[:Z]
+			theta := m.Theta.Row(c)
+			for z := 0; z < Z; z++ {
+				lw[z] = math.Log(theta[z]+1e-300) + wordLL[i][z]
+			}
+			z := r.CategoricalLog(lw)
+			docZ[i] = int32(z)
+
+			// c_i | z_i, c_¬i.
+			cnt[c]--
+			lw = logw[:C]
+			for cc := 0; cc < C; cc++ {
+				lw[cc] = math.Log(cnt[cc]+rho) + math.Log(m.Theta.At(cc, z)+1e-300)
+			}
+			for _, piV := range friendPi {
+				// π̂_u(c') = (cnt_¬i[c'] + ρ + [c'==c]) / den; the
+				// candidate-independent part of π̂_u^T π_v is shared.
+				var s0 float64
+				for cc := 0; cc < C; cc++ {
+					s0 += (cnt[cc] + rho) * piV[cc]
+				}
+				s0 /= den
+				for cc := 0; cc < C; cc++ {
+					lw[cc] += mathx.LogSigmoid(fs * (s0 + piV[cc]/den))
+				}
+			}
+			cNew := r.CategoricalLog(lw)
+			docC[i] = int32(cNew)
+			cnt[cNew]++
+		}
+	}
+
+	res := &FoldInResult{
+		Version:      s.Version,
+		Pi:           make([]float64, C),
+		TopicMixture: make([]float64, Z),
+		DocCommunity: docC,
+		DocTopic:     docZ,
+	}
+	for c := 0; c < C; c++ {
+		res.Pi[c] = (cnt[c] + rho) / den
+	}
+	for c := 0; c < C; c++ {
+		pc := res.Pi[c]
+		if pc == 0 {
+			continue
+		}
+		theta := m.Theta.Row(c)
+		for z := 0; z < Z; z++ {
+			res.TopicMixture[z] += pc * theta[z]
+		}
+	}
+	for _, c := range mathx.TopKIndices(res.Pi, topK) {
+		res.Top = append(res.Top, CommunityWeight{Community: c, Weight: res.Pi[c]})
+	}
+	return res, nil
+}

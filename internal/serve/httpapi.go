@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// APIHandler exposes the engine's typed query API as a JSON HTTP surface —
+// the headless counterpart of the lens browser UI, served by
+// cmd/cpd-serve:
+//
+//	GET  /api/communities                       community summaries
+//	GET  /api/community?id=3                    full community profile
+//	GET  /api/user?id=42&k=5                    user membership
+//	GET  /api/rank?q=deep+learning&k=10         free-text Eq. 19 ranking
+//	GET  /api/rank?w=17,204&k=10                word-id Eq. 19 ranking
+//	GET  /api/diffusion?u=1&v=2&topic=0&bucket=3 per-topic diffusion prob
+//	POST /api/foldin                            fold-in one FoldInRequest
+//	POST /api/reload                            hot-swap via reload (if non-nil)
+//	GET  /api/stats                             per-endpoint latency counters
+//	GET  /healthz                               liveness + model version
+//
+// reload is invoked by POST /api/reload; pass nil to disable the endpoint
+// (it returns 501). cmd/cpd-serve wires it to re-read the paths the server
+// was started with, so HTTP clients cannot point the server at arbitrary
+// files.
+func APIHandler(e *Engine, reload func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/communities", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Communities())
+	})
+	mux.HandleFunc("/api/community", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad or missing community id", http.StatusBadRequest)
+			return
+		}
+		d, err := e.Community(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, d)
+	})
+	mux.HandleFunc("/api/user", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad or missing user id", http.StatusBadRequest)
+			return
+		}
+		res, err := e.Membership(id, intParam(r, "k", 0))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/api/rank", func(w http.ResponseWriter, r *http.Request) {
+		k := intParam(r, "k", 10)
+		var res *RankResult
+		var err error
+		switch {
+		case r.URL.Query().Get("w") != "":
+			var ids []int32
+			for _, s := range strings.Split(r.URL.Query().Get("w"), ",") {
+				v, convErr := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+				if convErr != nil {
+					http.Error(w, fmt.Sprintf("bad word id %q", s), http.StatusBadRequest)
+					return
+				}
+				ids = append(ids, int32(v))
+			}
+			res, err = e.Rank(ids, k)
+		case strings.TrimSpace(r.URL.Query().Get("q")) != "":
+			res, err = e.RankText(r.URL.Query().Get("q"), k)
+		default:
+			http.Error(w, "missing q or w parameter", http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrNoVocabulary) {
+				status = http.StatusNotImplemented
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/api/diffusion", func(w http.ResponseWriter, r *http.Request) {
+		u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+		v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
+		z, err3 := strconv.Atoi(r.URL.Query().Get("topic"))
+		if err1 != nil || err2 != nil || err3 != nil {
+			http.Error(w, "u, v and topic are required integers", http.StatusBadRequest)
+			return
+		}
+		res, err := e.Diffusion(u, v, z, intParam(r, "bucket", -1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/api/foldin", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a FoldInRequest", http.StatusMethodNotAllowed)
+			return
+		}
+		// Cap the body before decoding: the fold-in limits cannot protect
+		// the server if the JSON for an over-limit request is allowed to
+		// materialize first. 16 MiB comfortably fits MaxFoldInTokens.
+		r.Body = http.MaxBytesReader(w, r.Body, 16<<20)
+		var req FoldInRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := e.FoldIn(&req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/api/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST to reload", http.StatusMethodNotAllowed)
+			return
+		}
+		if reload == nil {
+			http.Error(w, "reload disabled", http.StatusNotImplemented)
+			return
+		}
+		if err := reload(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]uint64{"version": e.View().Version})
+	})
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s := e.View()
+		writeJSON(w, map[string]any{
+			"status":  "ok",
+			"version": s.Version,
+			"users":   s.Model.NumUsers,
+			"words":   s.Model.NumWords,
+		})
+	})
+	return mux
+}
+
+// RunHTTP serves h on addr until the process receives SIGINT or SIGTERM,
+// then shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to ten seconds to drain. It returns nil on a clean
+// signal-triggered shutdown. Both cmd/cpd-serve and cmd/cpd-lens run
+// through it instead of bare http.ListenAndServe.
+func RunHTTP(addr string, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if s := r.URL.Query().Get(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

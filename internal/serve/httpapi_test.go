@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func apiGet(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestAPIHandler(t *testing.T) {
+	m := SyntheticModel(20, 6, 4, 80, 11)
+	e := testEngine(t, m, nil, Options{})
+	reloaded := 0
+	h := APIHandler(e, func() error { reloaded++; return nil })
+
+	rec := apiGet(t, h, "/api/communities")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("communities: %d", rec.Code)
+	}
+	var comms []CommunitySummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &comms); err != nil {
+		t.Fatal(err)
+	}
+	if len(comms) != 6 {
+		t.Fatalf("got %d communities", len(comms))
+	}
+
+	if rec := apiGet(t, h, "/api/community?id=2"); rec.Code != http.StatusOK {
+		t.Fatalf("community: %d", rec.Code)
+	}
+	if rec := apiGet(t, h, "/api/community?id=77"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad community id: %d", rec.Code)
+	}
+	if rec := apiGet(t, h, "/api/user?id=3&k=2"); rec.Code != http.StatusOK {
+		t.Fatalf("user: %d", rec.Code)
+	}
+	if rec := apiGet(t, h, "/api/rank?w=1,5&k=3"); rec.Code != http.StatusOK {
+		t.Fatalf("rank by word ids: %d", rec.Code)
+	}
+	// No vocabulary: free-text ranking answers 501.
+	if rec := apiGet(t, h, "/api/rank?q=anything"); rec.Code != http.StatusNotImplemented {
+		t.Fatalf("vocab-less text rank: %d", rec.Code)
+	}
+	if rec := apiGet(t, h, "/api/rank"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty rank: %d", rec.Code)
+	}
+	if rec := apiGet(t, h, "/api/diffusion?u=0&v=1&topic=2"); rec.Code != http.StatusOK {
+		t.Fatalf("diffusion: %d", rec.Code)
+	}
+
+	body := `{"docs":[[1,2,3],[4]],"friends":[0],"seed":9}`
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/foldin", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("foldin: %d: %s", rec.Code, rec.Body.String())
+	}
+	var fr FoldInResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Pi) != 6 || len(fr.DocCommunity) != 2 {
+		t.Fatalf("foldin result %+v", fr)
+	}
+	// GET on a POST endpoint is rejected.
+	if rec := apiGet(t, h, "/api/foldin"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("foldin GET: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/reload", nil))
+	if rec.Code != http.StatusOK || reloaded != 1 {
+		t.Fatalf("reload: %d (called %d times)", rec.Code, reloaded)
+	}
+
+	if rec := apiGet(t, h, "/api/stats"); rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	rec = apiGet(t, h, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"version": 1`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// A handler built with nil reload disables the endpoint.
+	h2 := APIHandler(e, nil)
+	rec = httptest.NewRecorder()
+	h2.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/reload", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("nil reload: %d", rec.Code)
+	}
+}

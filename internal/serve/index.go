@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// RankIndex is the inverted index behind Engine.Rank. It decomposes the
+// Eq. 19 community score into per-word contributions:
+//
+//	score(c, q) = Σ_z rankTable[c][z] · p(z|q)
+//
+// with the per-word topic posterior mixture p(z|q) = 1/|q| Σ_{w∈q} p(z|w),
+// p(z|w) ∝ φ_z,w. Under that (standard inverted-index) decomposition the
+// score is a plain sum of word-community weights
+//
+//	S[c][w] = Σ_z rankTable[c][z] · p(z|w),
+//
+// so a query costs a walk over |q| posting lists instead of the full
+// per-query K×|Z| scan (plus |q|×|Z| log-likelihood evaluations) of
+// core.Model.RankCommunities. For single-word queries the decomposition is
+// exact: softmax over log φ_z,w IS p(z|w). For multi-word queries it
+// replaces the paper's product-of-words posterior with the word mixture —
+// the usual bag-of-words relaxation that makes the score distributive.
+//
+// Posting lists keep only each word's perWord highest-scoring communities
+// (perWord >= |C| keeps them all and makes single-word ranking exact);
+// entries are stored descending by score, flat in memory.
+type RankIndex struct {
+	numWords int
+	offsets  []int32 // len numWords+1; postings of word w are [offsets[w], offsets[w+1])
+	comms    []int32
+	scores   []float64
+}
+
+// buildRankIndex precomputes the posting lists from the model's rank table
+// and topic-word distributions, processing words in blocks so the
+// transient buffers stay small (O(block·(|Z|+|C|))) even for 50k-word
+// vocabularies.
+func buildRankIndex(m *core.Model, perWord int) *RankIndex {
+	C, Z, V := m.Cfg.NumCommunities, m.Cfg.NumTopics, m.NumWords
+	if perWord <= 0 || perWord > C {
+		perWord = C
+	}
+	rt := m.RankTable()
+	ix := &RankIndex{
+		numWords: V,
+		offsets:  make([]int32, V+1),
+		comms:    make([]int32, 0, V*perWord),
+		scores:   make([]float64, 0, V*perWord),
+	}
+	const block = 256
+	pz := make([]float64, Z*block)     // pz[z*block+j] = p(z | w0+j)
+	colSum := make([]float64, block)   // Σ_z φ_z,w
+	wordSc := make([]float64, C*block) // wordSc[c*block+j] = S[c][w0+j]
+	sel := make([]float64, C)
+	for w0 := 0; w0 < V; w0 += block {
+		n := V - w0
+		if n > block {
+			n = block
+		}
+		for j := 0; j < n; j++ {
+			colSum[j] = 0
+		}
+		for z := 0; z < Z; z++ {
+			phi := m.Phi.Row(z)[w0 : w0+n]
+			dst := pz[z*block : z*block+n]
+			for j, v := range phi {
+				dst[j] = v
+				colSum[j] += v
+			}
+		}
+		for z := 0; z < Z; z++ {
+			dst := pz[z*block : z*block+n]
+			for j := range dst {
+				if colSum[j] > 0 {
+					dst[j] /= colSum[j]
+				}
+			}
+		}
+		for c := 0; c < C; c++ {
+			dst := wordSc[c*block : c*block+n]
+			for j := range dst {
+				dst[j] = 0
+			}
+			row := rt.Row(c)
+			for z := 0; z < Z; z++ {
+				rv := row[z]
+				if rv == 0 {
+					continue
+				}
+				src := pz[z*block : z*block+n]
+				for j, v := range src {
+					dst[j] += rv * v
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			w := w0 + j
+			if colSum[j] <= 0 {
+				// The word never occurs under any topic: empty posting list.
+				ix.offsets[w+1] = int32(len(ix.comms))
+				continue
+			}
+			for c := 0; c < C; c++ {
+				sel[c] = wordSc[c*block+j]
+			}
+			ix.appendTop(sel, perWord)
+			ix.offsets[w+1] = int32(len(ix.comms))
+		}
+	}
+	return ix
+}
+
+// appendTop appends the k highest entries of sel as one posting list,
+// descending by score.
+func (ix *RankIndex) appendTop(sel []float64, k int) {
+	for _, c := range mathx.TopKIndices(sel, k) {
+		ix.comms = append(ix.comms, int32(c))
+		ix.scores = append(ix.scores, sel[c])
+	}
+}
+
+// Postings returns word w's posting list views (communities and scores,
+// descending by score). The slices are owned by the index.
+func (ix *RankIndex) Postings(w int32) ([]int32, []float64) {
+	lo, hi := ix.offsets[w], ix.offsets[w+1]
+	return ix.comms[lo:hi], ix.scores[lo:hi]
+}
+
+// Accumulate adds each query word's posting list into the dense score
+// accumulator (len |C|). The caller zeroes scores beforehand; ranking is
+// invariant to the 1/|q| normalization, which is therefore skipped.
+func (ix *RankIndex) Accumulate(scores []float64, query []int32) {
+	for _, w := range query {
+		lo, hi := ix.offsets[w], ix.offsets[w+1]
+		comms := ix.comms[lo:hi]
+		vals := ix.scores[lo:hi]
+		for i, c := range comms {
+			scores[c] += vals[i]
+		}
+	}
+}
+
+// PostingsPerWord reports the index's effective posting-list bound (the
+// longest stored list).
+func (ix *RankIndex) PostingsPerWord() int {
+	maxLen := 0
+	for w := 0; w < ix.numWords; w++ {
+		if n := int(ix.offsets[w+1] - ix.offsets[w]); n > maxLen {
+			maxLen = n
+		}
+	}
+	return maxLen
+}

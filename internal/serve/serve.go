@@ -1,0 +1,497 @@
+// Package serve is the online profile-serving subsystem: the read path
+// between a trained CPD model and the HTTP edge. The paper ships its
+// results as an interactive service (SocialLens, footnote 1); this package
+// is the engine such a service needs to hold up under load:
+//
+//   - the live model sits behind an atomic pointer, so Reload hot-swaps a
+//     new snapshot with zero downtime — in-flight queries keep the
+//     snapshot they started on, and no query ever observes a torn mix of
+//     two models;
+//   - Eq. 19 community ranking runs over a precomputed inverted index
+//     (word → community posting lists, see RankIndex) instead of scoring
+//     every community against every topic per query;
+//   - fold-in inference (FoldIn) gives users the model was never trained
+//     on a community membership and profile, by a short seeded Gibbs pass
+//     against the frozen Φ/Θ/Π — batched through a persistent worker pool
+//     in the spirit of core.Engine's segment workers;
+//   - every endpoint keeps latency counters (Stats).
+//
+// internal/lens builds its browser UI on this engine; cmd/cpd-serve
+// exposes it as a headless JSON API.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/mathx"
+	"repro/internal/store"
+)
+
+// Options tunes an Engine. The zero value is ready for use.
+type Options struct {
+	// PostingsPerWord bounds each word's posting list in the inverted rank
+	// index. Longer lists rank more exactly but cost more memory and query
+	// time; PostingsPerWord >= |C| makes single-word ranking exact.
+	// 0 selects the default (32).
+	PostingsPerWord int
+	// FoldInWorkers sizes the persistent fold-in worker pool FoldInBatch
+	// fans out over. Results are bit-identical for every value (each
+	// request is a pure function of the snapshot and its own seed);
+	// 0 selects the default (4).
+	FoldInWorkers int
+	// Pipeline tokenizes free-text rank queries. A zero pipeline (with
+	// MinDocTokens forced to 1) passes tokens through unstemmed.
+	Pipeline corpus.Pipeline
+
+	// MemberTopK is the "top communities per user" convention used for
+	// member lists (default 5, the paper's choice).
+	MemberTopK int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PostingsPerWord == 0 {
+		o.PostingsPerWord = 32
+	}
+	if o.FoldInWorkers == 0 {
+		o.FoldInWorkers = 4
+	}
+	if o.Pipeline.MinDocTokens == 0 {
+		o.Pipeline.MinDocTokens = 1
+	}
+	if o.MemberTopK == 0 {
+		o.MemberTopK = 5
+	}
+	return o
+}
+
+// Snapshot is one immutable serving state: a model, its optional
+// vocabulary, and everything precomputed from them. Queries resolve
+// against exactly one snapshot, so a Reload during a request can never mix
+// parameters from two models.
+type Snapshot struct {
+	Model *core.Model
+	Vocab *corpus.Vocabulary
+	// Version increments on every swap; results carry it so callers can
+	// attribute answers to a model generation.
+	Version uint64
+
+	members  [][]int
+	openness []int
+	labels   []string
+	index    *RankIndex
+}
+
+func newSnapshot(m *core.Model, vocab *corpus.Vocabulary, version uint64, opts Options) *Snapshot {
+	s := &Snapshot{
+		Model:    m,
+		Vocab:    vocab,
+		Version:  version,
+		members:  m.CommunityMembers(opts.MemberTopK),
+		openness: apps.Openness(m),
+		labels:   make([]string, m.Cfg.NumCommunities),
+		index:    buildRankIndex(m, opts.PostingsPerWord),
+	}
+	for c := range s.labels {
+		s.labels[c] = apps.CommunityLabel(m, vocab, c, 3)
+	}
+	return s
+}
+
+// Label returns community c's display label ("data database search"
+// style, or "cNN" without a vocabulary), precomputed per snapshot.
+func (s *Snapshot) Label(c int) string { return s.labels[c] }
+
+// Members returns the users having community c among their top-k
+// memberships (k = Options.MemberTopK).
+func (s *Snapshot) Members(c int) []int { return s.members[c] }
+
+// Openness returns community c's openness count (above-average diffusion
+// edges shared with other communities).
+func (s *Snapshot) Openness(c int) int { return s.openness[c] }
+
+// Endpoint identifiers for the latency counters.
+const (
+	epCommunities = iota
+	epCommunity
+	epMembership
+	epRank
+	epDiffusion
+	epFoldIn
+	epReload
+	epCount
+)
+
+var endpointNames = [epCount]string{
+	"communities", "community", "membership", "rank", "diffusion", "foldin", "reload",
+}
+
+// EndpointStats is one endpoint's cumulative latency accounting.
+type EndpointStats struct {
+	Count       uint64 `json:"count"`
+	Errors      uint64 `json:"errors"`
+	TotalMicros uint64 `json:"totalMicros"`
+	MaxMicros   uint64 `json:"maxMicros"`
+}
+
+type latencyCounter struct {
+	count, errs, totalNS, maxNS atomic.Uint64
+}
+
+func (l *latencyCounter) observe(d time.Duration, err error) {
+	ns := uint64(d.Nanoseconds())
+	l.count.Add(1)
+	l.totalNS.Add(ns)
+	if err != nil {
+		l.errs.Add(1)
+	}
+	for {
+		cur := l.maxNS.Load()
+		if ns <= cur || l.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Engine is the concurrent query engine. All methods are safe for
+// concurrent use, including concurrently with Reload/Swap.
+type Engine struct {
+	opts Options
+
+	snap    atomic.Pointer[Snapshot]
+	version atomic.Uint64
+	// swapMu serializes writers (Reload/Swap); readers never take it.
+	swapMu sync.Mutex
+
+	lat [epCount]latencyCounter
+
+	foldJobs  chan foldJob
+	closeOnce sync.Once
+}
+
+// New builds an engine serving m (vocab may be nil: numeric labels only,
+// free-text queries disabled) and starts its fold-in worker pool.
+func New(m *core.Model, vocab *corpus.Vocabulary, opts Options) *Engine {
+	e := &Engine{opts: opts.withDefaults()}
+	e.version.Store(1)
+	e.snap.Store(newSnapshot(m, vocab, 1, e.opts))
+	e.foldJobs = make(chan foldJob)
+	for i := 0; i < e.opts.FoldInWorkers; i++ {
+		go e.foldWorker()
+	}
+	return e
+}
+
+// Close stops the fold-in worker pool. The engine must not be used after
+// Close.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.foldJobs) })
+}
+
+// View returns the current snapshot: one atomic load, after which every
+// read through it is consistent regardless of concurrent swaps. Handlers
+// that issue several reads per request should call View once and stick to
+// it.
+func (e *Engine) View() *Snapshot { return e.snap.Load() }
+
+// Swap atomically replaces the serving model in-process and returns the
+// new version. In-flight queries finish on the snapshot they started with.
+func (e *Engine) Swap(m *core.Model, vocab *corpus.Vocabulary) uint64 {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	v := e.version.Add(1)
+	e.snap.Store(newSnapshot(m, vocab, v, e.opts))
+	return v
+}
+
+// Reload loads a model snapshot from modelPath (binary or JSON, sniffed)
+// and hot-swaps it in. vocabPath may be empty to keep the current
+// vocabulary. On error the serving state is left untouched.
+func (e *Engine) Reload(modelPath, vocabPath string) (version uint64, err error) {
+	start := time.Now()
+	defer func() { e.lat[epReload].observe(time.Since(start), err) }()
+	m, err := store.LoadFile(modelPath)
+	if err != nil {
+		return 0, err
+	}
+	vocab := e.View().Vocab
+	if vocabPath != "" {
+		vocab, err = corpus.ReadVocabularyFile(vocabPath)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return e.Swap(m, vocab), nil
+}
+
+// Stats returns a copy of the per-endpoint latency counters, keyed by
+// endpoint name.
+func (e *Engine) Stats() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, epCount)
+	for i := 0; i < epCount; i++ {
+		l := &e.lat[i]
+		out[endpointNames[i]] = EndpointStats{
+			Count:       l.count.Load(),
+			Errors:      l.errs.Load(),
+			TotalMicros: l.totalNS.Load() / 1e3,
+			MaxMicros:   l.maxNS.Load() / 1e3,
+		}
+	}
+	return out
+}
+
+// --- typed query API ----------------------------------------------------
+
+// CommunityWeight is one (community, weight) membership entry.
+type CommunityWeight struct {
+	Community int     `json:"community"`
+	Weight    float64 `json:"weight"`
+}
+
+// CommunitySummary is the list-view payload of one community.
+type CommunitySummary struct {
+	ID       int     `json:"id"`
+	Label    string  `json:"label"`
+	Members  int     `json:"members"`
+	Openness int     `json:"openness"`
+	SelfDiff float64 `json:"selfDiffusion"`
+}
+
+// TopicShare is one entry of a community's content profile.
+type TopicShare struct {
+	Topic int      `json:"topic"`
+	Share float64  `json:"share"`
+	Words []string `json:"words,omitempty"`
+}
+
+// FlowSummary is one topic-specific community-to-community diffusion flow.
+type FlowSummary struct {
+	Community int     `json:"community"`
+	Topic     int     `json:"topic"`
+	Strength  float64 `json:"strength"`
+}
+
+// CommunityDetail is the full profile triple of one community.
+type CommunityDetail struct {
+	CommunitySummary
+	TopTopics     []TopicShare  `json:"topTopics"`
+	TopAttributes []int         `json:"topAttributes,omitempty"`
+	OutFlows      []FlowSummary `json:"outFlows"`
+	InFlows       []FlowSummary `json:"inFlows"`
+	MemberSample  []int         `json:"memberSample"`
+}
+
+// MembershipResult is a user's community membership answer.
+type MembershipResult struct {
+	User        int               `json:"user"`
+	Version     uint64            `json:"version"`
+	Communities []CommunityWeight `json:"communities"`
+}
+
+// RankEntry is one Eq. 19 ranking entry.
+type RankEntry struct {
+	Community int     `json:"community"`
+	Label     string  `json:"label"`
+	Score     float64 `json:"score"`
+	Members   int     `json:"members"`
+}
+
+// RankResult is the answer to a profile-driven ranking query.
+type RankResult struct {
+	Version uint64      `json:"version"`
+	Entries []RankEntry `json:"entries"`
+}
+
+// DiffusionResult is a per-topic diffusion probability answer (Eq. 5's
+// sigmoid without the individual-preference features, which need pairwise
+// graph context the serving layer does not hold).
+type DiffusionResult struct {
+	Version uint64  `json:"version"`
+	Logit   float64 `json:"logit"`
+	Prob    float64 `json:"prob"`
+}
+
+func (s *Snapshot) summary(c int) CommunitySummary {
+	m := s.Model
+	var selfD float64
+	for z := 0; z < m.Cfg.NumTopics; z++ {
+		selfD += m.Eta.At(c, c, z)
+	}
+	return CommunitySummary{
+		ID:       c,
+		Label:    s.labels[c],
+		Members:  len(s.members[c]),
+		Openness: s.openness[c],
+		SelfDiff: selfD,
+	}
+}
+
+// Communities returns every community's summary, in community-id order.
+func (e *Engine) Communities() []CommunitySummary {
+	start := time.Now()
+	defer func() { e.lat[epCommunities].observe(time.Since(start), nil) }()
+	s := e.View()
+	out := make([]CommunitySummary, s.Model.Cfg.NumCommunities)
+	for c := range out {
+		out[c] = s.summary(c)
+	}
+	return out
+}
+
+// Community returns the full profile of one community.
+func (e *Engine) Community(c int) (detail *CommunityDetail, err error) {
+	start := time.Now()
+	defer func() { e.lat[epCommunity].observe(time.Since(start), err) }()
+	s := e.View()
+	m := s.Model
+	if c < 0 || c >= m.Cfg.NumCommunities {
+		return nil, fmt.Errorf("serve: community %d out of range [0, %d)", c, m.Cfg.NumCommunities)
+	}
+	d := &CommunityDetail{CommunitySummary: s.summary(c)}
+	theta := m.Theta.Row(c)
+	for _, z := range mathx.TopKIndices(theta, 3) {
+		ts := TopicShare{Topic: z, Share: theta[z]}
+		if s.Vocab != nil {
+			for _, wid := range m.TopWords(z, 4) {
+				ts.Words = append(ts.Words, s.Vocab.Word(wid))
+			}
+		}
+		d.TopTopics = append(d.TopTopics, ts)
+	}
+	d.TopAttributes = m.TopAttributes(c, 5)
+	d.OutFlows, d.InFlows = topFlows(m, c, 5)
+	sample := s.members[c]
+	if len(sample) > 10 {
+		sample = sample[:10]
+	}
+	d.MemberSample = append(d.MemberSample, sample...)
+	return d, nil
+}
+
+// topFlows lists the k strongest topic-specific flows out of and into c.
+func topFlows(m *core.Model, c, k int) (outs, ins []FlowSummary) {
+	var outAll, inAll []FlowSummary
+	for c2 := 0; c2 < m.Cfg.NumCommunities; c2++ {
+		for z := 0; z < m.Cfg.NumTopics; z++ {
+			if v := m.Eta.At(c, c2, z); v > 0 {
+				outAll = append(outAll, FlowSummary{c2, z, v})
+			}
+			if v := m.Eta.At(c2, c, z); v > 0 {
+				inAll = append(inAll, FlowSummary{c2, z, v})
+			}
+		}
+	}
+	top := func(fs []FlowSummary) []FlowSummary {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Strength > fs[j].Strength })
+		if len(fs) > k {
+			fs = fs[:k]
+		}
+		return fs
+	}
+	return top(outAll), top(inAll)
+}
+
+// Membership returns user u's top-k community memberships.
+func (e *Engine) Membership(u, k int) (res *MembershipResult, err error) {
+	start := time.Now()
+	defer func() { e.lat[epMembership].observe(time.Since(start), err) }()
+	s := e.View()
+	m := s.Model
+	if u < 0 || u >= m.NumUsers {
+		return nil, fmt.Errorf("serve: user %d out of range [0, %d)", u, m.NumUsers)
+	}
+	if k <= 0 {
+		k = e.opts.MemberTopK
+	}
+	row := m.Pi.Row(u)
+	res = &MembershipResult{User: u, Version: s.Version}
+	for _, c := range m.TopCommunities(u, k) {
+		res.Communities = append(res.Communities, CommunityWeight{Community: c, Weight: row[c]})
+	}
+	return res, nil
+}
+
+// Diffusion returns the probability that user u diffuses user v's content
+// on topic z in time bucket b (pass b = -1 to skip the popularity factor).
+func (e *Engine) Diffusion(u, v, z, b int) (res *DiffusionResult, err error) {
+	start := time.Now()
+	defer func() { e.lat[epDiffusion].observe(time.Since(start), err) }()
+	s := e.View()
+	m := s.Model
+	if u < 0 || u >= m.NumUsers || v < 0 || v >= m.NumUsers {
+		return nil, fmt.Errorf("serve: user pair (%d, %d) out of range [0, %d)", u, v, m.NumUsers)
+	}
+	if z < 0 || z >= m.Cfg.NumTopics {
+		return nil, fmt.Errorf("serve: topic %d out of range [0, %d)", z, m.Cfg.NumTopics)
+	}
+	logit := m.DiffusionLogitTopic(u, v, z, b, nil)
+	return &DiffusionResult{Version: s.Version, Logit: logit, Prob: mathx.Sigmoid(logit)}, nil
+}
+
+// Rank answers an Eq. 19 profile-driven ranking query (a bag of word ids)
+// from the inverted index, returning the top-k communities.
+func (e *Engine) Rank(query []int32, k int) (res *RankResult, err error) {
+	start := time.Now()
+	defer func() { e.lat[epRank].observe(time.Since(start), err) }()
+	s := e.View()
+	return s.rank(query, k)
+}
+
+func (s *Snapshot) rank(query []int32, k int) (*RankResult, error) {
+	m := s.Model
+	if len(query) == 0 {
+		return nil, fmt.Errorf("serve: empty rank query")
+	}
+	for _, w := range query {
+		if w < 0 || int(w) >= m.NumWords {
+			return nil, fmt.Errorf("serve: query word %d out of range [0, %d)", w, m.NumWords)
+		}
+	}
+	C := m.Cfg.NumCommunities
+	if k <= 0 || k > C {
+		k = C
+	}
+	scores := make([]float64, C)
+	s.index.Accumulate(scores, query)
+	res := &RankResult{Version: s.Version}
+	for _, c := range mathx.TopKIndices(scores, k) {
+		res.Entries = append(res.Entries, RankEntry{
+			Community: c,
+			Label:     s.labels[c],
+			Score:     scores[c],
+			Members:   len(s.members[c]),
+		})
+	}
+	return res, nil
+}
+
+// ErrNoVocabulary reports a free-text query against an engine whose
+// snapshot has no vocabulary.
+var ErrNoVocabulary = fmt.Errorf("serve: snapshot has no vocabulary; free-text queries disabled")
+
+// RankText tokenizes a free-text query through the engine's pipeline and
+// vocabulary (unknown words dropped) and ranks communities.
+func (e *Engine) RankText(query string, k int) (res *RankResult, err error) {
+	start := time.Now()
+	defer func() { e.lat[epRank].observe(time.Since(start), err) }()
+	s := e.View()
+	if s.Vocab == nil {
+		return nil, ErrNoVocabulary
+	}
+	var ids []int32
+	for _, tok := range e.opts.Pipeline.Process(query) {
+		if id, ok := s.Vocab.ID(tok); ok {
+			ids = append(ids, int32(id))
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("serve: no query token of %q is in the vocabulary", query)
+	}
+	return s.rank(ids, k)
+}

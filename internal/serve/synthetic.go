@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+)
+
+// SyntheticModel assembles a well-formed random model of the given shape
+// without a training run — the substrate for serving benchmarks and load
+// tests (BenchmarkServeRank runs it at |C|=100, |W|=50k), where training a
+// model that large would dominate the measurement. All distribution blocks
+// are row-normalized and the prediction caches are rebuilt, so every
+// query path works exactly as on a trained model.
+func SyntheticModel(users, C, Z, V int, seed uint64) *core.Model {
+	r := rng.New(seed)
+	const buckets = 24
+	m := &core.Model{
+		Cfg: core.Config{
+			NumCommunities: C, NumTopics: Z, Seed: seed,
+		}.WithDefaults(),
+		NumUsers:   users,
+		NumWords:   V,
+		NumBuckets: buckets,
+		Pi:         sparse.NewDense(users, C),
+		Theta:      sparse.NewDense(C, Z),
+		Phi:        sparse.NewDense(Z, V),
+		Eta:        sparse.NewTensor3(C, C, Z),
+		Nu:         make([]float64, socialgraph.FeatureDim),
+		PopFreq:    sparse.NewDense(buckets, Z),
+	}
+	// Sparse-ish memberships: a handful of communities per user, like a
+	// trained π (the smoothed-vector fast paths depend on that shape).
+	for u := 0; u < users; u++ {
+		row := m.Pi.Row(u)
+		for i := range row {
+			row[i] = 1e-4
+		}
+		for k := 0; k < 3; k++ {
+			row[r.Intn(C)] += r.Float64()
+		}
+	}
+	fill := func(xs []float64) {
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+	}
+	fill(m.Theta.Data)
+	fill(m.Phi.Data)
+	fill(m.PopFreq.Data)
+	fill(m.Nu)
+	// Eta is a per-community distribution over (c', z) cells; random mass,
+	// normalized per leading community.
+	fill(m.Eta.Data)
+	cells := C * Z
+	for c := 0; c < C; c++ {
+		seg := m.Eta.Data[c*cells : (c+1)*cells]
+		var s float64
+		for _, v := range seg {
+			s += v
+		}
+		for i := range seg {
+			seg[i] /= s
+		}
+	}
+	m.Pi.NormalizeRows()
+	m.Theta.NormalizeRows()
+	m.Phi.NormalizeRows()
+	m.PopFreq.NormalizeRows()
+	m.Rehydrate()
+	return m
+}

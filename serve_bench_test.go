@@ -1,0 +1,107 @@
+package repro
+
+// Benchmarks for the online serving subsystem (internal/store +
+// internal/serve): snapshot loading, inverted-index ranking against the
+// full-scan baseline, and fold-in inference. The model shape (|C|=100,
+// |W|=50k) is the serving-scale configuration the subsystem is sized for —
+// far larger than the training benchmarks' models, and assembled directly
+// (serve.SyntheticModel) so the benchmarks measure serving, not training.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// serveBenchModel is the shared serving-scale model: |C|=100, |Z|=50,
+// |W|=50k, 500 users.
+func serveBenchModel(b *testing.B) *core.Model {
+	b.Helper()
+	return serve.SyntheticModel(500, 100, 50, 50000, 2017)
+}
+
+// BenchmarkServeRank compares Eq. 19 ranking through serve.Engine's
+// inverted index against the full K×|Z| scan of
+// core.Model.RankCommunities, on the same model and queries.
+func BenchmarkServeRank(b *testing.B) {
+	m := serveBenchModel(b)
+	e := serve.New(m, nil, serve.Options{})
+	defer e.Close()
+	queries := make([][]int32, 64)
+	for i := range queries {
+		queries[i] = []int32{int32(i * 701 % 50000), int32(i * 337 % 50000), int32(i * 97 % 50000)}
+	}
+	b.Run("inverted-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Rank(queries[i%len(queries)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.RankCommunities(queries[i%len(queries)])
+		}
+	})
+}
+
+// BenchmarkFoldIn measures fold-in inference of one unseen user (5
+// documents, 3 friends, 20 Gibbs sweeps) against the serving-scale model.
+func BenchmarkFoldIn(b *testing.B) {
+	m := serveBenchModel(b)
+	e := serve.New(m, nil, serve.Options{})
+	defer e.Close()
+	docs := make([][]int32, 5)
+	for d := range docs {
+		words := make([]int32, 8)
+		for w := range words {
+			words[w] = int32((d*131 + w*977) % 50000)
+		}
+		docs[d] = words
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := e.FoldIn(&serve.FoldInRequest{
+			Docs:    docs,
+			Friends: []int32{1, 2, 3},
+			Seed:    uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad compares loading the serving-scale model from the
+// binary snapshot format against the legacy JSON path — the store
+// package's raison d'être (a reload under load costs one of these).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	m := serveBenchModel(b)
+	var bin, js bytes.Buffer
+	if err := store.Encode(&bin, m); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Save(&js); err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("binary-%dMB", bin.Len()>>20), func(b *testing.B) {
+		b.SetBytes(int64(bin.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Load(bytes.NewReader(bin.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("json-%dMB", js.Len()>>20), func(b *testing.B) {
+		b.SetBytes(int64(js.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Load(bytes.NewReader(js.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
