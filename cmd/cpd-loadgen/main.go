@@ -1,0 +1,125 @@
+// Command cpd-loadgen replays a configurable query mix against a served
+// CPD model and reports throughput plus latency percentiles — the repo's
+// traffic baseline tool. It drives either a model snapshot in-process
+// (the serving engine's ceiling, no network or JSON cost) or a live
+// cpd-serve / cpd-lens endpoint over HTTP.
+//
+// Usage:
+//
+//	# In-process, closed loop: 8 workers, 30k requests, default mix.
+//	cpd-loadgen -model model.snap -requests 30000
+//
+//	# Against a live endpoint, open loop at 2000 qps for 30 seconds.
+//	cpd-loadgen -url http://localhost:8080 -model model.snap \
+//	    -rate 2000 -duration 30s -mix rank=4,membership=3,diffusion=2,foldin=1
+//
+// The -model snapshot is always required: it defines the id space queries
+// are drawn from (users, words, communities). With -url the model itself
+// stays local; only the generated queries travel.
+//
+// Closed loop (-rate 0) measures service latency under full back-pressure:
+// each worker issues its next request when the previous one returns. Open
+// loop (-rate > 0) fixes the arrival schedule and measures latency from
+// the *scheduled* arrival, so queueing delay on a saturated server counts
+// against it (no coordinated omission).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpd-loadgen: ")
+	var (
+		modelPath = flag.String("model", "", "model snapshot (binary or JSON; required — defines the query id space)")
+		vocabPath = flag.String("vocab", "", "optional vocabulary (in-process target only; enables labelled responses)")
+		url       = flag.String("url", "", "drive a live endpoint at this base URL instead of the in-process engine")
+
+		mixSpec     = flag.String("mix", "rank=4,membership=3,diffusion=2,foldin=1", "relative op weights")
+		concurrency = flag.Int("concurrency", 8, "workers (closed loop) / max in-flight (open loop)")
+		requests    = flag.Int("requests", 0, "total request count (0 = run for -duration)")
+		duration    = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
+		seed        = flag.Uint64("seed", 1, "request-stream seed")
+
+		rankWords    = flag.Int("rank-words", 2, "words per rank query")
+		rankK        = flag.Int("rank-k", 10, "top-k communities per rank query")
+		foldinDocs   = flag.Int("foldin-docs", 2, "documents per fold-in request")
+		foldinLen    = flag.Int("foldin-words", 8, "words per fold-in document")
+		foldinSweeps = flag.Int("foldin-sweeps", 10, "Gibbs sweeps per fold-in request")
+
+		jsonOut = flag.Bool("json", false, "emit the report as JSON instead of the table")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("-model is required (it defines the query id space)")
+	}
+	m, err := store.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mix, err := scenario.ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := scenario.LoadOptions{
+		Mix:   mix,
+		Space: scenario.SpaceFromModel(m),
+
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *duration,
+		Rate:        *rate,
+		Seed:        *seed,
+
+		RankWords:    *rankWords,
+		RankK:        *rankK,
+		FoldInDocs:   *foldinDocs,
+		FoldInDocLen: *foldinLen,
+		FoldInSweeps: *foldinSweeps,
+	}
+
+	var target scenario.Target
+	if *url != "" {
+		target = scenario.HTTPTarget{Base: *url}
+		fmt.Fprintf(os.Stderr, "target: %s (HTTP)\n", *url)
+	} else {
+		var vocab *corpus.Vocabulary
+		if *vocabPath != "" {
+			if vocab, err = corpus.ReadVocabularyFile(*vocabPath); err != nil {
+				log.Fatal(err)
+			}
+		}
+		engine := serve.New(m, vocab, serve.Options{})
+		defer engine.Close()
+		target = scenario.EngineTarget{Engine: engine}
+		fmt.Fprintf(os.Stderr, "target: %s (in-process engine, |C|=%d |Z|=%d users=%d words=%d)\n",
+			*modelPath, m.Cfg.NumCommunities, m.Cfg.NumTopics, m.NumUsers, m.NumWords)
+	}
+
+	rep, err := scenario.RunLoad(target, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep.String())
+}

@@ -1,10 +1,14 @@
-// Command cpd-synth generates a synthetic social graph (Twitter-like or
-// DBLP-like preset) and writes it — plus the themed vocabulary — to disk
-// in the socialgraph text format.
+// Command cpd-synth generates a synthetic social graph and writes it —
+// plus the themed vocabulary — to disk in the socialgraph text format.
+// Datasets come from either a size-parameterized preset (-preset twitter
+// or dblp) or a named scenario from the workload harness (-scenario),
+// which is exactly the generator path the regression suite trains on.
 //
 // Usage:
 //
 //	cpd-synth -preset twitter -users 2000 -seed 42 -out twitter.graph -vocab twitter.vocab
+//	cpd-synth -scenario power-law -out pl.graph -vocab pl.vocab
+//	cpd-synth -list
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/scenario"
 	"repro/internal/synth"
 )
 
@@ -20,24 +25,46 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpd-synth: ")
 	var (
-		preset = flag.String("preset", "twitter", "dataset preset: twitter | dblp")
-		users  = flag.Int("users", 1000, "number of users")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		out    = flag.String("out", "", "output graph file (required)")
-		vocab  = flag.String("vocab", "", "optional vocabulary output file")
+		preset   = flag.String("preset", "twitter", "dataset preset: twitter | dblp")
+		scenName = flag.String("scenario", "", "generate a named scenario preset instead (see -list)")
+		list     = flag.Bool("list", false, "list scenario presets and exit")
+		users    = flag.Int("users", 1000, "number of users (-preset only; scenarios fix their own scale)")
+		seed     = flag.Uint64("seed", 42, "generator seed (-scenario overrides with its pinned seed unless set)")
+		out      = flag.String("out", "", "output graph file (required)")
+		vocab    = flag.String("vocab", "", "optional vocabulary output file")
 	)
 	flag.Parse()
+	if *list {
+		for _, p := range scenario.All() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Description)
+		}
+		return
+	}
 	if *out == "" {
 		log.Fatal("-out is required")
 	}
 	var cfg synth.Config
-	switch *preset {
-	case "twitter":
-		cfg = synth.TwitterLike(*users, *seed)
-	case "dblp":
-		cfg = synth.DBLPLike(*users, *seed)
-	default:
-		log.Fatalf("unknown preset %q (want twitter or dblp)", *preset)
+	if *scenName != "" {
+		p, err := scenario.Lookup(*scenName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = p.Synth
+		// An explicitly set -seed re-seeds the scenario; the default keeps
+		// the pinned seed so the CLI reproduces the regression datasets
+		// byte for byte.
+		if seedSet(flag.CommandLine) {
+			cfg.Seed = *seed
+		}
+	} else {
+		switch *preset {
+		case "twitter":
+			cfg = synth.TwitterLike(*users, *seed)
+		case "dblp":
+			cfg = synth.DBLPLike(*users, *seed)
+		default:
+			log.Fatalf("unknown preset %q (want twitter or dblp)", *preset)
+		}
 	}
 	g, _ := synth.Generate(cfg)
 	if err := g.Validate(); err != nil {
@@ -70,6 +97,17 @@ func main() {
 		}
 	}
 	st := g.Stats()
-	fmt.Printf("wrote %s: %d users, %d friendship links, %d diffusion links, %d docs, %d words\n",
-		*out, st.Users, st.FriendLinks, st.DiffLinks, st.Docs, st.Words)
+	fmt.Printf("wrote %s (%s): %d users, %d friendship links, %d diffusion links, %d docs, %d words\n",
+		*out, cfg.Name, st.Users, st.FriendLinks, st.DiffLinks, st.Docs, st.Words)
+}
+
+// seedSet reports whether -seed was passed explicitly.
+func seedSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
 }

@@ -12,7 +12,12 @@
 // model snapshots (internal/store), a hot-swappable concurrent query
 // engine with an inverted rank index and fold-in inference for unseen
 // users (internal/serve), the SocialLens browser UI on top of it
-// (internal/lens), and the cpd-serve / cpd-lens servers.
+// (internal/lens), and the cpd-serve / cpd-lens servers. A workload
+// harness (internal/scenario) adds named seeded scenario presets across
+// degree/membership/vocabulary/diffusion regimes, an end-to-end
+// regression runner with golden metric files, and the cpd-loadgen
+// traffic generator that reports QPS and latency percentiles against a
+// served model.
 //
 // See README.md for a quickstart, the package map, and how to run the
 // experiments. The root package holds the per-table/per-figure benchmarks

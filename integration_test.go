@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/socialgraph"
 	"repro/internal/store"
@@ -275,5 +276,58 @@ func TestSubsampledTrainingStillWorks(t *testing.T) {
 	}
 	if len(diag.WorkerActual) != 2 {
 		t.Fatalf("parallel diagnostics missing: %+v", diag)
+	}
+}
+
+// TestScenarioHarnessPipeline exercises the workload harness through its
+// public seam the way CI's scenario job does: one preset runs the full
+// train→snapshot→serve→query regression (with the HTTP pass), its metrics
+// match the committed golden file, and the load generator then replays a
+// mixed closed-loop workload against a served model without errors.
+func TestScenarioHarnessPipeline(t *testing.T) {
+	p, err := scenario.Lookup("citation-web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := scenario.Run(p, scenario.RunOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := scenario.ReadGolden(filepath.Join("internal", "scenario", scenario.GoldenPath(p.Name)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.CompareGolden(metrics, golden); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load-generate against a model trained on the same bundle.
+	b, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := core.Train(b.Graph, p.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := serve.New(model, b.Vocab, serve.Options{})
+	defer engine.Close()
+	rep, err := scenario.RunLoad(scenario.EngineTarget{Engine: engine}, scenario.LoadOptions{
+		Space: scenario.SpaceFromModel(model), Requests: 500, Concurrency: 4, Seed: 13,
+		FoldInSweeps: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 500 || rep.Errors != 0 {
+		t.Fatalf("load run: %d requests, %d errors", rep.Requests, rep.Errors)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", rep)
+	}
+	for op, s := range rep.Ops {
+		if s.P50 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("%s latency percentiles not monotone: %+v", op, s)
+		}
 	}
 }

@@ -428,6 +428,84 @@ func Load(r io.Reader) (*Model, error) {
 	if m.Pi == nil || m.Theta == nil || m.Phi == nil || m.Eta == nil {
 		return nil, fmt.Errorf("core: model file missing parameter blocks")
 	}
+	if err := m.CheckShapes(); err != nil {
+		return nil, err
+	}
 	m.initCaches()
 	return &m, nil
+}
+
+// maxModelDim bounds every model dimension a deserializer accepts, so a
+// corrupt or hostile file cannot request absurd allocations or overflow
+// the element-count products below (2^28 squared still fits in int64).
+const maxModelDim = 1 << 28
+
+// CheckShapes cross-checks every parameter block against the config and
+// the dimension fields: shared dimensions must agree AND each block's
+// backing storage must hold exactly Rows×Cols elements. Deserializers
+// (core.Load, internal/store) run it before initCaches, whose indexing
+// assumes all of this — a file that lies about its shapes must fail
+// loading, not panic serving.
+func (m *Model) CheckShapes() error {
+	C, Z := m.Cfg.NumCommunities, m.Cfg.NumTopics
+	if C <= 0 || Z <= 0 || C > maxModelDim || Z > maxModelDim {
+		return fmt.Errorf("core: model config has |C|=%d |Z|=%d", C, Z)
+	}
+	if m.NumUsers < 0 || m.NumWords < 0 || m.NumBuckets < 0 || m.NumAttrs < 0 ||
+		m.NumUsers > maxModelDim || m.NumWords > maxModelDim ||
+		m.NumBuckets > maxModelDim || m.NumAttrs > maxModelDim {
+		return fmt.Errorf("core: model dimensions out of range (users=%d words=%d buckets=%d attrs=%d)",
+			m.NumUsers, m.NumWords, m.NumBuckets, m.NumAttrs)
+	}
+	dense := func(name string, d *sparse.Dense, rows, cols int) error {
+		if d == nil {
+			return fmt.Errorf("core: model is missing the %s block", name)
+		}
+		if d.Rows != rows || d.Cols != cols {
+			return fmt.Errorf("core: %s is %dx%d, want %dx%d", name, d.Rows, d.Cols, rows, cols)
+		}
+		if len(d.Data) != rows*cols {
+			return fmt.Errorf("core: %s claims %dx%d but stores %d values", name, rows, cols, len(d.Data))
+		}
+		return nil
+	}
+	if err := dense("pi", m.Pi, m.NumUsers, C); err != nil {
+		return err
+	}
+	if err := dense("theta", m.Theta, C, Z); err != nil {
+		return err
+	}
+	if err := dense("phi", m.Phi, Z, m.NumWords); err != nil {
+		return err
+	}
+	if m.Eta == nil {
+		return fmt.Errorf("core: model is missing the eta block")
+	}
+	if m.Eta.D1 != C || m.Eta.D2 != C || m.Eta.D3 != Z {
+		return fmt.Errorf("core: eta is %dx%dx%d, want %dx%dx%d", m.Eta.D1, m.Eta.D2, m.Eta.D3, C, C, Z)
+	}
+	if len(m.Eta.Data) != C*C*Z {
+		return fmt.Errorf("core: eta claims %dx%dx%d but stores %d values", C, C, Z, len(m.Eta.Data))
+	}
+	if m.Xi != nil {
+		if err := dense("xi", m.Xi, C, m.NumAttrs); err != nil {
+			return err
+		}
+	}
+	// A positive bucket count promises the popularity table: the
+	// diffusion path indexes PopFreq whenever 0 <= b < NumBuckets, so a
+	// model claiming buckets without the block would panic serving.
+	if m.PopFreq == nil && m.NumBuckets > 0 {
+		return fmt.Errorf("core: model claims %d time buckets but has no popularity block", m.NumBuckets)
+	}
+	if m.PopFreq != nil {
+		if err := dense("popularity", m.PopFreq, m.NumBuckets, Z); err != nil {
+			return err
+		}
+	}
+	if len(m.DocCommunity) != len(m.DocTopic) || len(m.DocCommunity) != len(m.DocBucket) {
+		return fmt.Errorf("core: document assignment blocks disagree on length (%d/%d/%d)",
+			len(m.DocCommunity), len(m.DocTopic), len(m.DocBucket))
+	}
+	return nil
 }

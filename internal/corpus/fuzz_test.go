@@ -1,0 +1,59 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize throws arbitrary text — including malformed UTF-8, which
+// real crawled corpora are full of — at the tokenizer and the full
+// preprocessing pipeline. Invariants: no panic, and every produced token
+// is non-empty, lower-case, free of separators, and not a bare '#'.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"Hello, World!",
+		"#CPD rocks: community profiling & detection!!!",
+		"users' don't we'll #hash_tag #123 42 3.14",
+		"___ ## # '''' \t\n\r",
+		"naïve café über 東京 #日本語 emoji 🎉🎊",
+		strings.Repeat("a", 1000),
+		"word'with'many'apostrophes'",
+		"\xff\xfe broken \x80 utf8 \xc3",
+		"MiXeD CaSe HASHTAG #TagGed",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	pipeline := DefaultPipeline()
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, tok := range Tokenize(text) {
+			if tok == "" || tok == "#" {
+				t.Fatalf("Tokenize(%q) produced degenerate token %q", text, tok)
+			}
+			for _, r := range tok {
+				if unicode.IsSpace(r) {
+					t.Fatalf("Tokenize(%q) produced token %q containing whitespace", text, tok)
+				}
+			}
+			// Lower-casing is a fixed point (some uppercase runes, e.g.
+			// U+03D4, have no lowercase form — found by this fuzzer).
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("Tokenize(%q) produced non-lowercased token %q", text, tok)
+			}
+			// The POS filter and stemmer must hold up on whatever the
+			// tokenizer emits.
+			KeepAsContent(tok)
+			if !strings.HasPrefix(tok, "#") {
+				PorterStem(tok)
+			}
+		}
+		// The full paper pipeline must never panic, and must respect its
+		// own minimum-token contract.
+		if kept := pipeline.Process(text); kept != nil && len(kept) < pipeline.MinDocTokens {
+			t.Fatalf("Process(%q) returned %d tokens, below its own floor %d",
+				text, len(kept), pipeline.MinDocTokens)
+		}
+	})
+}

@@ -258,6 +258,52 @@ func SampleNegativeDocPairs(g *socialgraph.Graph, n int, seed uint64) [][2]int {
 	return out
 }
 
+// NMI returns the normalized mutual information I(A;B)/sqrt(H(A)·H(B))
+// between two hard labelings of the same items — the standard
+// detection-vs-ground-truth agreement score the scenario regression suite
+// applies to planted communities. It is symmetric, 1 for identical
+// partitions (up to label renaming) and near 0 for independent ones.
+// Degenerate cases follow the usual convention: two single-cluster
+// labelings agree perfectly (1); if only one side is single-cluster the
+// score is 0. An empty or mismatched pair returns NaN.
+func NMI(a, b []int32) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return math.NaN()
+	}
+	n := float64(len(a))
+	countA := make(map[int32]float64)
+	countB := make(map[int32]float64)
+	joint := make(map[[2]int32]float64)
+	for i := range a {
+		countA[a[i]]++
+		countB[b[i]]++
+		joint[[2]int32{a[i], b[i]}]++
+	}
+	entropy := func(counts map[int32]float64) float64 {
+		var h float64
+		for _, c := range counts {
+			p := c / n
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, hb := entropy(countA), entropy(countB)
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	var mi float64
+	for k, c := range joint {
+		pxy := c / n
+		px := countA[k[0]] / n
+		py := countB[k[1]] / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	return mi / math.Sqrt(ha*hb)
+}
+
 // PairedTTest re-exports the mathx paired one-tailed t-test for
 // convenience in the experiment harness.
 func PairedTTest(a, b []float64) (float64, error) {

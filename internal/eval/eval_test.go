@@ -233,3 +233,46 @@ func BenchmarkAUC(b *testing.B) {
 		AUC(pos, neg)
 	}
 }
+
+func TestNMI(t *testing.T) {
+	perm := func(xs []int32, shift int32) []int32 {
+		out := make([]int32, len(xs))
+		for i, x := range xs {
+			out[i] = (x + shift) % 3
+		}
+		return out
+	}
+	a := []int32{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	cases := []struct {
+		name string
+		a, b []int32
+		want float64
+		tol  float64
+	}{
+		{"identical", a, a, 1, 1e-12},
+		{"label-renamed", a, perm(a, 1), 1, 1e-12},
+		{"both single cluster", []int32{4, 4, 4}, []int32{9, 9, 9}, 1, 0},
+		{"one side single cluster", a, []int32{7, 7, 7, 7, 7, 7, 7, 7, 7}, 0, 0},
+		{"independent halves", []int32{0, 0, 1, 1}, []int32{0, 1, 0, 1}, 0, 1e-12},
+	}
+	for _, tc := range cases {
+		if got := NMI(tc.a, tc.b); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("%s: NMI = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !math.IsNaN(NMI(nil, nil)) {
+		t.Error("empty labelings must give NaN")
+	}
+	if !math.IsNaN(NMI([]int32{1}, []int32{1, 2})) {
+		t.Error("mismatched lengths must give NaN")
+	}
+	// Partial agreement sits strictly between the extremes and is symmetric.
+	b := []int32{0, 0, 1, 1, 1, 1, 2, 2, 0}
+	ab, ba := NMI(a, b), NMI(b, a)
+	if ab <= 0 || ab >= 1 {
+		t.Errorf("partial agreement NMI = %v, want in (0,1)", ab)
+	}
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("NMI not symmetric: %v vs %v", ab, ba)
+	}
+}

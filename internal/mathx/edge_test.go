@@ -1,0 +1,261 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case and property-style tests for the numeric kernel: empty
+// inputs, single-element distributions, and the extreme log-space values
+// the samplers produce on degenerate scenario data.
+
+func TestLogSumExpEdges(t *testing.T) {
+	negInf := math.Inf(-1)
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, negInf},
+		{"single", []float64{3.5}, 3.5},
+		{"single extreme negative", []float64{-1e308}, -1e308},
+		{"all -Inf", []float64{negInf, negInf}, negInf},
+		{"huge values no overflow", []float64{709, 710}, 710 + math.Log(1+math.Exp(-1))},
+		{"tiny values no underflow", []float64{-745, -746}, -745 + math.Log(1+math.Exp(-1))},
+		{"mixed with -Inf", []float64{negInf, 0}, math.Log(1)},
+	}
+	for _, tc := range cases {
+		got := LogSumExp(tc.xs)
+		if math.IsInf(tc.want, -1) {
+			if !math.IsInf(got, -1) {
+				t.Errorf("%s: LogSumExp = %v, want -Inf", tc.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9*math.Max(1, math.Abs(tc.want)) {
+			t.Errorf("%s: LogSumExp = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Shift invariance: LSE(x + c) = LSE(x) + c, even for large c.
+	xs := []float64{-2, 0, 1.5}
+	base := LogSumExp(xs)
+	for _, c := range []float64{700, -700, 1e5} {
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + c
+		}
+		if got := LogSumExp(shifted); math.Abs(got-(base+c)) > 1e-9*math.Max(1, math.Abs(base+c)) {
+			t.Errorf("shift %v: LSE = %v, want %v", c, got, base+c)
+		}
+	}
+}
+
+func TestSigmoidFamilyExtremes(t *testing.T) {
+	if got := Sigmoid(1000); got != 1 {
+		t.Errorf("Sigmoid(1000) = %v", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Errorf("Sigmoid(-1000) = %v", got)
+	}
+	if got := Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	// Symmetry σ(-x) = 1 - σ(x) across the stable range.
+	for _, x := range []float64{0.1, 1, 10, 30, 100} {
+		if diff := math.Abs(Sigmoid(-x) - (1 - Sigmoid(x))); diff > 1e-15 {
+			t.Errorf("sigmoid symmetry broken at %v: diff %v", x, diff)
+		}
+	}
+	// LogSigmoid stays finite and negative where naive log(sigmoid)
+	// underflows to -Inf.
+	if got := LogSigmoid(-800); math.IsInf(got, 0) || got > -799 {
+		t.Errorf("LogSigmoid(-800) = %v", got)
+	}
+	if got := LogSigmoid(800); got != 0 && got > 0 {
+		t.Errorf("LogSigmoid(800) = %v", got)
+	}
+	// Log1pExp is continuous across both branch cuts (±35).
+	for _, x := range []float64{-35, 35} {
+		lo, hi := Log1pExp(x-1e-9), Log1pExp(x+1e-9)
+		if math.Abs(hi-lo) > 1e-6 {
+			t.Errorf("Log1pExp discontinuous at %v: %v vs %v", x, lo, hi)
+		}
+	}
+}
+
+func TestSoftmaxEdges(t *testing.T) {
+	// Single element is a point mass regardless of magnitude.
+	for _, x := range []float64{0, -1e308, 709} {
+		dst := []float64{math.NaN()}
+		Softmax(dst, []float64{x})
+		if dst[0] != 1 {
+			t.Errorf("Softmax([%v]) = %v", x, dst[0])
+		}
+	}
+	// -Inf logits get exactly zero mass, the rest renormalizes.
+	dst := make([]float64, 3)
+	Softmax(dst, []float64{0, math.Inf(-1), 0})
+	if dst[1] != 0 || math.Abs(dst[0]-0.5) > 1e-15 {
+		t.Errorf("Softmax with -Inf = %v", dst)
+	}
+	// Empty softmax is a no-op.
+	Softmax(nil, nil)
+	// Aliasing dst == src is allowed.
+	buf := []float64{1, 2, 3}
+	Softmax(buf, buf)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("aliased softmax sums to %v", sum)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		ok   bool
+	}{
+		{"all zero", []float64{0, 0, 0, 0}, false},
+		{"negative sum", []float64{-1, 0.25}, false},
+		{"NaN", []float64{math.NaN(), 1}, false},
+		{"+Inf", []float64{math.Inf(1), 1}, false},
+		{"single element", []float64{42}, true},
+	}
+	for _, tc := range cases {
+		got := Normalize(tc.xs)
+		if got != tc.ok {
+			t.Errorf("%s: Normalize = %v, want %v", tc.name, got, tc.ok)
+			continue
+		}
+		var sum float64
+		for _, v := range tc.xs {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("%s: normalized sum = %v", tc.name, sum)
+		}
+		if !tc.ok {
+			u := 1 / float64(len(tc.xs))
+			for i, v := range tc.xs {
+				if v != u {
+					t.Errorf("%s: fallback[%d] = %v, want uniform %v", tc.name, i, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKIndicesEdges(t *testing.T) {
+	if got := TopKIndices(nil, 3); len(got) != 0 {
+		t.Errorf("TopK of empty = %v", got)
+	}
+	if got := TopKIndices([]float64{1, 2}, 0); len(got) != 0 {
+		t.Errorf("TopK k=0 = %v", got)
+	}
+	if got := TopKIndices([]float64{5}, 10); len(got) != 1 || got[0] != 0 {
+		t.Errorf("TopK k>len = %v", got)
+	}
+	// Ties resolve to the first index, making serving output stable.
+	if got := TopKIndices([]float64{7, 7, 7}, 2); got[0] != 0 || got[1] != 1 {
+		t.Errorf("tied TopK = %v", got)
+	}
+	if got := MaxIndex(nil); got != -1 {
+		t.Errorf("MaxIndex(empty) = %v", got)
+	}
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev([]float64{5}) != 0 {
+		t.Error("empty/singleton moments must be 0")
+	}
+	if Sum(nil) != 0 {
+		t.Error("empty sum must be 0")
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	if _, err := PairedTTestOneTailed([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := PairedTTestOneTailed([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	// Zero variance, positive mean difference: certain win, p = 0.
+	if p, err := PairedTTestOneTailed([]float64{2, 3, 4}, []float64{1, 2, 3}); err != nil || p != 0 {
+		t.Errorf("constant positive diff: p=%v err=%v", p, err)
+	}
+	// Zero variance, non-positive difference: p = 1.
+	if p, err := PairedTTestOneTailed([]float64{1, 2}, []float64{1, 2}); err != nil || p != 1 {
+		t.Errorf("identical samples: p=%v err=%v", p, err)
+	}
+}
+
+func TestSpecialFunctionIdentities(t *testing.T) {
+	// Digamma recurrence ψ(x+1) = ψ(x) + 1/x over a wide range.
+	for _, x := range []float64{1e-3, 0.5, 1, 3.7, 50, 1e4} {
+		lhs, rhs := Digamma(x+1), Digamma(x)+1/x
+		if math.Abs(lhs-rhs) > 1e-8*math.Max(1, math.Abs(rhs)) {
+			t.Errorf("digamma recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+	if !math.IsNaN(Digamma(0)) || !math.IsNaN(Digamma(-2)) {
+		t.Error("digamma at non-positive integers must be NaN")
+	}
+	// Incomplete beta bounds and symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("RegIncBeta bounds broken")
+	}
+	if !math.IsNaN(RegIncBeta(0, 1, 0.5)) {
+		t.Error("RegIncBeta with a<=0 must be NaN")
+	}
+	for _, tc := range [][3]float64{{2, 5, 0.3}, {0.5, 0.5, 0.9}, {10, 1, 0.01}} {
+		a, b, x := tc[0], tc[1], tc[2]
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("RegIncBeta symmetry fails at (%v,%v,%v): %v vs %v", a, b, x, lhs, rhs)
+		}
+	}
+	// Normal CDF symmetry and extremes.
+	if math.Abs(NormCDF(0)-0.5) > 1e-15 || NormCDF(40) != 1 || NormCDF(-40) != 0 {
+		t.Error("NormCDF extremes broken")
+	}
+	for _, x := range []float64{0.3, 1, 2.5} {
+		if diff := math.Abs(NormCDF(-x) - (1 - NormCDF(x))); diff > 1e-12 {
+			t.Errorf("NormCDF symmetry fails at %v: diff %v", x, diff)
+		}
+	}
+	// Student-t tails: df<=0 is NaN, t=0 is one half, symmetry holds.
+	if !math.IsNaN(StudentTTail(1, 0)) {
+		t.Error("StudentTTail with df=0 must be NaN")
+	}
+	if math.Abs(StudentTTail(0, 5)-0.5) > 1e-12 {
+		t.Error("StudentTTail(0) must be 0.5")
+	}
+	if diff := math.Abs(StudentTTail(-2, 7) - (1 - StudentTTail(2, 7))); diff > 1e-12 {
+		t.Errorf("StudentTTail symmetry diff %v", diff)
+	}
+}
+
+func TestLogitPanicsOutsideOpenInterval(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Logit(%v) did not panic", p)
+				}
+			}()
+			Logit(p)
+		}()
+	}
+	// Inverse property where defined. Near saturation (|x| ~ 20) the
+	// 1-p term cancels catastrophically, so only ~7 digits survive.
+	for _, x := range []float64{-20, -1, 0, 1, 20} {
+		if diff := math.Abs(Logit(Sigmoid(x)) - x); diff > 1e-6*math.Max(1, math.Abs(x)) {
+			t.Errorf("Logit∘Sigmoid(%v) off by %v", x, diff)
+		}
+	}
+}

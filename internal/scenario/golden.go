@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Golden metric files pin each scenario's deterministic end-to-end
+// measurement so silent drift — a sampler change shifting recovery
+// quality, a generator change reshaping a dataset — fails the regression
+// suite even while every hard floor still passes.
+//
+// Integer dataset counts must match exactly: the generator is seeded and
+// any change is a real behavioural change. Quality scores compare within
+// a small tolerance (floatTol) to absorb last-ulp libm differences across
+// architectures without masking real drift.
+//
+// To intentionally re-pin after a deliberate change:
+//
+//	go test ./internal/scenario -run TestScenarioRegression -update
+const floatTol = 0.02
+
+// GoldenPath returns the committed golden file for a preset, relative to
+// the scenario package directory.
+func GoldenPath(preset string) string {
+	return filepath.Join("testdata", "golden", preset+".json")
+}
+
+// WriteGolden writes m as path's golden metrics (indented, trailing
+// newline, parents created).
+func WriteGolden(path string, m *Metrics) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadGolden loads a golden metrics file.
+func ReadGolden(path string) (*Metrics, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Metrics
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("scenario: parsing golden file %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// CompareGolden diffs a fresh measurement against the pinned one and
+// returns an error naming every drifted metric.
+func CompareGolden(got, want *Metrics) error {
+	var drifts []string
+	intCheck := func(name string, g, w int) {
+		if g != w {
+			drifts = append(drifts, fmt.Sprintf("%s = %d, golden %d", name, g, w))
+		}
+	}
+	floatCheck := func(name string, g, w float64) {
+		if math.IsNaN(g) != math.IsNaN(w) || math.Abs(g-w) > floatTol {
+			drifts = append(drifts, fmt.Sprintf("%s = %.4f, golden %.4f (tol %.2f)", name, g, w, floatTol))
+		}
+	}
+	intCheck("users", got.Users, want.Users)
+	intCheck("docs", got.Docs, want.Docs)
+	intCheck("friendLinks", got.FriendLinks, want.FriendLinks)
+	intCheck("diffLinks", got.DiffLinks, want.DiffLinks)
+	intCheck("vocab", got.Vocab, want.Vocab)
+	floatCheck("nmi", got.NMI, want.NMI)
+	floatCheck("diffusionAUC", got.DiffusionAUC, want.DiffusionAUC)
+	floatCheck("rankAgreement", got.RankAgreement, want.RankAgreement)
+	if len(drifts) > 0 {
+		return fmt.Errorf("scenario %s drifted from golden metrics (re-pin with -update after a deliberate change): %s",
+			got.Preset, strings.Join(drifts, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,546 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// OpKind enumerates the query kinds a load mix is composed of.
+type OpKind int
+
+const (
+	OpRank OpKind = iota
+	OpMembership
+	OpDiffusion
+	OpFoldIn
+	numOps
+)
+
+var opNames = [numOps]string{"rank", "membership", "diffusion", "foldin"}
+
+func (k OpKind) String() string { return opNames[k] }
+
+// Mix weights the query kinds; weights are relative, not normalized.
+type Mix [numOps]float64
+
+// DefaultMix is a read-heavy service profile: mostly ranking and
+// membership lookups, some diffusion probes, a trickle of fold-ins.
+func DefaultMix() Mix { return Mix{OpRank: 4, OpMembership: 3, OpDiffusion: 2, OpFoldIn: 1} }
+
+// ParseMix parses "rank=4,membership=3,diffusion=2,foldin=1". Omitted ops
+// get weight 0; at least one weight must be positive.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("scenario: mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("scenario: mix entry %q has a bad weight", part)
+		}
+		found := false
+		for k := OpKind(0); k < numOps; k++ {
+			if opNames[k] == strings.TrimSpace(name) {
+				m[k] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return m, fmt.Errorf("scenario: unknown op %q (have %v)", name, opNames)
+		}
+	}
+	total := 0.0
+	for _, w := range m {
+		total += w
+	}
+	if total <= 0 {
+		return m, fmt.Errorf("scenario: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// QuerySpace is the id space random queries draw from.
+type QuerySpace struct {
+	Users, Words, Communities, Topics, Buckets int
+}
+
+// SpaceFromModel derives the query space of a model.
+func SpaceFromModel(m *core.Model) QuerySpace {
+	return QuerySpace{
+		Users: m.NumUsers, Words: m.NumWords,
+		Communities: m.Cfg.NumCommunities, Topics: m.Cfg.NumTopics,
+		Buckets: m.NumBuckets,
+	}
+}
+
+// Request is one generated query, ready for any Target.
+type Request struct {
+	Op     OpKind
+	Words  []int32 // rank
+	K      int     // rank
+	U, V   int     // membership / diffusion
+	Z, B   int     // diffusion
+	FoldIn *serve.FoldInRequest
+}
+
+// Target executes requests — either in-process against a serve.Engine or
+// over HTTP against a live cpd-serve endpoint.
+type Target interface {
+	Do(req *Request) error
+}
+
+// EngineTarget drives a serve.Engine directly (no network, no JSON):
+// the ceiling the HTTP path is compared against.
+type EngineTarget struct{ Engine *serve.Engine }
+
+// Do implements Target.
+func (t EngineTarget) Do(req *Request) error {
+	var err error
+	switch req.Op {
+	case OpRank:
+		_, err = t.Engine.Rank(req.Words, req.K)
+	case OpMembership:
+		_, err = t.Engine.Membership(req.U, req.K)
+	case OpDiffusion:
+		_, err = t.Engine.Diffusion(req.U, req.V, req.Z, req.B)
+	case OpFoldIn:
+		_, err = t.Engine.FoldIn(req.FoldIn)
+	}
+	return err
+}
+
+// HTTPTarget drives a live serving endpoint (cpd-serve or cpd-lens)
+// through the same JSON API real clients use.
+type HTTPTarget struct {
+	// Base is the endpoint root, e.g. "http://localhost:8080".
+	Base string
+	// Client defaults to loadClient, a dedicated client with enough idle
+	// connections per host for any sane -concurrency (so percentiles
+	// measure the server, not TCP handshake churn) and a request timeout
+	// (so one hung endpoint cannot stall a bounded run forever).
+	// Override for custom timeouts/transports.
+	Client *http.Client
+}
+
+// loadClient is HTTPTarget's default client; see the Client field doc.
+var loadClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Do implements Target.
+func (t HTTPTarget) Do(req *Request) error {
+	client := t.Client
+	if client == nil {
+		client = loadClient
+	}
+	var resp *http.Response
+	var err error
+	switch req.Op {
+	case OpRank:
+		ids := make([]string, len(req.Words))
+		for i, w := range req.Words {
+			ids[i] = strconv.Itoa(int(w))
+		}
+		resp, err = client.Get(fmt.Sprintf("%s/api/rank?w=%s&k=%d", t.Base, strings.Join(ids, ","), req.K))
+	case OpMembership:
+		resp, err = client.Get(fmt.Sprintf("%s/api/user?id=%d&k=%d", t.Base, req.U, req.K))
+	case OpDiffusion:
+		resp, err = client.Get(fmt.Sprintf("%s/api/diffusion?u=%d&v=%d&topic=%d&bucket=%d", t.Base, req.U, req.V, req.Z, req.B))
+	case OpFoldIn:
+		var body bytes.Buffer
+		if err := json.NewEncoder(&body).Encode(req.FoldIn); err != nil {
+			return err
+		}
+		resp, err = client.Post(t.Base+"/api/foldin", "application/json", &body)
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scenario: %s answered status %d", req.Op, resp.StatusCode)
+	}
+	return nil
+}
+
+// LoadOptions configures one load-generation run.
+type LoadOptions struct {
+	Mix   Mix
+	Space QuerySpace
+
+	// Concurrency is the closed-loop worker count, and in open-loop mode
+	// the maximum in-flight requests (default 8).
+	Concurrency int
+	// Requests bounds the run by count; 0 means run until Duration.
+	Requests int
+	// Duration bounds the run by time when Requests is 0.
+	Duration time.Duration
+	// Rate > 0 switches to open-loop mode: requests arrive on a fixed
+	// schedule of Rate per second and latency is measured from the
+	// *scheduled* arrival (queue wait included), so a saturated server
+	// cannot hide behind coordinated omission. Rate == 0 is closed-loop:
+	// Concurrency workers each issue their next request as soon as the
+	// previous one completes.
+	Rate float64
+	Seed uint64
+
+	// Query shaping (zero values select the defaults in parentheses).
+	RankWords    int // words per rank query (2)
+	RankK        int // top-k communities requested (10)
+	FoldInDocs   int // documents per fold-in request (2)
+	FoldInDocLen int // words per fold-in document (8)
+	FoldInSweeps int // Gibbs sweeps per fold-in (10)
+}
+
+func (o LoadOptions) withDefaults() (LoadOptions, error) {
+	zero := Mix{}
+	if o.Mix == zero {
+		o.Mix = DefaultMix()
+	}
+	if o.Space.Users <= 0 || o.Space.Words <= 0 || o.Space.Communities <= 0 || o.Space.Topics <= 0 {
+		return o, fmt.Errorf("scenario: load generation needs a positive QuerySpace, got %+v", o.Space)
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Requests <= 0 && o.Duration <= 0 {
+		return o, fmt.Errorf("scenario: load generation needs Requests or Duration")
+	}
+	if o.RankWords <= 0 {
+		o.RankWords = 2
+	}
+	if o.RankK <= 0 {
+		o.RankK = 10
+	}
+	if o.FoldInDocs <= 0 {
+		o.FoldInDocs = 2
+	}
+	if o.FoldInDocLen <= 0 {
+		o.FoldInDocLen = 8
+	}
+	if o.FoldInSweeps <= 0 {
+		o.FoldInSweeps = 10
+	}
+	return o, nil
+}
+
+// genRequest draws one request from the mix and the query space.
+func genRequest(r *rng.RNG, o *LoadOptions) *Request {
+	req := &Request{Op: OpKind(r.Categorical(o.Mix[:]))}
+	s := o.Space
+	switch req.Op {
+	case OpRank:
+		req.Words = make([]int32, o.RankWords)
+		for i := range req.Words {
+			req.Words[i] = int32(r.Intn(s.Words))
+		}
+		req.K = o.RankK
+	case OpMembership:
+		req.U = r.Intn(s.Users)
+		req.K = 5
+	case OpDiffusion:
+		req.U = r.Intn(s.Users)
+		req.V = r.Intn(s.Users)
+		if req.V == req.U {
+			req.V = (req.V + 1) % s.Users
+		}
+		req.Z = r.Intn(s.Topics)
+		req.B = -1
+		if s.Buckets > 0 {
+			req.B = r.Intn(s.Buckets)
+		}
+	case OpFoldIn:
+		docs := make([][]int32, o.FoldInDocs)
+		for i := range docs {
+			doc := make([]int32, o.FoldInDocLen)
+			for j := range doc {
+				doc[j] = int32(r.Intn(s.Words))
+			}
+			docs[i] = doc
+		}
+		req.FoldIn = &serve.FoldInRequest{Docs: docs, Seed: r.Uint64(), Sweeps: o.FoldInSweeps}
+	}
+	return req
+}
+
+// --- latency accounting -------------------------------------------------
+
+// latencies are accumulated in log-spaced histogram buckets: bucket i
+// covers [histBase·histGrowth^i, histBase·histGrowth^(i+1)), spanning
+// 250ns to beyond 30 minutes in 240 buckets with ~9% resolution —
+// accurate enough for p50/p95/p99 without per-request allocation.
+const (
+	histBase    = 250 * time.Nanosecond
+	histGrowth  = 1.09
+	histBuckets = 240
+)
+
+type opHist struct {
+	count, errs uint64
+	totalNS     uint64
+	maxNS       uint64
+	buckets     [histBuckets]uint64
+}
+
+func histIndex(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histBase)) / math.Log(histGrowth))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+func (h *opHist) observe(d time.Duration, err error) {
+	h.count++
+	if err != nil {
+		h.errs++
+	}
+	ns := uint64(d.Nanoseconds())
+	h.totalNS += ns
+	if ns > h.maxNS {
+		h.maxNS = ns
+	}
+	h.buckets[histIndex(d)]++
+}
+
+func (h *opHist) merge(o *opHist) {
+	h.count += o.count
+	h.errs += o.errs
+	h.totalNS += o.totalNS
+	if o.maxNS > h.maxNS {
+		h.maxNS = o.maxNS
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// quantile returns the q-quantile as the geometric midpoint of the bucket
+// holding the q·count-th observation; the tracked exact maximum caps it.
+func (h *opHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			mid := float64(histBase) * math.Pow(histGrowth, float64(i)) * math.Sqrt(histGrowth)
+			if mid > float64(h.maxNS) {
+				mid = float64(h.maxNS)
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.maxNS)
+}
+
+// OpStats is one op kind's latency summary.
+type OpStats struct {
+	Count  uint64        `json:"count"`
+	Errors uint64        `json:"errors"`
+	Mean   time.Duration `json:"mean"`
+	P50    time.Duration `json:"p50"`
+	P95    time.Duration `json:"p95"`
+	P99    time.Duration `json:"p99"`
+	Max    time.Duration `json:"max"`
+}
+
+// Report is a load run's result: throughput plus per-op latency
+// percentiles.
+type Report struct {
+	Elapsed  time.Duration      `json:"elapsed"`
+	Requests uint64             `json:"requests"`
+	Errors   uint64             `json:"errors"`
+	QPS      float64            `json:"qps"`
+	Ops      map[string]OpStats `json:"ops"`
+}
+
+// String renders the report as the table cpd-loadgen prints.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "elapsed %v   requests %d (%d errors)   throughput %.1f qps\n",
+		r.Elapsed.Round(time.Millisecond), r.Requests, r.Errors, r.QPS)
+	fmt.Fprintf(&sb, "%-12s %9s %7s %10s %10s %10s %10s %10s\n",
+		"op", "count", "errors", "mean", "p50", "p95", "p99", "max")
+	names := make([]string, 0, len(r.Ops))
+	for name := range r.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Ops[name]
+		fmt.Fprintf(&sb, "%-12s %9d %7d %10v %10v %10v %10v %10v\n",
+			name, s.Count, s.Errors,
+			s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// RunLoad replays a query mix against a target and reports throughput and
+// latency. Request sequences are deterministic per (Seed, Concurrency);
+// timings of course are not.
+func RunLoad(target Target, opts LoadOptions) (*Report, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if o.Rate > 0 {
+		return runOpenLoop(target, &o)
+	}
+	return runClosedLoop(target, &o)
+}
+
+type workerStats struct {
+	hists [numOps]opHist
+}
+
+func assemble(workers []workerStats, elapsed time.Duration) *Report {
+	var merged [numOps]opHist
+	for w := range workers {
+		for k := range merged {
+			merged[k].merge(&workers[w].hists[k])
+		}
+	}
+	rep := &Report{Elapsed: elapsed, Ops: make(map[string]OpStats, numOps)}
+	for k := OpKind(0); k < numOps; k++ {
+		h := &merged[k]
+		if h.count == 0 {
+			continue
+		}
+		rep.Requests += h.count
+		rep.Errors += h.errs
+		rep.Ops[k.String()] = OpStats{
+			Count:  h.count,
+			Errors: h.errs,
+			Mean:   time.Duration(h.totalNS / h.count),
+			P50:    h.quantile(0.50),
+			P95:    h.quantile(0.95),
+			P99:    h.quantile(0.99),
+			Max:    time.Duration(h.maxNS),
+		}
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// runClosedLoop: Concurrency workers, each issuing its next request the
+// moment the previous one returns.
+func runClosedLoop(target Target, o *LoadOptions) (*Report, error) {
+	var issued atomic.Int64
+	quota := int64(o.Requests)
+	var deadline time.Time
+	if o.Requests <= 0 {
+		deadline = time.Now().Add(o.Duration)
+	}
+	workers := make([]workerStats, o.Concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(o.Seed).Split(uint64(w) + 1)
+			ws := &workers[w]
+			for {
+				if quota > 0 {
+					if issued.Add(1) > quota {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				req := genRequest(r, o)
+				t0 := time.Now()
+				err := target.Do(req)
+				ws.hists[req.Op].observe(time.Since(t0), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return assemble(workers, time.Since(start)), nil
+}
+
+// runOpenLoop: a dispatcher emits arrivals on a fixed schedule of Rate
+// per second; Concurrency workers drain them. Latency runs from the
+// scheduled arrival instant, so backlog wait counts against the server.
+func runOpenLoop(target Target, o *LoadOptions) (*Report, error) {
+	type job struct {
+		req       *Request
+		scheduled time.Time
+	}
+	total := o.Requests
+	if total <= 0 {
+		total = int(o.Rate * o.Duration.Seconds())
+		if total < 1 {
+			total = 1
+		}
+	}
+	jobs := make(chan job, 4*o.Concurrency)
+	workers := make([]workerStats, o.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &workers[w]
+			for j := range jobs {
+				err := target.Do(j.req)
+				ws.hists[j.req.Op].observe(time.Since(j.scheduled), err)
+			}
+		}(w)
+	}
+	r := rng.New(o.Seed)
+	interval := time.Duration(float64(time.Second) / o.Rate)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- job{req: genRequest(r, o), scheduled: scheduled}
+	}
+	close(jobs)
+	wg.Wait()
+	return assemble(workers, time.Since(start)), nil
+}

@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+// update re-pins the golden metric files. Use after a deliberate change:
+//
+//	go test ./internal/scenario -run TestScenarioRegression -update
+var update = flag.Bool("update", false, "rewrite golden scenario metric files")
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 8 {
+		t.Fatalf("only %d presets registered, the harness promises >= 8", len(all))
+	}
+	seenName := map[string]bool{}
+	seenSeed := map[uint64]bool{}
+	for _, p := range all {
+		if p.Name == "" || p.Description == "" {
+			t.Fatalf("preset %+v is missing a name or description", p)
+		}
+		if seenName[p.Name] {
+			t.Fatalf("duplicate preset name %q", p.Name)
+		}
+		seenName[p.Name] = true
+		if seenSeed[p.Synth.Seed] {
+			t.Fatalf("preset %q reuses seed %d", p.Name, p.Synth.Seed)
+		}
+		seenSeed[p.Synth.Seed] = true
+		if p.Synth.Name != p.Name {
+			t.Fatalf("preset %q names its synth config %q", p.Name, p.Synth.Name)
+		}
+		got, err := Lookup(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("Lookup(%q) = %+v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := Lookup("no-such-preset"); err == nil {
+		t.Fatal("Lookup accepted an unknown preset")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, err := Lookup("power-law")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Stats() != b.Graph.Stats() {
+		t.Fatalf("two builds disagree: %+v vs %+v", a.Graph.Stats(), b.Graph.Stats())
+	}
+	if !reflect.DeepEqual(a.Graph.Docs, b.Graph.Docs) {
+		t.Fatal("two builds produce different documents")
+	}
+	if !reflect.DeepEqual(a.Truth.HomeCommunity, b.Truth.HomeCommunity) {
+		t.Fatal("two builds produce different ground truth")
+	}
+}
+
+// TestPresetRegimes spot-checks that the regime knobs actually plant the
+// regimes the presets advertise — the harness is only as good as its
+// scenarios are distinct.
+func TestPresetRegimes(t *testing.T) {
+	bundle := func(name string) *Bundle {
+		t.Helper()
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	maxDegree := func(b *Bundle) int {
+		deg := make([]int, b.Graph.NumUsers)
+		for _, f := range b.Graph.Friends {
+			deg[f.U]++
+		}
+		m := 0
+		for _, d := range deg {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+
+	// Power-law degrees have a far heavier tail than uniform ones.
+	if pl, un := maxDegree(bundle("power-law")), maxDegree(bundle("uniform")); pl < 2*un {
+		t.Errorf("power-law max degree %d is not clearly heavier than uniform's %d", pl, un)
+	}
+
+	// Isolated users: a third of users hold no friendship links.
+	iso := bundle("isolated-users")
+	linked := map[int32]bool{}
+	for _, f := range iso.Graph.Friends {
+		linked[f.U], linked[f.V] = true, true
+	}
+	isolatedCount := iso.Graph.NumUsers - len(linked)
+	if frac := float64(isolatedCount) / float64(iso.Graph.NumUsers); frac < 0.2 || frac > 0.5 {
+		t.Errorf("isolated-users planted %.0f%% isolated users, want ~35%%", 100*frac)
+	}
+
+	// Giant community: the largest planted community dominates.
+	giant := bundle("giant-community")
+	counts := map[int32]int{}
+	for _, c := range giant.Truth.HomeCommunity {
+		counts[c]++
+	}
+	biggest := 0
+	for _, n := range counts {
+		if n > biggest {
+			biggest = n
+		}
+	}
+	if frac := float64(biggest) / float64(giant.Graph.NumUsers); frac < 0.7 {
+		t.Errorf("giant-community's largest community holds only %.0f%% of users", 100*frac)
+	}
+
+	// Spam vocabulary: the spam block dominates the word marginal.
+	spam := bundle("spam-vocab")
+	var spamTokens, tokens int
+	for _, d := range spam.Graph.Docs {
+		for _, w := range d.Words {
+			tokens++
+			if int(w) < spam.Preset.Synth.SpamWords {
+				spamTokens++
+			}
+		}
+	}
+	if frac := float64(spamTokens) / float64(tokens); frac < 0.35 {
+		t.Errorf("spam-vocab corpus is only %.0f%% spam tokens, want ~50%%", 100*frac)
+	}
+
+	// Sparse docs: single-word documents exist (the degenerate case the
+	// preset is for), and docs-per-user stays minimal.
+	sparse := bundle("sparse-docs")
+	oneWord := 0
+	for _, d := range sparse.Graph.Docs {
+		if len(d.Words) == 1 {
+			oneWord++
+		}
+	}
+	if oneWord == 0 {
+		t.Error("sparse-docs planted no single-word documents")
+	}
+
+	// Overlapping memberships: planted secondary mass is near the home's.
+	over := bundle("overlapping")
+	u0 := over.Truth.Pi.Row(0)
+	first, second := 0.0, 0.0
+	for _, v := range u0 {
+		if v > first {
+			first, second = v, first
+		} else if v > second {
+			second = v
+		}
+	}
+	if second < 0.3*first {
+		t.Errorf("overlapping membership is not overlapping: top=%.2f second=%.2f", first, second)
+	}
+}
+
+// TestScenarioRegression is the end-to-end suite: every preset trains,
+// snapshots, serves and answers queries with all invariants intact, and
+// its metrics match the committed golden file. Presets run in parallel;
+// CI additionally runs three fast presets under the race detector.
+func TestScenarioRegression(t *testing.T) {
+	for _, p := range All() {
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Run(p, RunOptions{Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := GoldenPath(p.Name)
+			if *update {
+				if err := WriteGolden(path, m); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("golden re-pinned: %+v", *m)
+				return
+			}
+			want, err := ReadGolden(path)
+			if err != nil {
+				t.Fatalf("no golden metrics for %s (generate with -update): %v", p.Name, err)
+			}
+			if err := CompareGolden(m, want); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGoldenCompare(t *testing.T) {
+	base := &Metrics{Preset: "x", Users: 10, Docs: 20, NMI: 0.5, DiffusionAUC: 0.7, RankAgreement: 1}
+	same := *base
+	if err := CompareGolden(&same, base); err != nil {
+		t.Fatalf("identical metrics flagged: %v", err)
+	}
+	within := *base
+	within.NMI += floatTol / 2
+	if err := CompareGolden(&within, base); err != nil {
+		t.Fatalf("within-tolerance drift flagged: %v", err)
+	}
+	drifted := *base
+	drifted.NMI += 2 * floatTol
+	if err := CompareGolden(&drifted, base); err == nil {
+		t.Fatal("NMI drift not flagged")
+	}
+	counts := *base
+	counts.Docs++
+	if err := CompareGolden(&counts, base); err == nil {
+		t.Fatal("count drift not flagged")
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := &Metrics{Preset: "rt", Users: 3, Docs: 4, FriendLinks: 5, DiffLinks: 6, Vocab: 7,
+		NMI: 0.25, DiffusionAUC: 0.5, RankAgreement: 1}
+	path := dir + "/rt.json"
+	if err := WriteGolden(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("golden round trip: %+v != %+v", got, m)
+	}
+}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -95,4 +97,93 @@ func TestAPIHandler(t *testing.T) {
 	if rec.Code != http.StatusNotImplemented {
 		t.Fatalf("nil reload: %d", rec.Code)
 	}
+}
+
+// TestAPIHandlerErrorPaths closes the error-path gaps the happy-path test
+// above leaves open: malformed and oversize bodies, out-of-range ids,
+// unparsable parameters, fold-in limit violations and failing reloads.
+func TestAPIHandlerErrorPaths(t *testing.T) {
+	m := SyntheticModel(20, 6, 4, 80, 11)
+	e := testEngine(t, m, nil, Options{})
+	reloadErr := error(nil)
+	h := APIHandler(e, func() error { return reloadErr })
+
+	// Oversize fold-in body: MaxBytesReader must cut the request off at
+	// 16 MiB before the JSON for an over-limit request can materialize.
+	oversize := `{"docs":[[` + strings.Repeat("0,", 9<<20) + `0]]}`
+	if len(oversize) <= 16<<20 {
+		t.Fatalf("oversize body is only %d bytes", len(oversize))
+	}
+	// Friend list above MaxFoldInFriends (ids all valid individually).
+	manyFriends := `{"docs":[[1]],"friends":[` + strings.TrimSuffix(strings.Repeat("0,", MaxFoldInFriends+1), ",") + `]}`
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"community id missing", "GET", "/api/community", "", http.StatusBadRequest},
+		{"community id not a number", "GET", "/api/community?id=abc", "", http.StatusBadRequest},
+		{"community id negative", "GET", "/api/community?id=-1", "", http.StatusBadRequest},
+		{"community id out of range", "GET", "/api/community?id=77", "", http.StatusBadRequest},
+		{"user id missing", "GET", "/api/user", "", http.StatusBadRequest},
+		{"user id out of range", "GET", "/api/user?id=999", "", http.StatusBadRequest},
+		{"rank no query", "GET", "/api/rank", "", http.StatusBadRequest},
+		{"rank bad word id", "GET", "/api/rank?w=1,x", "", http.StatusBadRequest},
+		{"rank word out of range", "GET", "/api/rank?w=80", "", http.StatusBadRequest},
+		{"rank negative word", "GET", "/api/rank?w=-3", "", http.StatusBadRequest},
+		{"diffusion params missing", "GET", "/api/diffusion?u=1", "", http.StatusBadRequest},
+		{"diffusion user out of range", "GET", "/api/diffusion?u=99&v=1&topic=0", "", http.StatusBadRequest},
+		{"diffusion topic out of range", "GET", "/api/diffusion?u=0&v=1&topic=44", "", http.StatusBadRequest},
+		{"foldin malformed JSON", "POST", "/api/foldin", `{"docs":[[1,2`, http.StatusBadRequest},
+		{"foldin not JSON at all", "POST", "/api/foldin", `not json`, http.StatusBadRequest},
+		{"foldin no docs", "POST", "/api/foldin", `{"docs":[]}`, http.StatusBadRequest},
+		{"foldin empty doc", "POST", "/api/foldin", `{"docs":[[]]}`, http.StatusBadRequest},
+		{"foldin word out of range", "POST", "/api/foldin", `{"docs":[[80]]}`, http.StatusBadRequest},
+		{"foldin sweeps over limit", "POST", "/api/foldin", `{"docs":[[1]],"sweeps":501}`, http.StatusBadRequest},
+		{"foldin friend out of range", "POST", "/api/foldin", `{"docs":[[1]],"friends":[20]}`, http.StatusBadRequest},
+		{"foldin too many friends", "POST", "/api/foldin", manyFriends, http.StatusBadRequest},
+		{"foldin oversize body", "POST", "/api/foldin", oversize, http.StatusBadRequest},
+		{"foldin wrong method", "GET", "/api/foldin", "", http.StatusMethodNotAllowed},
+		{"reload wrong method", "GET", "/api/reload", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, body))
+			if rec.Code != tc.want {
+				t.Fatalf("%s %s: status %d, want %d (%s)",
+					tc.method, tc.path, rec.Code, tc.want, strings.TrimSpace(rec.Body.String()))
+			}
+		})
+	}
+
+	// Reload of a missing path: the wired reload callback fails, the
+	// handler must answer 500 and leave the serving snapshot untouched.
+	t.Run("reload failure", func(t *testing.T) {
+		reloadErr = errors.New("stat /no/such/model.snap: no such file")
+		defer func() { reloadErr = nil }()
+		before := e.View().Version
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/reload", nil))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("failing reload: status %d", rec.Code)
+		}
+		if e.View().Version != before {
+			t.Fatal("failing reload still swapped the snapshot")
+		}
+	})
+
+	// The real reload path against a missing file behaves the same way.
+	t.Run("engine reload missing file", func(t *testing.T) {
+		if _, err := e.Reload("/no/such/model.snap", ""); err == nil {
+			t.Fatal("Reload accepted a missing model path")
+		}
+	})
 }

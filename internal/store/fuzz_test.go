@@ -1,0 +1,61 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the snapshot loader. The invariants:
+// never panic, never allocate beyond what the input length can back
+// (LoadBytes bounds section claims by len(data)), and any input accepted
+// as a model must be internally consistent enough to re-encode.
+//
+// The corpus seeds the interesting neighbourhoods by construction: a
+// valid binary snapshot, truncations at section boundaries, single-bit
+// corruptions (caught by the CRCs), a forged section length, and a valid
+// JSON model for the sniffing path.
+func FuzzLoad(f *testing.F) {
+	m := testModel(12, 4, 5, 40, 3)
+	var snap bytes.Buffer
+	if err := Encode(&snap, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := snap.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])              // magic only
+	f.Add(valid[:len(valid)/2])   // mid-section truncation
+	f.Add(valid[:len(valid)-2])   // missing terminator CRC tail
+	f.Add([]byte("CPDSNP\x02\n")) // future format version
+	bitflip := append([]byte(nil), valid...)
+	bitflip[len(bitflip)/3] ^= 0x10
+	f.Add(bitflip)
+	// Forged length field on the first section header (offset 8 is the
+	// tag, 12..20 the little-endian length).
+	forged := append([]byte(nil), valid...)
+	forged[12] = 0xff
+	forged[13] = 0xff
+	f.Add(forged)
+	var js bytes.Buffer
+	if err := m.Save(&js); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(js.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadBytes(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode: an accepted model with
+		// missing or inconsistent blocks is a validation hole.
+		if loaded == nil {
+			t.Fatal("nil model with nil error")
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, loaded); err != nil {
+			t.Fatalf("accepted model does not re-encode: %v", err)
+		}
+	})
+}

@@ -252,6 +252,14 @@ func (e *encoder) ints32(tag string, xs []int32) {
 // section's length and CRC, and returns the model with its prediction
 // caches rebuilt.
 func Decode(r io.Reader) (*core.Model, error) {
+	return decode(r, 0)
+}
+
+// decode implements Decode; limit > 0 additionally bounds every section's
+// claimed payload length, so readers that know the input size (LoadFile,
+// LoadBytes) never allocate more than the input could possibly back — the
+// defence the FuzzLoad target leans on against corrupt length fields.
+func decode(r io.Reader, limit uint64) (*core.Model, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
@@ -266,7 +274,7 @@ func Decode(r io.Reader) (*core.Model, error) {
 		}
 		return nil, fmt.Errorf("store: not a CPD binary snapshot")
 	}
-	d := &decoder{r: br, crc: crc32.NewIEEE(), scratch: make([]byte, 1<<15)}
+	d := &decoder{r: br, crc: crc32.NewIEEE(), scratch: make([]byte, 1<<15), limit: limit}
 	m := &core.Model{}
 	var seenDims, seenEnd bool
 	for !seenEnd {
@@ -343,53 +351,13 @@ func Decode(r io.Reader) (*core.Model, error) {
 }
 
 // validateShapes cross-checks the decoded blocks against the config and
-// dimension section, so a snapshot that passes its CRCs but was assembled
-// inconsistently is still rejected before it can serve queries.
+// dimension section — a snapshot that passes its CRCs but was assembled
+// inconsistently is still rejected before it can serve queries. The
+// actual rules live on the model (core.Model.CheckShapes), shared with
+// the JSON loader.
 func validateShapes(m *core.Model) error {
-	C, Z := m.Cfg.NumCommunities, m.Cfg.NumTopics
-	if C <= 0 || Z <= 0 {
-		return fmt.Errorf("store: snapshot config has |C|=%d |Z|=%d", C, Z)
-	}
-	check := func(name string, got, want int) error {
-		if got != want {
-			return fmt.Errorf("store: %s dimension is %d, want %d", name, got, want)
-		}
-		return nil
-	}
-	for _, c := range []error{
-		check("pi rows", m.Pi.Rows, m.NumUsers),
-		check("pi cols", m.Pi.Cols, C),
-		check("theta rows", m.Theta.Rows, C),
-		check("theta cols", m.Theta.Cols, Z),
-		check("phi rows", m.Phi.Rows, Z),
-		check("phi cols", m.Phi.Cols, m.NumWords),
-		check("eta dim 1", m.Eta.D1, C),
-		check("eta dim 2", m.Eta.D2, C),
-		check("eta dim 3", m.Eta.D3, Z),
-	} {
-		if c != nil {
-			return c
-		}
-	}
-	if m.Xi != nil {
-		if err := check("xi rows", m.Xi.Rows, C); err != nil {
-			return err
-		}
-		if err := check("xi cols", m.Xi.Cols, m.NumAttrs); err != nil {
-			return err
-		}
-	}
-	if m.PopFreq != nil {
-		if err := check("popularity rows", m.PopFreq.Rows, m.NumBuckets); err != nil {
-			return err
-		}
-		if err := check("popularity cols", m.PopFreq.Cols, Z); err != nil {
-			return err
-		}
-	}
-	if len(m.DocCommunity) != len(m.DocTopic) || len(m.DocCommunity) != len(m.DocBucket) {
-		return fmt.Errorf("store: document assignment sections disagree on length (%d/%d/%d)",
-			len(m.DocCommunity), len(m.DocTopic), len(m.DocBucket))
+	if err := m.CheckShapes(); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }
@@ -399,6 +367,9 @@ type decoder struct {
 	crc     hash.Hash32
 	scratch []byte
 	err     error
+	// limit > 0 caps each section's claimed payload at the known input
+	// size (see decode).
+	limit uint64
 }
 
 // sectionHeader reads the next tag and payload length and resets the CRC.
@@ -411,7 +382,7 @@ func (d *decoder) sectionHeader() (string, uint64, error) {
 		return "", 0, fmt.Errorf("store: reading section header: %w", err)
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:])
-	if n > maxSectionBytes {
+	if n > maxSectionBytes || (d.limit > 0 && n > d.limit) {
 		return "", 0, fmt.Errorf("store: section %q claims %d payload bytes", hdr[:4], n)
 	}
 	d.crc.Reset()
@@ -629,22 +600,38 @@ func (d *decoder) intSlice(payloadLen uint64) []int {
 // binary snapshots start with the magic, anything else is handed to the
 // JSON compatibility reader (core.Load).
 func Load(r io.Reader) (*core.Model, error) {
+	return loadSniffed(r, 0)
+}
+
+// LoadBytes loads a model from an in-memory encoding in either format.
+// Unlike Load it knows the input size, so a corrupt section header can
+// never make it allocate beyond len(data).
+func LoadBytes(data []byte) (*core.Model, error) {
+	return loadSniffed(bytes.NewReader(data), uint64(len(data)))
+}
+
+func loadSniffed(r io.Reader, limit uint64) (*core.Model, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(len(magic))
 	if err == nil && bytes.Equal(head[:6], []byte(magic[:6])) {
-		return Decode(br)
+		return decode(br, limit)
 	}
 	return core.Load(br)
 }
 
-// LoadFile loads a model from path in either format.
+// LoadFile loads a model from path in either format. The file's size
+// bounds every section allocation.
 func LoadFile(path string) (*core.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	m, err := Load(f)
+	var limit uint64
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		limit = uint64(fi.Size())
+	}
+	m, err := loadSniffed(f, limit)
 	if err != nil {
 		return nil, fmt.Errorf("store: loading %s: %w", path, err)
 	}

@@ -71,6 +71,47 @@ type Config struct {
 	// attribute distribution.
 	AttrVocab        int
 	AttrsPerUserMean float64
+
+	// --- regime knobs (internal/scenario) -------------------------------
+	//
+	// Every field below defaults to the generator's historical behaviour
+	// at its zero value — and when off, consumes no RNG draws — so
+	// existing presets and their seeded outputs are unchanged.
+
+	// DegreeExponent > 0 gives each user a Pareto(1, DegreeExponent)
+	// multiplier on both friendship out-degree means, producing the
+	// heavy-tailed (power-law) degree distributions of real follower
+	// graphs instead of the default Poisson degrees. Smaller exponents
+	// mean heavier tails; 1.2 gives a recognizably Twitter-ish tail.
+	DegreeExponent float64
+	// HomeWeight is the membership mass concentrated on a user's home
+	// community (0 selects the default 0.75). The secondary community
+	// receives 0.98 - HomeWeight, so low values (~0.5) plant heavily
+	// overlapping memberships and high values (~0.95) near-disjoint ones.
+	HomeWeight float64
+	// SizeExponent is the Zipf exponent of the planted community sizes
+	// (0 selects the default 0.6). Large values (~3) collapse almost all
+	// users into one giant community.
+	SizeExponent float64
+	// VocabZipf > 0 skews the vocabulary: every topic's Dirichlet
+	// concentration for word w is scaled by (w+1)^-VocabZipf, so low-id
+	// words dominate the corpus the way natural-language frequencies do.
+	VocabZipf float64
+	// SpamWords > 0 reserves that many word ids as "spam": after the
+	// per-topic word distributions are drawn, SpamMass of every topic's
+	// probability is moved onto a shared spam block, planting dominant
+	// tokens that carry no community signal (SpamMass defaults to 0.3
+	// when SpamWords > 0).
+	SpamWords int
+	SpamMass  float64
+	// IsolatedFraction is the fraction of users excluded from the
+	// friendship graph entirely — they still publish documents and can
+	// diffuse, but detection gets no link evidence for them.
+	IsolatedFraction float64
+	// MinWordsPerDoc lowers the per-document word floor (0 selects the
+	// default 2, the paper's preprocessing minimum). Set 1 to generate
+	// degenerate single-word documents.
+	MinWordsPerDoc int
 }
 
 // TwitterLike returns a Twitter-flavoured preset scaled to roughly `users`
@@ -175,12 +216,49 @@ func plantTopics(cfg Config, r *rng.RNG, gt *GroundTruth) {
 		for k := 0; k < block; k++ {
 			alpha[(lo+k)%cfg.VocabSize] = 2.0
 		}
+		if cfg.VocabZipf > 0 {
+			for w := range alpha {
+				alpha[w] *= math.Pow(float64(w+1), -cfg.VocabZipf)
+			}
+		}
 		r.Dirichlet(gt.Phi.Row(z), alpha)
 	}
+	plantSpam(cfg, gt)
 	if cfg.PopularityBurst {
 		gt.TopicPeak = make([]int, cfg.Topics)
 		for z := range gt.TopicPeak {
 			gt.TopicPeak[z] = r.Intn(max(cfg.TimeBuckets, 1))
+		}
+	}
+}
+
+// plantSpam moves SpamMass of every topic's word probability onto a shared
+// block of cfg.SpamWords low-id words, uniformly. The spam block is
+// identical across topics, so the planted tokens dominate the corpus while
+// carrying zero topic (and hence community) signal.
+func plantSpam(cfg Config, gt *GroundTruth) {
+	if cfg.SpamWords <= 0 {
+		return
+	}
+	ns := cfg.SpamWords
+	if ns > cfg.VocabSize {
+		ns = cfg.VocabSize
+	}
+	mass := cfg.SpamMass
+	if mass <= 0 {
+		mass = 0.3
+	}
+	if mass > 0.95 {
+		mass = 0.95
+	}
+	per := mass / float64(ns)
+	for z := 0; z < cfg.Topics; z++ {
+		row := gt.Phi.Row(z)
+		for w := range row {
+			row[w] *= 1 - mass
+		}
+		for w := 0; w < ns; w++ {
+			row[w] += per
 		}
 	}
 }
@@ -209,9 +287,21 @@ func plantUsers(cfg Config, r *rng.RNG, gt *GroundTruth) {
 	gt.HomeCommunity = make([]int32, cfg.Users)
 	gt.Pi = sparse.NewDense(cfg.Users, cfg.Communities)
 	gt.UserProminence = make([]float64, cfg.Users)
+	sizeExp := cfg.SizeExponent
+	if sizeExp == 0 {
+		sizeExp = 0.6
+	}
 	sizes := make([]float64, cfg.Communities)
 	for c := range sizes {
-		sizes[c] = math.Pow(float64(c+1), -0.6)
+		sizes[c] = math.Pow(float64(c+1), -sizeExp)
+	}
+	homeW := cfg.HomeWeight
+	if homeW == 0 {
+		homeW = 0.75
+	}
+	secondW := 0.98 - homeW
+	if secondW < 0 {
+		secondW = 0
 	}
 	for u := 0; u < cfg.Users; u++ {
 		home := r.Categorical(sizes)
@@ -221,8 +311,8 @@ func plantUsers(cfg Config, r *rng.RNG, gt *GroundTruth) {
 		for c := range row {
 			row[c] = 0.02 / float64(cfg.Communities)
 		}
-		row[home] += 0.75
-		row[second] += 0.23
+		row[home] += homeW
+		row[second] += secondW
 		norm := 0.0
 		for _, v := range row {
 			norm += v
@@ -261,7 +351,11 @@ func generateDocs(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph.Graph)
 }
 
 func drawWords(cfg Config, r *rng.RNG, gt *GroundTruth, z int) []int32 {
-	n := 2 + r.Poisson(math.Max(cfg.WordsPerDocMean-2, 0))
+	floor := cfg.MinWordsPerDoc
+	if floor <= 0 {
+		floor = 2
+	}
+	n := floor + r.Poisson(math.Max(cfg.WordsPerDocMean-float64(floor), 0))
 	words := make([]int32, n)
 	row := gt.Phi.Row(z)
 	for k := range words {
@@ -344,9 +438,30 @@ func generateFriendships(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph
 		}
 		memberWeights[c] = w
 	}
+	// Regime knobs: per-user power-law degree multipliers and users cut
+	// off from the friendship graph entirely. Both draw RNG only when
+	// enabled, preserving the seeded output of every existing preset.
+	var degMult []float64
+	if cfg.DegreeExponent > 0 {
+		degMult = make([]float64, cfg.Users)
+		for u := range degMult {
+			// Pareto(1, alpha) via inverse CDF on an open-interval uniform.
+			degMult[u] = math.Pow(r.Float64Open(), -1/cfg.DegreeExponent)
+		}
+	}
+	var isolated []bool
+	if cfg.IsolatedFraction > 0 {
+		isolated = make([]bool, cfg.Users)
+		for u := range isolated {
+			isolated[u] = r.Float64() < cfg.IsolatedFraction
+		}
+	}
 	seen := make(map[int64]bool, cfg.Users*8)
 	addLink := func(u, v int) {
 		if u == v {
+			return
+		}
+		if isolated != nil && (isolated[u] || isolated[v]) {
 			return
 		}
 		key := int64(u)*int64(cfg.Users) + int64(v)
@@ -365,14 +480,18 @@ func generateFriendships(cfg Config, r *rng.RNG, gt *GroundTruth, g *socialgraph
 	}
 	for u := 0; u < cfg.Users; u++ {
 		home := int(gt.HomeCommunity[u])
-		nIntra := r.Poisson(cfg.FriendIntraDeg)
+		mult := 1.0
+		if degMult != nil {
+			mult = degMult[u]
+		}
+		nIntra := r.Poisson(cfg.FriendIntraDeg * mult)
 		if len(members[home]) > 1 {
 			for k := 0; k < nIntra; k++ {
 				v := members[home][r.Categorical(memberWeights[home])]
 				addLink(u, v)
 			}
 		}
-		nInter := r.Poisson(cfg.FriendInterDeg)
+		nInter := r.Poisson(cfg.FriendInterDeg * mult)
 		for k := 0; k < nInter; k++ {
 			addLink(u, r.Intn(cfg.Users))
 		}

@@ -10,9 +10,11 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -104,4 +106,28 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkLoadGenMixed pushes the default mixed query workload through
+// the serving engine at full closed-loop pressure — the root traffic
+// baseline. One benchmark iteration is one complete request; workers
+// equal GOMAXPROCS.
+func BenchmarkLoadGenMixed(b *testing.B) {
+	m := serveBenchModel(b)
+	e := serve.New(m, nil, serve.Options{})
+	defer e.Close()
+	rep, err := scenario.RunLoad(scenario.EngineTarget{Engine: e}, scenario.LoadOptions{
+		Space:        scenario.SpaceFromModel(m),
+		Requests:     b.N,
+		Concurrency:  runtime.GOMAXPROCS(0),
+		Seed:         7,
+		FoldInSweeps: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		b.Fatalf("%d load errors: %+v", rep.Errors, rep.Ops)
+	}
+	b.ReportMetric(rep.QPS, "qps")
 }
