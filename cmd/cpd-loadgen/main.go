@@ -32,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/scenario"
 	"repro/internal/serve"
@@ -42,9 +43,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpd-loadgen: ")
 	var (
-		modelPath = flag.String("model", "", "model snapshot (binary or JSON; required — defines the query id space)")
+		modelPath = flag.String("model", "", "model snapshot (binary v1/v2 or JSON; required — defines the query id space)")
 		vocabPath = flag.String("vocab", "", "optional vocabulary (in-process target only; enables labelled responses)")
 		url       = flag.String("url", "", "drive a live endpoint at this base URL instead of the in-process engine")
+		snapName  = flag.String("snapshot", "", "route queries to this named snapshot (default snapshot when empty)")
+		useMmap   = flag.Bool("mmap", false, "serve the in-process engine from a memory-mapped v2 snapshot (zero-copy)")
 
 		mixSpec     = flag.String("mix", "rank=4,membership=3,diffusion=2,foldin=1", "relative op weights")
 		concurrency = flag.Int("concurrency", 8, "workers (closed loop) / max in-flight (open loop)")
@@ -65,8 +68,16 @@ func main() {
 	if *modelPath == "" {
 		log.Fatal("-model is required (it defines the query id space)")
 	}
-	m, err := store.LoadFile(*modelPath)
-	if err != nil {
+	var m *core.Model
+	var mapped *store.MappedModel
+	var err error
+	if *useMmap && *url == "" {
+		if mapped, err = store.Open(*modelPath); err != nil {
+			log.Fatal(err)
+		}
+		defer mapped.Close()
+		m = mapped.Model
+	} else if m, err = store.LoadFile(*modelPath); err != nil {
 		log.Fatal(err)
 	}
 
@@ -93,8 +104,8 @@ func main() {
 
 	var target scenario.Target
 	if *url != "" {
-		target = scenario.HTTPTarget{Base: *url}
-		fmt.Fprintf(os.Stderr, "target: %s (HTTP)\n", *url)
+		target = scenario.HTTPTarget{Base: *url, Snapshot: *snapName}
+		fmt.Fprintf(os.Stderr, "target: %s (HTTP, snapshot=%q)\n", *url, *snapName)
 	} else {
 		var vocab *corpus.Vocabulary
 		if *vocabPath != "" {
@@ -102,11 +113,20 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		engine := serve.New(m, vocab, serve.Options{})
+		name := *snapName
+		if name == "" {
+			name = serve.DefaultSnapshot
+		}
+		engine := serve.NewMulti(serve.Options{Mmap: *useMmap})
 		defer engine.Close()
-		target = scenario.EngineTarget{Engine: engine}
-		fmt.Fprintf(os.Stderr, "target: %s (in-process engine, |C|=%d |Z|=%d users=%d words=%d)\n",
-			*modelPath, m.Cfg.NumCommunities, m.Cfg.NumTopics, m.NumUsers, m.NumWords)
+		if mapped != nil {
+			engine.SwapMapped(name, mapped, vocab)
+		} else {
+			engine.SwapNamed(name, m, vocab)
+		}
+		target = scenario.EngineTarget{Engine: engine, Snapshot: name}
+		fmt.Fprintf(os.Stderr, "target: %s (in-process engine, mapped=%v, |C|=%d |Z|=%d users=%d words=%d)\n",
+			*modelPath, mapped != nil && mapped.Mapped(), m.Cfg.NumCommunities, m.Cfg.NumTopics, m.NumUsers, m.NumWords)
 	}
 
 	rep, err := scenario.RunLoad(target, opts)

@@ -1,25 +1,38 @@
-// Command cpd-serve is the headless profile-serving API: it loads a
-// trained model snapshot (binary or JSON) into a serve.Engine and exposes
-// the typed query surface as JSON over HTTP — community profiles, user
-// memberships, Eq. 19 ranking via the inverted index, per-topic diffusion
-// probabilities, fold-in inference for unseen users, per-endpoint latency
-// counters, and zero-downtime hot-swap.
+// Command cpd-serve is the headless profile-serving API: it loads one or
+// more trained model snapshots (binary v1/v2 or JSON) into a serve.Engine
+// and exposes the typed query surface as JSON over HTTP — community
+// profiles, user memberships, Eq. 19 ranking via the inverted index,
+// per-topic diffusion probabilities, fold-in inference for unseen users,
+// per-endpoint latency counters, and zero-downtime hot-swap.
 //
 // Usage:
 //
+//	# Single model, heap-loaded.
 //	cpd-serve -model model.snap -vocab data.vocab -addr :8080
 //
+//	# v2 snapshot served zero-copy from a memory mapping, pprof on.
+//	cpd-serve -model model.v2.snap -mmap -pprof
+//
+//	# Multiple named snapshots (e.g. per-region models).
+//	cpd-serve -model eu=models/eu.v2.snap -model us=models/us.v2.snap -mmap
+//
 //	curl localhost:8080/api/communities
-//	curl 'localhost:8080/api/rank?q=deep+learning&k=5'
+//	curl 'localhost:8080/api/rank?q=deep+learning&k=5&snapshot=eu'
 //	curl 'localhost:8080/api/user?id=42'
 //	curl -d '{"docs":[[17,204,9]],"seed":1}' localhost:8080/api/foldin
-//	curl -X POST localhost:8080/api/reload     # re-read -model/-vocab paths
-//	curl localhost:8080/api/stats
+//	curl -X POST localhost:8080/api/reload     # re-read every -model path
+//	curl localhost:8080/api/snapshots
+//	curl localhost:8080/api/stats              # latency + RSS + mapped/heap bytes
 //
-// POST /api/reload re-reads the paths the server was started with (clients
-// cannot point it at other files) and swaps the model in atomically;
-// in-flight queries finish on the snapshot they started with. The server
-// shuts down gracefully on SIGINT/SIGTERM.
+// -model may repeat; "name=path" serves the snapshot under that name
+// (query it with ?snapshot=name), a bare "path" serves as "default". With
+// -mmap, v2 snapshots are memory-mapped and served zero-copy — load is
+// O(1) in model size and a hot-swap never copies the matrices; v1/JSON
+// files fall back to the copying loader. POST /api/reload re-reads the
+// paths the server was started with (clients cannot point it at other
+// files) and swaps each model in atomically; in-flight queries finish on
+// the snapshot they started with. -pprof exposes net/http/pprof under
+// /debug/pprof/. The server shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -27,53 +40,114 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 
 	"repro/internal/corpus"
 	"repro/internal/serve"
-	"repro/internal/store"
 )
+
+// modelSpec is one -model flag value: a snapshot name and its path.
+type modelSpec struct{ name, path string }
+
+// modelFlags collects repeated -model values.
+type modelFlags []modelSpec
+
+func (f *modelFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *modelFlags) Set(v string) error {
+	name, path := serve.DefaultSnapshot, v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("model spec %q is not [name=]path", v)
+	}
+	for _, s := range *f {
+		if s.name == name {
+			return fmt.Errorf("snapshot name %q given twice", name)
+		}
+	}
+	*f = append(*f, modelSpec{name: name, path: path})
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpd-serve: ")
+	var models modelFlags
+	flag.Var(&models, "model", "model snapshot, [name=]path; repeat for multiple named snapshots (required)")
 	var (
-		modelPath = flag.String("model", "", "trained model file, binary snapshot or JSON (required)")
-		vocabPath = flag.String("vocab", "", "vocabulary file (enables free-text rank queries)")
+		vocabPath = flag.String("vocab", "", "vocabulary file, shared by all snapshots (enables free-text rank queries)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		postings  = flag.Int("postings", 0, "rank-index posting-list length per word (0 = default)")
 		workers   = flag.Int("foldin-workers", 0, "fold-in worker pool size (0 = default)")
+		shards    = flag.Int("user-shards", 0, "user-index shard count (0 = default)")
+		useMmap   = flag.Bool("mmap", false, "serve v2 snapshots zero-copy from a memory mapping")
+		usePprof  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if *modelPath == "" {
+	if len(models) == 0 {
 		log.Fatal("-model is required")
 	}
-	model, err := store.LoadFile(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var vocab *corpus.Vocabulary
-	if *vocabPath != "" {
-		if vocab, err = corpus.ReadVocabularyFile(*vocabPath); err != nil {
-			log.Fatal(err)
-		}
-	}
-	engine := serve.New(model, vocab, serve.Options{
+	engine := serve.NewMulti(serve.Options{
 		PostingsPerWord: *postings,
 		FoldInWorkers:   *workers,
+		UserShards:      *shards,
+		Mmap:            *useMmap,
 	})
 	defer engine.Close()
+	load := func() error {
+		// One shared vocabulary, parsed once per load, not once per slot.
+		var vocab *corpus.Vocabulary
+		if *vocabPath != "" {
+			var err error
+			if vocab, err = corpus.ReadVocabularyFile(*vocabPath); err != nil {
+				return err
+			}
+		}
+		for _, spec := range models {
+			v, err := engine.LoadSnapshot(spec.name, spec.path, vocab)
+			if err != nil {
+				return fmt.Errorf("loading %s (%s): %w", spec.name, spec.path, err)
+			}
+			log.Printf("loaded %s = %s (version %d)", spec.name, spec.path, v)
+		}
+		return nil
+	}
+	if err := load(); err != nil {
+		log.Fatal(err)
+	}
 	reload := func() error {
-		v, err := engine.Reload(*modelPath, *vocabPath)
-		if err != nil {
+		if err := load(); err != nil {
 			log.Printf("reload failed: %v", err)
 			return err
 		}
-		log.Printf("reloaded %s (version %d)", *modelPath, v)
 		return nil
 	}
-	fmt.Printf("cpd-serve listening on %s (|C|=%d |Z|=%d, %d users, %d words)\n",
-		*addr, model.Cfg.NumCommunities, model.Cfg.NumTopics, model.NumUsers, model.NumWords)
-	if err := serve.RunHTTP(*addr, serve.APIHandler(engine, reload)); err != nil && err != http.ErrServerClosed {
+	var handler http.Handler = serve.APIHandler(engine, reload)
+	if *usePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	for _, info := range engine.SnapshotsInfo() {
+		fmt.Printf("cpd-serve snapshot %s: %d users, %d words, mapped=%v (%d mapped / %d heap bytes)\n",
+			info.Name, info.Users, info.Words, info.Mapped, info.MappedBytes, info.HeapBytes)
+	}
+	fmt.Printf("cpd-serve listening on %s (%d snapshots)\n", *addr, len(models))
+	if err := serve.RunHTTP(*addr, handler); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	fmt.Println("shut down cleanly")

@@ -1,11 +1,14 @@
 // Command cpd-train trains a CPD model on a social graph file and saves
-// the model — by default as a binary snapshot (internal/store), the format
-// the serving layer loads ~10x faster than JSON; -format json keeps the
-// legacy encoding. Every reader in this repository sniffs both formats.
+// the model — by default as a v1 binary snapshot (internal/store), the
+// format the serving layer loads ~10x faster than JSON; -format v2 writes
+// the 64-byte-aligned layout cpd-serve can memory-map for zero-copy
+// serving, and -format json keeps the legacy encoding. Every reader in
+// this repository sniffs all formats.
 //
 // Usage:
 //
 //	cpd-train -graph twitter.graph -communities 50 -topics 25 -iters 30 -out model.snap
+//	cpd-train -graph twitter.graph -format v2 -out model.v2.snap
 //	cpd-train -graph twitter.graph -format json -out model.json
 package main
 
@@ -32,7 +35,7 @@ func main() {
 		seed        = flag.Uint64("seed", 7, "sampler seed")
 		rho         = flag.Float64("rho", 0, "membership prior (0 = paper default 50/|C|)")
 		out         = flag.String("out", "", "model output file (required)")
-		format      = flag.String("format", "binary", "model output format: binary | json")
+		format      = flag.String("format", "binary", "model output format: binary (v1) | v2 (mmap-ready) | json")
 	)
 	flag.Parse()
 	if *graphPath == "" || *out == "" {
@@ -59,8 +62,12 @@ func main() {
 		log.Fatal(err)
 	}
 	switch *format {
-	case "binary":
+	case "binary", "v1":
 		if err := store.Save(*out, m); err != nil {
+			log.Fatal(err)
+		}
+	case "v2":
+		if err := store.SaveV2(*out, m); err != nil {
 			log.Fatal(err)
 		}
 	case "json":
@@ -78,7 +85,7 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatalf("unknown format %q (want binary or json)", *format)
+		log.Fatalf("unknown format %q (want binary, v2 or json)", *format)
 	}
 	fmt.Printf("trained |C|=%d |Z|=%d in %.1fs E-step + %.1fs M-step; model written to %s\n",
 		*communities, *topics, diag.EStepSeconds, diag.MStepSeconds, *out)

@@ -104,7 +104,7 @@ func (st *state) sampleDocTopic(d int32, sc *scratch) {
 			delta := st.delAt(sc, int(e))
 			lb := st.docBucket[l.I]
 			for z := 0; z < Z; z++ {
-				x := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV) +
+				x := st.aggs[z].Eval(st.etaSlice[z], st.thetaColM.Row(z), &sc.piU, &sc.piV) +
 					st.popTerm(sc, lb, z) + indiv
 				logw[z] += logPsi(x, delta)
 			}
@@ -279,7 +279,7 @@ func (st *state) addDiffusionCommunityTerms(d int32, e int, invDenU float64, sc 
 	}
 
 	z := int(st.zAt(sc, l.I, d)) // link topic = diffusing document's topic
-	w := st.thetaCol[z]
+	w := st.thetaColM.Row(z)
 	m := st.etaSlice[z]
 	agg := st.aggs[z]
 	pop := st.popTerm(sc, st.docBucket[l.I], z)
@@ -515,6 +515,6 @@ func (st *state) diffusionArg(e int, sc *scratch) float64 {
 	// l.I is always owned by the sampling segment (diffusion links belong to
 	// the diffusing document's user), so the live read is deterministic.
 	z := int(st.zload(l.I))
-	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV)
+	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaColM.Row(z), &sc.piU, &sc.piV)
 	return s + st.popTerm(sc, st.docBucket[l.I], z) + st.indivTerm(e)
 }

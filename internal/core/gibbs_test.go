@@ -67,7 +67,7 @@ func bruteDiffusionArg(st *state, e int, excl int32, excludeFor int32, cand int)
 		pj = bruteForcePiHat(st, uJ, -1, -1)
 	}
 	z := int(st.docZ[l.I])
-	w := st.thetaCol[z]
+	w := st.thetaColM.Row(z)
 	m := st.etaSlice[z]
 	var s float64
 	for a := range pi {
@@ -153,7 +153,7 @@ func TestDiffusionKernelIncrementalMatchesBrute(t *testing.T) {
 			d := side
 			u := g.Docs[d].User
 			z := int(st.docZ[l.I])
-			w := st.thetaCol[z]
+			w := st.thetaColM.Row(z)
 			m := st.etaSlice[z]
 			agg := st.aggs[z]
 			st.piHat(u, d, &sc.piU, &sc.idxBufU, &sc.valBufU, sc)

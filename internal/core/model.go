@@ -46,12 +46,21 @@ type Model struct {
 	DocCommunity, DocTopic []int32
 	DocBucket              []int
 
-	// Caches rebuilt by initCaches (not serialized).
-	piBase   []float64        // per-user smoothing base of pi
-	piResid  []*sparse.Vector // per-user sparse residual of pi
-	aggs     []*sparse.BilinearAgg
-	etaSlice []*sparse.Dense // scaled by EtaScale
-	thetaCol [][]float64
+	// Caches rebuilt by initCaches (not serialized). All matrix-shaped
+	// caches live in flat, row-major contiguous buffers — the same layout
+	// the parameter blocks themselves use — so training, fold-in and
+	// queries walk one cache-friendly representation.
+	piBase  []float64        // per-user smoothing base of pi
+	piResid []*sparse.Vector // per-user sparse residual of pi
+	aggs    []*sparse.BilinearAgg
+	// etaFlat packs the per-topic diffusion matrices M_z = EtaScale ·
+	// eta[:, :, z] contiguously ([z][c][c'], |Z|·|C|² floats); etaSlice[z]
+	// is a view into it.
+	etaFlat  []float64
+	etaSlice []*sparse.Dense
+	// thetaColM is theta transposed (|Z| x |C|): row z is the theta-hat
+	// column the bilinear aggregates weight by.
+	thetaColM *sparse.Dense
 	// rankTable[c][z] = sum_c' eta_{c,c',z} theta_{c',z} (Eq. 19's inner
 	// sum).
 	rankTable *sparse.Dense
@@ -187,17 +196,18 @@ func (m *Model) initCaches() {
 		}
 		m.piResid[u] = resid
 	}
+	m.etaFlat = make([]float64, Z*C*C)
 	m.etaSlice = make([]*sparse.Dense, Z)
 	m.aggs = make([]*sparse.BilinearAgg, Z)
-	m.thetaCol = make([][]float64, Z)
+	m.thetaColM = sparse.NewDense(Z, C)
 	m.rankTable = sparse.NewDense(C, Z)
 	for z := 0; z < Z; z++ {
-		col := make([]float64, C)
+		col := m.thetaColM.Row(z)
 		for c := 0; c < C; c++ {
 			col[c] = m.Theta.At(c, z)
 		}
-		m.thetaCol[z] = col
-		slice := m.Eta.SliceK(z)
+		slice := sparse.NewDenseView(C, C, m.etaFlat[z*C*C:(z+1)*C*C])
+		m.Eta.SliceKInto(z, slice)
 		slice.Scale(m.Cfg.EtaScale)
 		m.etaSlice[z] = slice
 		for c := 0; c < C; c++ {
@@ -209,6 +219,38 @@ func (m *Model) initCaches() {
 		}
 		m.aggs[z] = sparse.NewBilinearAgg(slice, col)
 	}
+}
+
+// MatrixBytes returns the byte footprint of the exported parameter blocks
+// (the data a v2 snapshot can serve via mmap instead of heap copies).
+func (m *Model) MatrixBytes() int64 {
+	n := int64(len(m.Pi.Data) + len(m.Theta.Data) + len(m.Phi.Data) + len(m.Eta.Data) + len(m.Nu))
+	if m.PopFreq != nil {
+		n += int64(len(m.PopFreq.Data))
+	}
+	if m.Xi != nil {
+		n += int64(len(m.Xi.Data))
+	}
+	return 8*n + 4*int64(len(m.DocCommunity)+len(m.DocTopic)) + 8*int64(len(m.DocBucket))
+}
+
+// CacheBytes returns the approximate heap footprint of the rebuilt
+// prediction caches — what a mapped model still allocates on Rehydrate.
+func (m *Model) CacheBytes() int64 {
+	n := 8 * int64(len(m.piBase)+len(m.etaFlat))
+	if m.thetaColM != nil {
+		n += 8 * int64(len(m.thetaColM.Data))
+	}
+	if m.rankTable != nil {
+		n += 8 * int64(len(m.rankTable.Data))
+	}
+	for _, r := range m.piResid {
+		n += 12 * int64(r.NNZ())
+	}
+	for _, a := range m.aggs {
+		n += 8 * int64(len(a.G)+len(a.H)+1)
+	}
+	return n
 }
 
 // piVec materialises user u's membership as a SmoothedVec view.
@@ -259,7 +301,7 @@ func (m *Model) DiffusionLogitTopic(u, v, z, b int, feats []float64) float64 {
 	var a, bb sparse.SmoothedVec
 	m.piVec(u, &a)
 	m.piVec(v, &bb)
-	x := m.aggs[z].Eval(m.etaSlice[z], m.thetaCol[z], &a, &bb)
+	x := m.aggs[z].Eval(m.etaSlice[z], m.thetaColM.Row(z), &a, &bb)
 	if !m.Cfg.NoTopicPopularity && b >= 0 && b < m.NumBuckets {
 		x += m.Cfg.PopScale * m.PopFreq.At(b, z)
 	}

@@ -112,6 +112,6 @@ func (st *state) pairOffset(i, j int32, sc *scratch) float64 {
 		return st.cfg.FriendScale * sc.piU.Dot(&sc.piV)
 	}
 	z := int(st.zload(i))
-	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaCol[z], &sc.piU, &sc.piV)
+	s := st.aggs[z].Eval(st.etaSlice[z], st.thetaColM.Row(z), &sc.piU, &sc.piV)
 	return s + st.popTerm(sc, st.docBucket[i], z)
 }

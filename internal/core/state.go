@@ -132,9 +132,14 @@ type state struct {
 	// linear, at the cost of the same within-sweep staleness the parallel
 	// E-step already accepts. The sampled user's own pi-hat is always
 	// exact.
-	etaSlice  []*sparse.Dense       // [z] -> |C| x |C|
+	// etaFlat/etaSlice and thetaColM use the same flat row-major layout as
+	// the model caches (model.go initCaches): one contiguous [z][c][c']
+	// buffer with per-topic Dense views, and theta transposed as a |Z| x
+	// |C| matrix, so the sampler and the serving paths share a layout.
+	etaFlat   []float64
+	etaSlice  []*sparse.Dense       // [z] -> |C| x |C| view into etaFlat
 	aggs      []*sparse.BilinearAgg // [z]
-	thetaCol  [][]float64           // [z][c] = theta-hat_{c,z}
+	thetaColM *sparse.Dense         // row z = theta-hat column z
 	piSnapIdx [][]int32             // per-user snapshot support
 	piSnapVal [][]float64           // per-user snapshot residuals
 	cFrozen   bool                  // phase-2 of NoJointModeling: freeze C
@@ -274,23 +279,24 @@ func (st *state) zstore(doc int32, z int32) { atomic.StoreInt32(&st.docZ[doc], z
 func (st *state) refreshCaches() {
 	C, Z := st.cfg.NumCommunities, st.cfg.NumTopics
 	if st.etaSlice == nil {
+		st.etaFlat = make([]float64, Z*C*C)
 		st.etaSlice = make([]*sparse.Dense, Z)
-		st.aggs = make([]*sparse.BilinearAgg, Z)
-		st.thetaCol = make([][]float64, Z)
 		for z := 0; z < Z; z++ {
-			st.thetaCol[z] = make([]float64, C)
+			st.etaSlice[z] = sparse.NewDenseView(C, C, st.etaFlat[z*C*C:(z+1)*C*C])
 		}
+		st.aggs = make([]*sparse.BilinearAgg, Z)
+		st.thetaColM = sparse.NewDense(Z, C)
 	}
 	alpha := st.cfg.Alpha
 	zAlpha := float64(Z) * alpha
 	for z := 0; z < Z; z++ {
-		col := st.thetaCol[z]
+		col := st.thetaColM.Row(z)
 		for c := 0; c < C; c++ {
 			col[c] = (float64(st.nCZ.at(c, z)) + alpha) / (float64(st.nCT.at(c)) + zAlpha)
 		}
-		slice := st.eta.SliceK(z)
+		slice := st.etaSlice[z]
+		st.eta.SliceKInto(z, slice)
 		slice.Scale(st.cfg.EtaScale)
-		st.etaSlice[z] = slice
 		st.aggs[z] = sparse.NewBilinearAgg(slice, col)
 	}
 	st.refreshPiSnapshots()

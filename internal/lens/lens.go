@@ -101,9 +101,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	// One coherent snapshot for the whole request: the diffusion graph is
-	// built from the model the engine serves right now.
-	v := s.engine.View()
+	// One coherent snapshot for the whole request, pinned so a concurrent
+	// hot-swap cannot unmap a mapped model while the graph is built.
+	v, release, err := s.engine.Acquire()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer release()
 	topic := -1
 	if tq := r.URL.Query().Get("topic"); tq != "" {
 		t, err := strconv.Atoi(tq)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -111,21 +112,29 @@ type Target interface {
 }
 
 // EngineTarget drives a serve.Engine directly (no network, no JSON):
-// the ceiling the HTTP path is compared against.
-type EngineTarget struct{ Engine *serve.Engine }
+// the ceiling the HTTP path is compared against. Snapshot selects one of
+// the engine's named snapshots (empty = the default).
+type EngineTarget struct {
+	Engine   *serve.Engine
+	Snapshot string
+}
 
 // Do implements Target.
 func (t EngineTarget) Do(req *Request) error {
+	name := t.Snapshot
+	if name == "" {
+		name = serve.DefaultSnapshot
+	}
 	var err error
 	switch req.Op {
 	case OpRank:
-		_, err = t.Engine.Rank(req.Words, req.K)
+		_, err = t.Engine.RankIn(name, req.Words, req.K)
 	case OpMembership:
-		_, err = t.Engine.Membership(req.U, req.K)
+		_, err = t.Engine.MembershipIn(name, req.U, req.K)
 	case OpDiffusion:
-		_, err = t.Engine.Diffusion(req.U, req.V, req.Z, req.B)
+		_, err = t.Engine.DiffusionIn(name, req.U, req.V, req.Z, req.B)
 	case OpFoldIn:
-		_, err = t.Engine.FoldIn(req.FoldIn)
+		_, err = t.Engine.FoldInNamed(name, req.FoldIn)
 	}
 	return err
 }
@@ -135,6 +144,9 @@ func (t EngineTarget) Do(req *Request) error {
 type HTTPTarget struct {
 	// Base is the endpoint root, e.g. "http://localhost:8080".
 	Base string
+	// Snapshot, when non-empty, routes every query to that named snapshot
+	// (appended as the ?snapshot= parameter).
+	Snapshot string
 	// Client defaults to loadClient, a dedicated client with enough idle
 	// connections per host for any sane -concurrency (so percentiles
 	// measure the server, not TCP handshake churn) and a request timeout
@@ -159,6 +171,10 @@ func (t HTTPTarget) Do(req *Request) error {
 	if client == nil {
 		client = loadClient
 	}
+	snap := ""
+	if t.Snapshot != "" {
+		snap = "&snapshot=" + url.QueryEscape(t.Snapshot)
+	}
 	var resp *http.Response
 	var err error
 	switch req.Op {
@@ -167,17 +183,21 @@ func (t HTTPTarget) Do(req *Request) error {
 		for i, w := range req.Words {
 			ids[i] = strconv.Itoa(int(w))
 		}
-		resp, err = client.Get(fmt.Sprintf("%s/api/rank?w=%s&k=%d", t.Base, strings.Join(ids, ","), req.K))
+		resp, err = client.Get(fmt.Sprintf("%s/api/rank?w=%s&k=%d%s", t.Base, strings.Join(ids, ","), req.K, snap))
 	case OpMembership:
-		resp, err = client.Get(fmt.Sprintf("%s/api/user?id=%d&k=%d", t.Base, req.U, req.K))
+		resp, err = client.Get(fmt.Sprintf("%s/api/user?id=%d&k=%d%s", t.Base, req.U, req.K, snap))
 	case OpDiffusion:
-		resp, err = client.Get(fmt.Sprintf("%s/api/diffusion?u=%d&v=%d&topic=%d&bucket=%d", t.Base, req.U, req.V, req.Z, req.B))
+		resp, err = client.Get(fmt.Sprintf("%s/api/diffusion?u=%d&v=%d&topic=%d&bucket=%d%s", t.Base, req.U, req.V, req.Z, req.B, snap))
 	case OpFoldIn:
 		var body bytes.Buffer
 		if err := json.NewEncoder(&body).Encode(req.FoldIn); err != nil {
 			return err
 		}
-		resp, err = client.Post(t.Base+"/api/foldin", "application/json", &body)
+		foldURL := t.Base + "/api/foldin"
+		if snap != "" {
+			foldURL += "?" + snap[1:]
+		}
+		resp, err = client.Post(foldURL, "application/json", &body)
 	}
 	if err != nil {
 		return err

@@ -129,6 +129,9 @@ func Run(p Preset, opts RunOptions) (*Metrics, error) {
 	if err := checkMembershipAgreement(engine, loaded); err != nil {
 		fail("%v", err)
 	}
+	if err := checkMappedPath(dir, p, model, engine, b); err != nil {
+		fail("%v", err)
+	}
 	if !opts.SkipHTTP {
 		if err := checkHTTPSurface(engine, b); err != nil {
 			fail("%v", err)
@@ -269,6 +272,93 @@ func checkFoldInDeterminism(e *serve.Engine, b *Bundle) error {
 		return errors.New("batched fold-in disagrees with the direct path")
 	}
 	return nil
+}
+
+// checkMappedPath verifies the zero-copy serving path end to end: the
+// model round-trips bit-identically through a v2 snapshot opened via
+// store.Open, a multi-snapshot engine serving the mapped model answers
+// rank/membership/fold-in queries identically to the heap engine, and a
+// mapped hot-reload mid-flight leaves answers unchanged.
+func checkMappedPath(dir string, p Preset, model *core.Model, heap *serve.Engine, b *Bundle) error {
+	v2Path := filepath.Join(dir, p.Name+".v2.snap")
+	if err := store.SaveV2(v2Path, model); err != nil {
+		return fmt.Errorf("v2 snapshot save failed: %w", err)
+	}
+	mm, err := store.Open(v2Path)
+	if err != nil {
+		return fmt.Errorf("v2 snapshot open failed: %w", err)
+	}
+	if err := equalModels(model, mm.Model); err != nil {
+		return fmt.Errorf("mapped model: %v", err)
+	}
+
+	engine := serve.NewMulti(serve.Options{
+		PostingsPerWord: model.Cfg.NumCommunities,
+		Mmap:            true,
+	})
+	defer engine.Close()
+	engine.SwapMapped("mapped", mm, b.Vocab)
+
+	// Probe queries must answer identically through heap and mapped
+	// engines (same model bits, same index construction).
+	V := model.NumWords
+	for _, w := range []int{0, V / 3, V - 1} {
+		want, err1 := heap.Rank([]int32{int32(w)}, 5)
+		got, err2 := engine.RankIn("mapped", []int32{int32(w)}, 5)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("mapped rank probe failed: %v / %v", err1, err2)
+		}
+		if !rankEntriesEqual(want, got) {
+			return fmt.Errorf("mapped engine ranks word %d differently from the heap engine", w)
+		}
+	}
+	for _, u := range []int{0, model.NumUsers - 1} {
+		want, err1 := heap.Membership(u, 3)
+		got, err2 := engine.MembershipIn("mapped", u, 3)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("mapped membership probe failed: %v / %v", err1, err2)
+		}
+		if !reflect.DeepEqual(want.Communities, got.Communities) {
+			return fmt.Errorf("mapped engine serves user %d a different membership", u)
+		}
+	}
+	req := &serve.FoldInRequest{Docs: [][]int32{b.Graph.Docs[0].Words}, Seed: 99}
+	want, err := heap.FoldIn(req)
+	if err != nil {
+		return fmt.Errorf("heap fold-in failed: %w", err)
+	}
+	got, err := engine.FoldInNamed("mapped", req)
+	if err != nil {
+		return fmt.Errorf("mapped fold-in failed: %w", err)
+	}
+	want.Version, got.Version = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		return fmt.Errorf("mapped fold-in disagrees with the heap engine")
+	}
+
+	// A mapped hot-reload must leave answers unchanged (same file).
+	if _, err := engine.ReloadNamed("mapped", v2Path, ""); err != nil {
+		return fmt.Errorf("mapped reload failed: %w", err)
+	}
+	want2, err1 := heap.Rank([]int32{1}, 5)
+	got2, err2 := engine.RankIn("mapped", []int32{1}, 5)
+	if err1 != nil || err2 != nil || !rankEntriesEqual(want2, got2) {
+		return fmt.Errorf("answers drifted across a mapped hot-reload (%v / %v)", err1, err2)
+	}
+	return nil
+}
+
+// rankEntriesEqual compares rank results ignoring the snapshot version.
+func rankEntriesEqual(a, b *serve.RankResult) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkMembershipAgreement compares served memberships against the model.

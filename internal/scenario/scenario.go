@@ -166,6 +166,28 @@ var presets = []Preset{
 		0.05, 0.55, 112, func(c *synth.Config) {
 			c.SizeExponent = 3.0
 		}),
+	largeScale(),
+}
+
+// largeScale is the scale-out preset: 5x the users and ~8x the vocabulary
+// of the regression scale, with heavy-tailed degrees — big enough that
+// the v2 mapped serving path (which every scenario run exercises) covers
+// multi-megabyte matrix sections, while EM iterations are trimmed so the
+// full suite stays fast.
+func largeScale() Preset {
+	p := preset("large-scale",
+		"production-shaped: 700 users, 2000-word vocabulary, Pareto degrees; exercises the mapped v2 serving path at scale",
+		0.30, 0.55, 113, func(c *synth.Config) {
+			c.Users = 700
+			c.VocabSize = 2000
+			c.DocsPerUserMean = 4
+			c.FriendIntraDeg = 7
+			c.DiffLinks = 1500
+			c.DegreeExponent = 1.1
+			c.SizeExponent = 0.8
+		})
+	p.Train.EMIters = 8
+	return p
 }
 
 // All returns the preset registry in display order (a copy).

@@ -58,11 +58,21 @@ type FoldInResult struct {
 }
 
 // FoldIn infers the profile of one unseen user against the current
-// snapshot. It is deterministic for a fixed request seed.
-func (e *Engine) FoldIn(req *FoldInRequest) (res *FoldInResult, err error) {
+// default snapshot. It is deterministic for a fixed request seed.
+func (e *Engine) FoldIn(req *FoldInRequest) (*FoldInResult, error) {
+	return e.FoldInNamed(DefaultSnapshot, req)
+}
+
+// FoldInNamed is FoldIn against a named snapshot.
+func (e *Engine) FoldInNamed(name string, req *FoldInRequest) (res *FoldInResult, err error) {
 	start := time.Now()
 	defer func() { e.lat[epFoldIn].observe(time.Since(start), err) }()
-	return foldIn(e.View(), req)
+	s, release, err := e.AcquireNamed(name)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return foldIn(s, req)
 }
 
 // foldJob carries one batch entry to the persistent worker pool.
@@ -88,15 +98,28 @@ func (e *Engine) foldWorker() {
 }
 
 // FoldInBatch folds in many users concurrently through the engine's
-// persistent worker pool. All requests in a batch resolve against the same
-// snapshot (one atomic load for the whole batch), and results are in
-// request order. Each entry carries its own error and is counted
-// individually in the foldin latency stats; results are bit-identical for
-// every FoldInWorkers value.
+// persistent worker pool, against the default snapshot.
 func (e *Engine) FoldInBatch(reqs []*FoldInRequest) ([]*FoldInResult, []error) {
-	snap := e.View()
+	return e.FoldInBatchNamed(DefaultSnapshot, reqs)
+}
+
+// FoldInBatchNamed folds in many users concurrently through the engine's
+// persistent worker pool. All requests in a batch resolve against the same
+// snapshot (pinned once for the whole batch, so a concurrent swap cannot
+// unmap it mid-run), and results are in request order. Each entry carries
+// its own error and is counted individually in the foldin latency stats;
+// results are bit-identical for every FoldInWorkers value.
+func (e *Engine) FoldInBatchNamed(name string, reqs []*FoldInRequest) ([]*FoldInResult, []error) {
 	out := make([]*FoldInResult, len(reqs))
 	errs := make([]error, len(reqs))
+	snap, release, err := e.AcquireNamed(name)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return out, errs
+	}
+	defer release()
 	var wg sync.WaitGroup
 	wg.Add(len(reqs))
 	for i, req := range reqs {

@@ -26,8 +26,13 @@ import (
 //	GET  /api/diffusion?u=1&v=2&topic=0&bucket=3 per-topic diffusion prob
 //	POST /api/foldin                            fold-in one FoldInRequest
 //	POST /api/reload                            hot-swap via reload (if non-nil)
-//	GET  /api/stats                             per-endpoint latency counters
+//	GET  /api/snapshots                         per-snapshot accounting
+//	GET  /api/stats                             latency counters + RSS + snapshots
 //	GET  /healthz                               liveness + model version
+//
+// Every query endpoint accepts an optional ?snapshot=NAME parameter
+// selecting one of the engine's named snapshots (default "default");
+// unknown names answer 404.
 //
 // reload is invoked by POST /api/reload; pass nil to disable the endpoint
 // (it returns 501). cmd/cpd-serve wires it to re-read the paths the server
@@ -36,7 +41,12 @@ import (
 func APIHandler(e *Engine, reload func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/communities", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, e.Communities())
+		out, err := e.CommunitiesIn(snapParam(r))
+		if err != nil {
+			writeQueryErr(w, err)
+			return
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/api/community", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.URL.Query().Get("id"))
@@ -44,9 +54,9 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 			http.Error(w, "bad or missing community id", http.StatusBadRequest)
 			return
 		}
-		d, err := e.Community(id)
+		d, err := e.CommunityIn(snapParam(r), id)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, d)
@@ -57,15 +67,16 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 			http.Error(w, "bad or missing user id", http.StatusBadRequest)
 			return
 		}
-		res, err := e.Membership(id, intParam(r, "k", 0))
+		res, err := e.MembershipIn(snapParam(r), id, intParam(r, "k", 0))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, res)
 	})
 	mux.HandleFunc("/api/rank", func(w http.ResponseWriter, r *http.Request) {
 		k := intParam(r, "k", 10)
+		name := snapParam(r)
 		var res *RankResult
 		var err error
 		switch {
@@ -79,19 +90,15 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 				}
 				ids = append(ids, int32(v))
 			}
-			res, err = e.Rank(ids, k)
+			res, err = e.RankIn(name, ids, k)
 		case strings.TrimSpace(r.URL.Query().Get("q")) != "":
-			res, err = e.RankText(r.URL.Query().Get("q"), k)
+			res, err = e.RankTextIn(name, r.URL.Query().Get("q"), k)
 		default:
 			http.Error(w, "missing q or w parameter", http.StatusBadRequest)
 			return
 		}
 		if err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, ErrNoVocabulary) {
-				status = http.StatusNotImplemented
-			}
-			http.Error(w, err.Error(), status)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, res)
@@ -104,9 +111,9 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 			http.Error(w, "u, v and topic are required integers", http.StatusBadRequest)
 			return
 		}
-		res, err := e.Diffusion(u, v, z, intParam(r, "bucket", -1))
+		res, err := e.DiffusionIn(snapParam(r), u, v, z, intParam(r, "bucket", -1))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, res)
@@ -125,9 +132,9 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := e.FoldIn(&req)
+		res, err := e.FoldInNamed(snapParam(r), &req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryErr(w, err)
 			return
 		}
 		writeJSON(w, res)
@@ -145,21 +152,73 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, map[string]uint64{"version": e.View().Version})
+		writeJSON(w, map[string]uint64{"version": e.version.Load()})
+	})
+	mux.HandleFunc("/api/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.SnapshotsInfo())
 	})
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, e.Stats())
+		writeJSON(w, e.StatsReport())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		s := e.View()
+		// Process liveness must not depend on any particular snapshot
+		// name existing: without ?snapshot= a healthy engine answers 200
+		// whatever its slots are called (a multi-snapshot server has no
+		// "default"). An explicit ?snapshot= asks about that snapshot and
+		// 404s if unknown.
+		name := r.URL.Query().Get("snapshot")
+		explicit := name != ""
+		if !explicit {
+			name = DefaultSnapshot
+		}
+		s, release, err := e.AcquireNamed(name)
+		if err != nil && !explicit {
+			// No "default" slot; report against the first named one.
+			if names := e.Names(); len(names) > 0 {
+				s, release, err = e.AcquireNamed(names[0])
+			}
+		}
+		if err != nil {
+			if explicit {
+				writeQueryErr(w, err)
+				return
+			}
+			writeJSON(w, map[string]any{"status": "ok", "snapshots": e.Names()})
+			return
+		}
+		defer release()
 		writeJSON(w, map[string]any{
-			"status":  "ok",
-			"version": s.Version,
-			"users":   s.Model.NumUsers,
-			"words":   s.Model.NumWords,
+			"status":   "ok",
+			"snapshot": s.Name,
+			"version":  s.Version,
+			"users":    s.Model.NumUsers,
+			"words":    s.Model.NumWords,
+			"mapped":   s.Mapped(),
 		})
 	})
 	return mux
+}
+
+// snapParam resolves the optional ?snapshot= parameter.
+func snapParam(r *http.Request) string {
+	if name := r.URL.Query().Get("snapshot"); name != "" {
+		return name
+	}
+	return DefaultSnapshot
+}
+
+// writeQueryErr maps engine errors to HTTP statuses: unknown snapshot
+// names are 404, missing vocabularies 501, anything else a 400.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var noSnap *ErrNoSnapshot
+	switch {
+	case errors.As(err, &noSnap):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNoVocabulary):
+		status = http.StatusNotImplemented
+	}
+	http.Error(w, err.Error(), status)
 }
 
 // RunHTTP serves h on addr until the process receives SIGINT or SIGTERM,

@@ -142,6 +142,11 @@ func (ix *RankIndex) Accumulate(scores []float64, query []int32) {
 	}
 }
 
+// Bytes estimates the index's heap footprint.
+func (ix *RankIndex) Bytes() int64 {
+	return 4*int64(len(ix.offsets)) + 4*int64(len(ix.comms)) + 8*int64(len(ix.scores))
+}
+
 // PostingsPerWord reports the index's effective posting-list bound (the
 // longest stored list).
 func (ix *RankIndex) PostingsPerWord() int {

@@ -1,0 +1,28 @@
+//go:build linux
+
+package serve
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ProcessRSS returns the process's resident set size in bytes, read from
+// /proc/self/statm (field 2 is resident pages). Returns 0 on any parse
+// trouble — stats must never fail a serving request.
+func ProcessRSS() int64 {
+	buf, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(buf))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

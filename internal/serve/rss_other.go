@@ -1,0 +1,7 @@
+//go:build !linux
+
+package serve
+
+// ProcessRSS returns 0 on platforms without a cheap RSS reading; the
+// stats payload reports it as unavailable.
+func ProcessRSS() int64 { return 0 }

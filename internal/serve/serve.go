@@ -3,10 +3,19 @@
 // results as an interactive service (SocialLens, footnote 1); this package
 // is the engine such a service needs to hold up under load:
 //
-//   - the live model sits behind an atomic pointer, so Reload hot-swaps a
-//     new snapshot with zero downtime — in-flight queries keep the
+//   - one Engine hosts any number of named snapshots (e.g. per-region
+//     models); each lives behind an atomic pointer, so Swap/Reload
+//     hot-swaps a model with zero downtime — in-flight queries keep the
 //     snapshot they started on, and no query ever observes a torn mix of
 //     two models;
+//   - snapshots hold matrix *views*, not owned copies: a model opened
+//     from a v2 snapshot (store.Open) aliases a read-only file mapping,
+//     and the mapping's lifetime is tied to the snapshot's reference
+//     count — the file is unmapped only when the last in-flight query
+//     releases it, never under one;
+//   - user-scoped state (memberships, community member lists) lives in a
+//     sharded user index (N shards by user id), built shard-parallel per
+//     snapshot;
 //   - Eq. 19 community ranking runs over a precomputed inverted index
 //     (word → community posting lists, see RankIndex) instead of scoring
 //     every community against every topic per query;
@@ -14,7 +23,8 @@
 //     on a community membership and profile, by a short seeded Gibbs pass
 //     against the frozen Φ/Θ/Π — batched through a persistent worker pool
 //     in the spirit of core.Engine's segment workers;
-//   - every endpoint keeps latency counters (Stats).
+//   - every endpoint keeps latency counters (Stats), and StatsReport adds
+//     process RSS plus per-snapshot mapped/heap byte accounting.
 //
 // internal/lens builds its browser UI on this engine; cmd/cpd-serve
 // exposes it as a headless JSON API.
@@ -22,6 +32,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,6 +44,10 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/store"
 )
+
+// DefaultSnapshot is the snapshot name the unqualified query API (and the
+// HTTP surface without a ?snapshot= parameter) resolves against.
+const DefaultSnapshot = "default"
 
 // Options tunes an Engine. The zero value is ready for use.
 type Options struct {
@@ -46,6 +61,15 @@ type Options struct {
 	// request is a pure function of the snapshot and its own seed);
 	// 0 selects the default (4).
 	FoldInWorkers int
+	// UserShards is the shard count of the per-snapshot user index (users
+	// partition by id modulo UserShards; shards build in parallel).
+	// 0 selects the default (8).
+	UserShards int
+	// Mmap makes Reload open v2 snapshot files through store.Open — the
+	// zero-copy mapped path — instead of the copying loader. v1 and JSON
+	// files still load by copy. The mapped file stays mapped for as long
+	// as any query uses the snapshot (refcounted; see Snapshot).
+	Mmap bool
 	// Pipeline tokenizes free-text rank queries. A zero pipeline (with
 	// MinDocTokens forced to 1) passes tokens through unstemmed.
 	Pipeline corpus.Pipeline
@@ -62,6 +86,9 @@ func (o Options) withDefaults() Options {
 	if o.FoldInWorkers == 0 {
 		o.FoldInWorkers = 4
 	}
+	if o.UserShards == 0 {
+		o.UserShards = 8
+	}
 	if o.Pipeline.MinDocTokens == 0 {
 		o.Pipeline.MinDocTokens = 1
 	}
@@ -73,35 +100,94 @@ func (o Options) withDefaults() Options {
 
 // Snapshot is one immutable serving state: a model, its optional
 // vocabulary, and everything precomputed from them. Queries resolve
-// against exactly one snapshot, so a Reload during a request can never mix
+// against exactly one snapshot, so a Swap during a request can never mix
 // parameters from two models.
+//
+// A snapshot's matrices are views — for a mapped model they alias a
+// read-only file mapping owned by the snapshot. The snapshot therefore
+// carries a reference count: it is born with one reference (slot
+// ownership), every query pins it for the duration (Engine.Acquire /
+// Release), the owning slot drops its reference on swap, and the backing
+// mapping is closed exactly when the count reaches zero. An in-flight
+// query can never see an unmapped page.
 type Snapshot struct {
 	Model *core.Model
 	Vocab *corpus.Vocabulary
-	// Version increments on every swap; results carry it so callers can
-	// attribute answers to a model generation.
+	// Name is the engine slot the snapshot serves under.
+	Name string
+	// Version increments on every swap (globally across the engine's
+	// snapshots); results carry it so callers can attribute answers to a
+	// model generation.
 	Version uint64
 
-	members  [][]int
+	opts     Options
 	openness []int
 	labels   []string
 	index    *RankIndex
+	users    *userIndex
+
+	refs        atomic.Int64
+	closer      io.Closer // mapped backing; nil for heap snapshots
+	mapped      bool
+	mappedBytes int64
+	heapBytes   int64
 }
 
-func newSnapshot(m *core.Model, vocab *corpus.Vocabulary, version uint64, opts Options) *Snapshot {
+func newSnapshot(m *core.Model, vocab *corpus.Vocabulary, name string, version uint64, opts Options) *Snapshot {
 	s := &Snapshot{
 		Model:    m,
 		Vocab:    vocab,
+		Name:     name,
 		Version:  version,
-		members:  m.CommunityMembers(opts.MemberTopK),
+		opts:     opts,
 		openness: apps.Openness(m),
 		labels:   make([]string, m.Cfg.NumCommunities),
 		index:    buildRankIndex(m, opts.PostingsPerWord),
+		users:    buildUserIndex(m, opts.UserShards, opts.MemberTopK),
 	}
 	for c := range s.labels {
 		s.labels[c] = apps.CommunityLabel(m, vocab, c, 3)
 	}
+	s.refs.Store(1)
+	// Derived state is always heap; the matrices count as heap until a
+	// mapped backing is attached (attachMapped subtracts them).
+	s.heapBytes = m.CacheBytes() + s.index.Bytes() + s.users.bytes() + m.MatrixBytes()
 	return s
+}
+
+// attachMapped records the mapped backing of the snapshot's model. Must
+// run before the snapshot is published. On the aligned-copy fallback
+// (no real kernel mapping) the matrices stay accounted as heap — which
+// they are.
+func (s *Snapshot) attachMapped(mm *store.MappedModel) {
+	s.closer = mm
+	s.mapped = mm.Mapped()
+	if s.mapped {
+		s.mappedBytes = mm.MappedBytes()
+		s.heapBytes -= s.Model.MatrixBytes()
+	}
+}
+
+// tryAcquire pins the snapshot unless it is already fully released.
+func (s *Snapshot) tryAcquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. When the last reference goes, the mapped
+// backing (if any) is closed — after which the snapshot's matrices must
+// not be touched. Engine.Acquire hands out the matching acquire.
+func (s *Snapshot) Release() {
+	if s.refs.Add(-1) == 0 && s.closer != nil {
+		s.closer.Close()
+	}
 }
 
 // Label returns community c's display label ("data database search"
@@ -110,11 +196,14 @@ func (s *Snapshot) Label(c int) string { return s.labels[c] }
 
 // Members returns the users having community c among their top-k
 // memberships (k = Options.MemberTopK).
-func (s *Snapshot) Members(c int) []int { return s.members[c] }
+func (s *Snapshot) Members(c int) []int { return s.users.members(c) }
 
 // Openness returns community c's openness count (above-average diffusion
 // edges shared with other communities).
 func (s *Snapshot) Openness(c int) int { return s.openness[c] }
+
+// Mapped reports whether the snapshot's matrices alias a file mapping.
+func (s *Snapshot) Mapped() bool { return s.mapped }
 
 // Endpoint identifiers for the latency counters.
 const (
@@ -159,14 +248,26 @@ func (l *latencyCounter) observe(d time.Duration, err error) {
 	}
 }
 
-// Engine is the concurrent query engine. All methods are safe for
-// concurrent use, including concurrently with Reload/Swap.
+// slot is one named snapshot holder.
+type slot struct {
+	snap atomic.Pointer[Snapshot]
+}
+
+// Engine is the concurrent query engine: a set of named snapshot slots
+// plus the shared fold-in worker pool and latency counters. All methods
+// are safe for concurrent use, including concurrently with Swap/Reload/
+// DropSnapshot on any slot.
 type Engine struct {
 	opts Options
 
-	snap    atomic.Pointer[Snapshot]
+	// mu guards the slots map's shape; the snapshots themselves swap
+	// through per-slot atomic pointers, so readers hold mu only for the
+	// map lookup.
+	mu    sync.RWMutex
+	slots map[string]*slot
+
 	version atomic.Uint64
-	// swapMu serializes writers (Reload/Swap); readers never take it.
+	// swapMu serializes writers (Reload/Swap/Drop); readers never take it.
 	swapMu sync.Mutex
 
 	lat [epCount]latencyCounter
@@ -175,12 +276,10 @@ type Engine struct {
 	closeOnce sync.Once
 }
 
-// New builds an engine serving m (vocab may be nil: numeric labels only,
-// free-text queries disabled) and starts its fold-in worker pool.
-func New(m *core.Model, vocab *corpus.Vocabulary, opts Options) *Engine {
-	e := &Engine{opts: opts.withDefaults()}
-	e.version.Store(1)
-	e.snap.Store(newSnapshot(m, vocab, 1, e.opts))
+// NewMulti builds an engine with no snapshots; load them with Swap,
+// SwapMapped or Reload under chosen names.
+func NewMulti(opts Options) *Engine {
+	e := &Engine{opts: opts.withDefaults(), slots: make(map[string]*slot)}
 	e.foldJobs = make(chan foldJob)
 	for i := 0; i < e.opts.FoldInWorkers; i++ {
 		go e.foldWorker()
@@ -188,46 +287,214 @@ func New(m *core.Model, vocab *corpus.Vocabulary, opts Options) *Engine {
 	return e
 }
 
-// Close stops the fold-in worker pool. The engine must not be used after
+// New builds an engine serving m as the default snapshot (vocab may be
+// nil: numeric labels only, free-text queries disabled) and starts its
+// fold-in worker pool.
+func New(m *core.Model, vocab *corpus.Vocabulary, opts Options) *Engine {
+	e := NewMulti(opts)
+	e.Swap(m, vocab)
+	return e
+}
+
+// Close stops the fold-in worker pool and drops every snapshot slot
+// (releasing the engine's references; mapped backings unmap once their
+// last in-flight query finishes). The engine must not be used after
 // Close.
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() { close(e.foldJobs) })
+	e.closeOnce.Do(func() {
+		close(e.foldJobs)
+		e.swapMu.Lock()
+		defer e.swapMu.Unlock()
+		e.mu.Lock()
+		slots := e.slots
+		e.slots = make(map[string]*slot)
+		e.mu.Unlock()
+		for _, sl := range slots {
+			if s := sl.snap.Swap(nil); s != nil {
+				s.Release()
+			}
+		}
+	})
 }
 
-// View returns the current snapshot: one atomic load, after which every
-// read through it is consistent regardless of concurrent swaps. Handlers
-// that issue several reads per request should call View once and stick to
-// it.
-func (e *Engine) View() *Snapshot { return e.snap.Load() }
+// ErrNoSnapshot reports a query against a snapshot name the engine does
+// not hold.
+type ErrNoSnapshot struct{ Name string }
 
-// Swap atomically replaces the serving model in-process and returns the
-// new version. In-flight queries finish on the snapshot they started with.
-func (e *Engine) Swap(m *core.Model, vocab *corpus.Vocabulary) uint64 {
+func (e *ErrNoSnapshot) Error() string {
+	return fmt.Sprintf("serve: no snapshot named %q", e.Name)
+}
+
+// Acquire pins the default snapshot for a sequence of reads and returns
+// it with its release func. Every read through the snapshot is consistent
+// regardless of concurrent swaps, and for mapped snapshots the pin is
+// what keeps the file mapped. Always call release (defer it).
+func (e *Engine) Acquire() (*Snapshot, func(), error) {
+	return e.AcquireNamed(DefaultSnapshot)
+}
+
+// AcquireNamed pins the named snapshot; see Acquire.
+func (e *Engine) AcquireNamed(name string) (*Snapshot, func(), error) {
+	for {
+		e.mu.RLock()
+		sl := e.slots[name]
+		e.mu.RUnlock()
+		if sl == nil {
+			return nil, nil, &ErrNoSnapshot{Name: name}
+		}
+		s := sl.snap.Load()
+		if s == nil {
+			return nil, nil, &ErrNoSnapshot{Name: name}
+		}
+		if s.tryAcquire() {
+			return s, s.Release, nil
+		}
+		// Raced with a swap that released the slot's reference between our
+		// load and pin; the slot already points at a newer snapshot.
+	}
+}
+
+// View returns the current default snapshot WITHOUT pinning it: one
+// atomic load, after which reads through it are consistent. This is safe
+// for heap-backed snapshots (the GC keeps a retired snapshot alive while
+// anyone holds it); code that may serve mapped snapshots must use Acquire
+// instead, because an unpinned mapped snapshot can be unmapped by a
+// concurrent swap.
+func (e *Engine) View() *Snapshot {
+	e.mu.RLock()
+	sl := e.slots[DefaultSnapshot]
+	e.mu.RUnlock()
+	if sl == nil {
+		return nil
+	}
+	return sl.snap.Load()
+}
+
+// Names returns the engine's snapshot names, sorted.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.slots))
+	for name := range e.slots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// publish installs s as the new snapshot of its named slot, creating the
+// slot if needed, and releases the slot's reference on the one it
+// replaces.
+func (e *Engine) publish(s *Snapshot) uint64 {
 	e.swapMu.Lock()
 	defer e.swapMu.Unlock()
-	v := e.version.Add(1)
-	e.snap.Store(newSnapshot(m, vocab, v, e.opts))
-	return v
+	s.Version = e.version.Add(1)
+	e.mu.Lock()
+	sl := e.slots[s.Name]
+	if sl == nil {
+		sl = &slot{}
+		e.slots[s.Name] = sl
+	}
+	e.mu.Unlock()
+	if old := sl.snap.Swap(s); old != nil {
+		old.Release()
+	}
+	return s.Version
 }
 
-// Reload loads a model snapshot from modelPath (binary or JSON, sniffed)
-// and hot-swaps it in. vocabPath may be empty to keep the current
-// vocabulary. On error the serving state is left untouched.
+// Swap atomically replaces the default serving model in-process and
+// returns the new version. In-flight queries finish on the snapshot they
+// started with.
+func (e *Engine) Swap(m *core.Model, vocab *corpus.Vocabulary) uint64 {
+	return e.SwapNamed(DefaultSnapshot, m, vocab)
+}
+
+// SwapNamed atomically replaces (or creates) the named snapshot.
+func (e *Engine) SwapNamed(name string, m *core.Model, vocab *corpus.Vocabulary) uint64 {
+	return e.publish(newSnapshot(m, vocab, name, 0, e.opts))
+}
+
+// SwapMapped atomically replaces (or creates) the named snapshot with a
+// model opened from a mapped v2 snapshot file. The engine takes ownership
+// of mm: its mapping is closed when the snapshot is retired and the last
+// in-flight query releases it.
+func (e *Engine) SwapMapped(name string, mm *store.MappedModel, vocab *corpus.Vocabulary) uint64 {
+	s := newSnapshot(mm.Model, vocab, name, 0, e.opts)
+	s.attachMapped(mm)
+	return e.publish(s)
+}
+
+// DropSnapshot removes the named slot, releasing the engine's reference.
+// In-flight queries finish unharmed; new queries for the name fail with
+// ErrNoSnapshot.
+func (e *Engine) DropSnapshot(name string) bool {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	e.mu.Lock()
+	sl := e.slots[name]
+	delete(e.slots, name)
+	e.mu.Unlock()
+	if sl == nil {
+		return false
+	}
+	if s := sl.snap.Swap(nil); s != nil {
+		s.Release()
+	}
+	return true
+}
+
+// Reload loads a model snapshot from modelPath into the default slot —
+// binary v1/v2 or JSON, sniffed; with Options.Mmap, v2 files load through
+// the zero-copy mapped path — and hot-swaps it in. vocabPath may be empty
+// to keep the slot's current vocabulary. On error the serving state is
+// left untouched.
 func (e *Engine) Reload(modelPath, vocabPath string) (version uint64, err error) {
+	return e.ReloadNamed(DefaultSnapshot, modelPath, vocabPath)
+}
+
+// ReloadNamed is Reload into a named slot (created if absent).
+func (e *Engine) ReloadNamed(name, modelPath, vocabPath string) (version uint64, err error) {
 	start := time.Now()
 	defer func() { e.lat[epReload].observe(time.Since(start), err) }()
-	m, err := store.LoadFile(modelPath)
-	if err != nil {
-		return 0, err
+	var vocab *corpus.Vocabulary
+	if s, release, err := e.AcquireNamed(name); err == nil {
+		vocab = s.Vocab
+		release()
 	}
-	vocab := e.View().Vocab
 	if vocabPath != "" {
 		vocab, err = corpus.ReadVocabularyFile(vocabPath)
 		if err != nil {
 			return 0, err
 		}
 	}
-	return e.Swap(m, vocab), nil
+	return e.loadSnapshot(name, modelPath, vocab)
+}
+
+// LoadSnapshot loads modelPath into the named slot with an
+// already-parsed vocabulary (nil disables free-text queries) — the path
+// callers hosting many snapshots over one shared vocabulary use, so the
+// vocabulary file is not re-read per slot.
+func (e *Engine) LoadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) (version uint64, err error) {
+	start := time.Now()
+	defer func() { e.lat[epReload].observe(time.Since(start), err) }()
+	return e.loadSnapshot(name, modelPath, vocab)
+}
+
+// loadSnapshot loads a model file (mapped when Options.Mmap and the file
+// is v2; copied otherwise) and publishes it under name.
+func (e *Engine) loadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) (uint64, error) {
+	if e.opts.Mmap {
+		if mm, err := store.Open(modelPath); err == nil {
+			return e.SwapMapped(name, mm, vocab), nil
+		}
+		// Not a v2 snapshot (or not mappable): fall through to the
+		// copying loader, which sniffs every format.
+	}
+	m, err := store.LoadFile(modelPath)
+	if err != nil {
+		return 0, err
+	}
+	return e.SwapNamed(name, m, vocab), nil
 }
 
 // Stats returns a copy of the per-endpoint latency counters, keyed by
@@ -244,6 +511,65 @@ func (e *Engine) Stats() map[string]EndpointStats {
 		}
 	}
 	return out
+}
+
+// SnapshotStats is one snapshot's resource accounting.
+type SnapshotStats struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Users   int    `json:"users"`
+	Words   int    `json:"words"`
+	// Mapped reports a real file mapping; MappedBytes is its size (0 for
+	// heap snapshots), HeapBytes the estimated heap footprint (matrices
+	// if owned, plus caches and indexes).
+	Mapped      bool  `json:"mapped"`
+	MappedBytes int64 `json:"mappedBytes"`
+	HeapBytes   int64 `json:"heapBytes"`
+	// Refs is the number of in-flight query pins (0 = idle; the slot's
+	// own reference and the stats reader's pin are excluded).
+	Refs int64 `json:"refs"`
+}
+
+// SnapshotsInfo reports every live snapshot's accounting, sorted by name.
+func (e *Engine) SnapshotsInfo() []SnapshotStats {
+	var out []SnapshotStats
+	for _, name := range e.Names() {
+		s, release, err := e.AcquireNamed(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, SnapshotStats{
+			Name:        s.Name,
+			Version:     s.Version,
+			Users:       s.Model.NumUsers,
+			Words:       s.Model.NumWords,
+			Mapped:      s.mapped,
+			MappedBytes: s.mappedBytes,
+			HeapBytes:   s.heapBytes,
+			Refs:        s.refs.Load() - 2, // exclude the slot's ref and our own pin
+		})
+		release()
+	}
+	return out
+}
+
+// StatsReport is the full /api/stats payload: endpoint latency counters,
+// per-snapshot memory accounting, and process RSS.
+type StatsReport struct {
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Snapshots []SnapshotStats          `json:"snapshots"`
+	// ProcessRSSBytes is the process's resident set size (0 where the
+	// platform offers no cheap reading).
+	ProcessRSSBytes int64 `json:"processRSSBytes"`
+}
+
+// StatsReport assembles the full stats payload.
+func (e *Engine) StatsReport() *StatsReport {
+	return &StatsReport{
+		Endpoints:       e.Stats(),
+		Snapshots:       e.SnapshotsInfo(),
+		ProcessRSSBytes: ProcessRSS(),
+	}
 }
 
 // --- typed query API ----------------------------------------------------
@@ -326,17 +652,14 @@ func (s *Snapshot) summary(c int) CommunitySummary {
 	return CommunitySummary{
 		ID:       c,
 		Label:    s.labels[c],
-		Members:  len(s.members[c]),
+		Members:  s.users.memberCount(c),
 		Openness: s.openness[c],
 		SelfDiff: selfD,
 	}
 }
 
 // Communities returns every community's summary, in community-id order.
-func (e *Engine) Communities() []CommunitySummary {
-	start := time.Now()
-	defer func() { e.lat[epCommunities].observe(time.Since(start), nil) }()
-	s := e.View()
+func (s *Snapshot) Communities() []CommunitySummary {
 	out := make([]CommunitySummary, s.Model.Cfg.NumCommunities)
 	for c := range out {
 		out[c] = s.summary(c)
@@ -345,10 +668,7 @@ func (e *Engine) Communities() []CommunitySummary {
 }
 
 // Community returns the full profile of one community.
-func (e *Engine) Community(c int) (detail *CommunityDetail, err error) {
-	start := time.Now()
-	defer func() { e.lat[epCommunity].observe(time.Since(start), err) }()
-	s := e.View()
+func (s *Snapshot) Community(c int) (*CommunityDetail, error) {
 	m := s.Model
 	if c < 0 || c >= m.Cfg.NumCommunities {
 		return nil, fmt.Errorf("serve: community %d out of range [0, %d)", c, m.Cfg.NumCommunities)
@@ -366,7 +686,7 @@ func (e *Engine) Community(c int) (detail *CommunityDetail, err error) {
 	}
 	d.TopAttributes = m.TopAttributes(c, 5)
 	d.OutFlows, d.InFlows = topFlows(m, c, 5)
-	sample := s.members[c]
+	sample := s.users.members(c)
 	if len(sample) > 10 {
 		sample = sample[:10]
 	}
@@ -397,20 +717,24 @@ func topFlows(m *core.Model, c, k int) (outs, ins []FlowSummary) {
 	return top(outAll), top(inAll)
 }
 
-// Membership returns user u's top-k community memberships.
-func (e *Engine) Membership(u, k int) (res *MembershipResult, err error) {
-	start := time.Now()
-	defer func() { e.lat[epMembership].observe(time.Since(start), err) }()
-	s := e.View()
+// Membership returns user u's top-k community memberships, served from
+// the sharded user index when k is within the precomputed depth.
+func (s *Snapshot) Membership(u, k int) (*MembershipResult, error) {
 	m := s.Model
 	if u < 0 || u >= m.NumUsers {
 		return nil, fmt.Errorf("serve: user %d out of range [0, %d)", u, m.NumUsers)
 	}
 	if k <= 0 {
-		k = e.opts.MemberTopK
+		k = s.opts.MemberTopK
 	}
 	row := m.Pi.Row(u)
-	res = &MembershipResult{User: u, Version: s.Version}
+	res := &MembershipResult{User: u, Version: s.Version}
+	if comms, ok := s.users.top(u, k); ok {
+		for _, c := range comms {
+			res.Communities = append(res.Communities, CommunityWeight{Community: int(c), Weight: row[c]})
+		}
+		return res, nil
+	}
 	for _, c := range m.TopCommunities(u, k) {
 		res.Communities = append(res.Communities, CommunityWeight{Community: c, Weight: row[c]})
 	}
@@ -419,10 +743,7 @@ func (e *Engine) Membership(u, k int) (res *MembershipResult, err error) {
 
 // Diffusion returns the probability that user u diffuses user v's content
 // on topic z in time bucket b (pass b = -1 to skip the popularity factor).
-func (e *Engine) Diffusion(u, v, z, b int) (res *DiffusionResult, err error) {
-	start := time.Now()
-	defer func() { e.lat[epDiffusion].observe(time.Since(start), err) }()
-	s := e.View()
+func (s *Snapshot) Diffusion(u, v, z, b int) (*DiffusionResult, error) {
 	m := s.Model
 	if u < 0 || u >= m.NumUsers || v < 0 || v >= m.NumUsers {
 		return nil, fmt.Errorf("serve: user pair (%d, %d) out of range [0, %d)", u, v, m.NumUsers)
@@ -436,14 +757,7 @@ func (e *Engine) Diffusion(u, v, z, b int) (res *DiffusionResult, err error) {
 
 // Rank answers an Eq. 19 profile-driven ranking query (a bag of word ids)
 // from the inverted index, returning the top-k communities.
-func (e *Engine) Rank(query []int32, k int) (res *RankResult, err error) {
-	start := time.Now()
-	defer func() { e.lat[epRank].observe(time.Since(start), err) }()
-	s := e.View()
-	return s.rank(query, k)
-}
-
-func (s *Snapshot) rank(query []int32, k int) (*RankResult, error) {
+func (s *Snapshot) Rank(query []int32, k int) (*RankResult, error) {
 	m := s.Model
 	if len(query) == 0 {
 		return nil, fmt.Errorf("serve: empty rank query")
@@ -465,27 +779,24 @@ func (s *Snapshot) rank(query []int32, k int) (*RankResult, error) {
 			Community: c,
 			Label:     s.labels[c],
 			Score:     scores[c],
-			Members:   len(s.members[c]),
+			Members:   s.users.memberCount(c),
 		})
 	}
 	return res, nil
 }
 
-// ErrNoVocabulary reports a free-text query against an engine whose
-// snapshot has no vocabulary.
+// ErrNoVocabulary reports a free-text query against a snapshot without a
+// vocabulary.
 var ErrNoVocabulary = fmt.Errorf("serve: snapshot has no vocabulary; free-text queries disabled")
 
 // RankText tokenizes a free-text query through the engine's pipeline and
-// vocabulary (unknown words dropped) and ranks communities.
-func (e *Engine) RankText(query string, k int) (res *RankResult, err error) {
-	start := time.Now()
-	defer func() { e.lat[epRank].observe(time.Since(start), err) }()
-	s := e.View()
+// the snapshot's vocabulary (unknown words dropped) and ranks communities.
+func (s *Snapshot) RankText(query string, k int) (*RankResult, error) {
 	if s.Vocab == nil {
 		return nil, ErrNoVocabulary
 	}
 	var ids []int32
-	for _, tok := range e.opts.Pipeline.Process(query) {
+	for _, tok := range s.opts.Pipeline.Process(query) {
 		if id, ok := s.Vocab.ID(tok); ok {
 			ids = append(ids, int32(id))
 		}
@@ -493,5 +804,113 @@ func (e *Engine) RankText(query string, k int) (res *RankResult, err error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("serve: no query token of %q is in the vocabulary", query)
 	}
-	return s.rank(ids, k)
+	return s.Rank(ids, k)
+}
+
+// --- engine-level instrumented wrappers ---------------------------------
+
+// onSnapshot runs fn against a pinned named snapshot with latency
+// accounting on the given endpoint counter.
+func (e *Engine) onSnapshot(ep int, name string, fn func(*Snapshot) error) error {
+	start := time.Now()
+	var err error
+	defer func() { e.lat[ep].observe(time.Since(start), err) }()
+	s, release, aerr := e.AcquireNamed(name)
+	if aerr != nil {
+		err = aerr
+		return err
+	}
+	defer release()
+	err = fn(s)
+	return err
+}
+
+// Communities returns every community's summary from the default snapshot.
+func (e *Engine) Communities() []CommunitySummary {
+	out, _ := e.CommunitiesIn(DefaultSnapshot)
+	return out
+}
+
+// CommunitiesIn is Communities against a named snapshot.
+func (e *Engine) CommunitiesIn(name string) (out []CommunitySummary, err error) {
+	err = e.onSnapshot(epCommunities, name, func(s *Snapshot) error {
+		out = s.Communities()
+		return nil
+	})
+	return out, err
+}
+
+// Community returns the full profile of one community (default snapshot).
+func (e *Engine) Community(c int) (*CommunityDetail, error) {
+	return e.CommunityIn(DefaultSnapshot, c)
+}
+
+// CommunityIn is Community against a named snapshot.
+func (e *Engine) CommunityIn(name string, c int) (detail *CommunityDetail, err error) {
+	err = e.onSnapshot(epCommunity, name, func(s *Snapshot) error {
+		detail, err = s.Community(c)
+		return err
+	})
+	return detail, err
+}
+
+// Membership returns user u's top-k community memberships (default
+// snapshot).
+func (e *Engine) Membership(u, k int) (*MembershipResult, error) {
+	return e.MembershipIn(DefaultSnapshot, u, k)
+}
+
+// MembershipIn is Membership against a named snapshot.
+func (e *Engine) MembershipIn(name string, u, k int) (res *MembershipResult, err error) {
+	err = e.onSnapshot(epMembership, name, func(s *Snapshot) error {
+		res, err = s.Membership(u, k)
+		return err
+	})
+	return res, err
+}
+
+// Diffusion returns the probability that user u diffuses user v's content
+// on topic z in time bucket b (default snapshot; b = -1 skips the
+// popularity factor).
+func (e *Engine) Diffusion(u, v, z, b int) (*DiffusionResult, error) {
+	return e.DiffusionIn(DefaultSnapshot, u, v, z, b)
+}
+
+// DiffusionIn is Diffusion against a named snapshot.
+func (e *Engine) DiffusionIn(name string, u, v, z, b int) (res *DiffusionResult, err error) {
+	err = e.onSnapshot(epDiffusion, name, func(s *Snapshot) error {
+		res, err = s.Diffusion(u, v, z, b)
+		return err
+	})
+	return res, err
+}
+
+// Rank answers an Eq. 19 ranking query from the default snapshot's
+// inverted index.
+func (e *Engine) Rank(query []int32, k int) (*RankResult, error) {
+	return e.RankIn(DefaultSnapshot, query, k)
+}
+
+// RankIn is Rank against a named snapshot.
+func (e *Engine) RankIn(name string, query []int32, k int) (res *RankResult, err error) {
+	err = e.onSnapshot(epRank, name, func(s *Snapshot) error {
+		res, err = s.Rank(query, k)
+		return err
+	})
+	return res, err
+}
+
+// RankText tokenizes a free-text query and ranks communities (default
+// snapshot).
+func (e *Engine) RankText(query string, k int) (*RankResult, error) {
+	return e.RankTextIn(DefaultSnapshot, query, k)
+}
+
+// RankTextIn is RankText against a named snapshot.
+func (e *Engine) RankTextIn(name, query string, k int) (res *RankResult, err error) {
+	err = e.onSnapshot(epRank, name, func(s *Snapshot) error {
+		res, err = s.RankText(query, k)
+		return err
+	})
+	return res, err
 }

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// userIndex is the per-snapshot sharded user index: users partition by id
+// modulo the shard count, and each shard stores its users' top-K
+// community memberships in one flat buffer. Sharding buys two things:
+// the index builds shard-parallel (snapshot construction is on the
+// hot-swap path), and user-scoped state stays partitioned — a layout the
+// fold-in registry and per-shard eviction can grow into without a global
+// lock or a resize of one giant array.
+//
+// Membership queries for k <= topK read the precomputed entries; the
+// prefix of a top-K list is exactly the top-k list (mathx.TopKIndices is
+// a deterministic partial selection sort), so served results are
+// bit-identical to the model scan. Community member lists are derived
+// from the same entries in ascending user order, preserving the ordering
+// contract of core.Model.CommunityMembers.
+type userIndex struct {
+	shardCount int
+	topK       int // entries actually stored per user: min(MemberTopK, |C|)
+	shards     []userShard
+
+	memberLists [][]int // community -> member users, ascending
+}
+
+type userShard struct {
+	users int     // users in this shard
+	comms []int32 // [slot*topK + j] = j-th top community of the slot's user
+}
+
+// buildUserIndex precomputes every user's top memberships, one goroutine
+// per shard.
+func buildUserIndex(m *core.Model, shardCount, topK int) *userIndex {
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	C := m.Cfg.NumCommunities
+	if topK > C {
+		topK = C
+	}
+	ix := &userIndex{
+		shardCount: shardCount,
+		topK:       topK,
+		shards:     make([]userShard, shardCount),
+	}
+	var wg sync.WaitGroup
+	for sh := 0; sh < shardCount; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			n := (m.NumUsers - sh + shardCount - 1) / shardCount
+			shard := &ix.shards[sh]
+			shard.users = n
+			shard.comms = make([]int32, n*topK)
+			for slot := 0; slot < n; slot++ {
+				u := sh + slot*shardCount
+				for j, c := range m.TopCommunities(u, topK) {
+					shard.comms[slot*topK+j] = int32(c)
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	ix.memberLists = make([][]int, C)
+	for u := 0; u < m.NumUsers; u++ {
+		for _, c := range ix.userTop(u) {
+			ix.memberLists[c] = append(ix.memberLists[c], u)
+		}
+	}
+	return ix
+}
+
+// userTop returns user u's stored top communities (a view into the
+// shard's flat buffer).
+func (ix *userIndex) userTop(u int) []int32 {
+	shard := &ix.shards[u%ix.shardCount]
+	slot := u / ix.shardCount
+	return shard.comms[slot*ix.topK : (slot+1)*ix.topK]
+}
+
+// top returns user u's top-k communities when k is within the precomputed
+// depth (ok=false sends the caller to the model scan).
+func (ix *userIndex) top(u, k int) ([]int32, bool) {
+	if k > ix.topK {
+		return nil, false
+	}
+	return ix.userTop(u)[:k], true
+}
+
+// members returns community c's member list (users having c among their
+// top-K memberships, ascending user id).
+func (ix *userIndex) members(c int) []int { return ix.memberLists[c] }
+
+// memberCount returns community c's member-list length.
+func (ix *userIndex) memberCount(c int) int { return len(ix.memberLists[c]) }
+
+// bytes estimates the index's heap footprint.
+func (ix *userIndex) bytes() int64 {
+	var n int64
+	for i := range ix.shards {
+		n += 4 * int64(len(ix.shards[i].comms))
+	}
+	for _, l := range ix.memberLists {
+		n += 8 * int64(len(l))
+	}
+	return n
+}

@@ -26,6 +26,20 @@ func NewDense(rows, cols int) *Dense {
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// NewDenseView wraps an existing flat, row-major buffer as a Dense without
+// copying. The matrix aliases data: mutations are visible both ways, and
+// callers backing the view with read-only memory (a mapped snapshot
+// section) must treat the matrix as immutable — writes through it fault.
+func NewDenseView(rows, cols int, data []float64) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("sparse: NewDenseView with negative dimension")
+	}
+	if len(data) != rows*cols {
+		panic("sparse: NewDenseView buffer length does not match shape")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
 // At returns element (i, j).
 func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
@@ -162,6 +176,19 @@ func NewTensor3(d1, d2, d3 int) *Tensor3 {
 	return &Tensor3{D1: d1, D2: d2, D3: d3, Data: make([]float64, d1*d2*d3)}
 }
 
+// NewTensor3View wraps an existing flat buffer (index order (i, j, k),
+// k fastest) as a Tensor3 without copying — the rank-3 analogue of
+// NewDenseView, with the same aliasing and read-only caveats.
+func NewTensor3View(d1, d2, d3 int, data []float64) *Tensor3 {
+	if d1 < 0 || d2 < 0 || d3 < 0 {
+		panic("sparse: NewTensor3View with negative dimension")
+	}
+	if len(data) != d1*d2*d3 {
+		panic("sparse: NewTensor3View buffer length does not match shape")
+	}
+	return &Tensor3{D1: d1, D2: d2, D3: d3, Data: data}
+}
+
 // At returns element (i, j, k).
 func (t *Tensor3) At(i, j, k int) float64 { return t.Data[(i*t.D2+j)*t.D3+k] }
 
@@ -190,12 +217,25 @@ func (t *Tensor3) Clone() *Tensor3 {
 // M_z = eta[:, :, z].
 func (t *Tensor3) SliceK(k int) *Dense {
 	m := NewDense(t.D1, t.D2)
+	t.SliceKInto(k, m)
+	return m
+}
+
+// SliceKInto gathers t[:, :, k] into dst (shape D1 x D2), reusing dst's
+// storage. The slice layers that keep every per-topic matrix in one flat
+// buffer (the model and sampler caches) gather through this instead of
+// allocating a fresh Dense per topic.
+func (t *Tensor3) SliceKInto(k int, dst *Dense) {
+	if dst.Rows != t.D1 || dst.Cols != t.D2 {
+		panic("sparse: SliceKInto shape mismatch")
+	}
 	for i := 0; i < t.D1; i++ {
-		for j := 0; j < t.D2; j++ {
-			m.Set(i, j, t.At(i, j, k))
+		row := dst.Row(i)
+		base := i * t.D2 * t.D3
+		for j := range row {
+			row[j] = t.Data[base+j*t.D3+k]
 		}
 	}
-	return m
 }
 
 // SumK returns the D1 x D2 matrix of sums over the third index: the

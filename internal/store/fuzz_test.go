@@ -25,7 +25,7 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid[:8])              // magic only
 	f.Add(valid[:len(valid)/2])   // mid-section truncation
 	f.Add(valid[:len(valid)-2])   // missing terminator CRC tail
-	f.Add([]byte("CPDSNP\x02\n")) // future format version
+	f.Add([]byte("CPDSNP\x03\n")) // future format version
 	bitflip := append([]byte(nil), valid...)
 	bitflip[len(bitflip)/3] ^= 0x10
 	f.Add(bitflip)
@@ -35,6 +35,25 @@ func FuzzLoad(f *testing.F) {
 	forged[12] = 0xff
 	forged[13] = 0xff
 	f.Add(forged)
+	// The v2 neighbourhoods: a valid section-table snapshot, its header
+	// and table truncations, a corrupted table entry, and a forged
+	// section count.
+	var v2 bytes.Buffer
+	if err := EncodeV2(&v2, m); err != nil {
+		f.Fatal(err)
+	}
+	validV2 := v2.Bytes()
+	f.Add(validV2)
+	f.Add(validV2[:v2HeaderLen])     // header only
+	f.Add(validV2[:v2HeaderLen+40])  // mid-table truncation
+	f.Add(validV2[:len(validV2)/2])  // mid-payload truncation
+	f.Add(validV2[:len(validV2)-1])  // last payload byte missing
+	v2flip := append([]byte(nil), validV2...)
+	v2flip[v2HeaderLen+10] ^= 0x20 // table entry offset byte
+	f.Add(v2flip)
+	v2count := append([]byte(nil), validV2...)
+	v2count[8] = 0xff // forged section count
+	f.Add(v2count)
 	var js bytes.Buffer
 	if err := m.Save(&js); err != nil {
 		f.Fatal(err)

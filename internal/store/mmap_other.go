@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+// Non-unix fallback: no kernel mapping — the file is read into 8-byte
+// aligned heap memory, which supports the same in-place aliasing (Open
+// still works, MappedModel.Mapped reports false).
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := readAligned(path)
+	return data, false, err
+}
+
+func unmapFile(data []byte) error { return nil }

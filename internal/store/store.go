@@ -1,13 +1,15 @@
-// Package store implements the serving subsystem's model snapshot format:
-// a versioned binary encoding of core.Model built from length-prefixed,
-// CRC-checked sections that streams through a fixed-size buffer in both
-// directions. Loading a large model from a binary snapshot is roughly an
-// order of magnitude faster than the encoding/json path core.Model.Save
-// uses (BenchmarkSnapshotLoad), which is what makes zero-downtime
+// Package store implements the serving subsystem's model snapshot
+// formats: a versioned binary encoding of core.Model in two layouts —
+// the v1 streaming codec below, and the mmap-ready v2 layout (see v2.go)
+// whose 64-byte-aligned sections store.Open serves zero-copy through a
+// MappedModel. Loading a large model from a v1 binary snapshot is
+// roughly an order of magnitude faster than the encoding/json path
+// core.Model.Save uses, and a v2 mapped open is O(1) in model size on
+// top of that (BenchmarkSnapshotLoad), which is what makes zero-downtime
 // hot-swapping of big models practical in serve.Engine. The JSON format
 // remains readable through Load, which sniffs the file's leading bytes.
 //
-// Layout:
+// v1 layout:
 //
 //	magic "CPDSNP" + format version byte + '\n'        (8 bytes)
 //	repeated sections:
@@ -26,6 +28,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -33,6 +36,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/sparse"
@@ -248,9 +252,11 @@ func (e *encoder) ints32(tag string, xs []int32) {
 	})
 }
 
-// Decode reads a binary snapshot written by Encode, verifies every
+// Decode reads a binary snapshot in either binary version (v1 stream or
+// v2 section table — sniffed from the version byte), verifies every
 // section's length and CRC, and returns the model with its prediction
-// caches rebuilt.
+// caches rebuilt. The v2 path here always copies; use Open for the
+// zero-copy mapped path.
 func Decode(r io.Reader) (*core.Model, error) {
 	return decode(r, 0)
 }
@@ -263,6 +269,9 @@ func decode(r io.Reader, limit uint64) (*core.Model, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	if head, err := br.Peek(len(magic)); err == nil && string(head) == magicV2 {
+		return decodeV2(br, limit)
 	}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -542,6 +551,12 @@ func (d *decoder) int32Slice(payloadLen uint64) []int32 {
 		return nil
 	}
 	xs := make([]int32, n)
+	d.int32sInto(xs)
+	return xs
+}
+
+// int32sInto streams len(dst) little-endian int32 values into dst.
+func (d *decoder) int32sInto(xs []int32) {
 	i := 0
 	for i < len(xs) && d.err == nil {
 		c := len(d.scratch) / 4
@@ -551,14 +566,13 @@ func (d *decoder) int32Slice(payloadLen uint64) []int32 {
 		buf := d.scratch[:4*c]
 		d.read(buf)
 		if d.err != nil {
-			return nil
+			return
 		}
 		for k := 0; k < c; k++ {
 			xs[i+k] = int32(binary.LittleEndian.Uint32(buf[4*k:]))
 		}
 		i += c
 	}
-	return xs
 }
 
 func (d *decoder) intSlice(payloadLen uint64) []int {
@@ -577,6 +591,12 @@ func (d *decoder) intSlice(payloadLen uint64) []int {
 		return nil
 	}
 	xs := make([]int, n)
+	d.int64sIntoInts(xs)
+	return xs
+}
+
+// int64sIntoInts streams len(dst) little-endian int64 values into dst.
+func (d *decoder) int64sIntoInts(xs []int) {
 	i := 0
 	for i < len(xs) && d.err == nil {
 		c := len(d.scratch) / 8
@@ -586,14 +606,13 @@ func (d *decoder) intSlice(payloadLen uint64) []int {
 		buf := d.scratch[:8*c]
 		d.read(buf)
 		if d.err != nil {
-			return nil
+			return
 		}
 		for k := 0; k < c; k++ {
 			xs[i+k] = int(int64(binary.LittleEndian.Uint64(buf[8*k:])))
 		}
 		i += c
 	}
-	return xs
 }
 
 // Load reads a model from r in either format, sniffing the leading bytes:
@@ -638,24 +657,32 @@ func LoadFile(path string) (*core.Model, error) {
 	return m, nil
 }
 
-// Save writes m to path as a binary snapshot, atomically: the snapshot is
-// written to a temporary file in the same directory and renamed into
-// place, so a serve.Engine reloading the path concurrently can never
-// observe a partially written model.
+// Save writes m to path as a v1 binary snapshot, atomically and crash-
+// safely (see saveAtomic). SaveV2 writes the mmap-ready v2 layout with the
+// same discipline.
 func Save(path string, m *core.Model) error {
+	return saveAtomic(path, func(w io.Writer) error { return Encode(w, m) })
+}
+
+// saveAtomic writes a snapshot produced by encode to path through a
+// temporary file in the same directory, fsyncs the file, renames it into
+// place, and fsyncs the directory. The rename makes the swap atomic
+// against concurrent readers (a serve.Engine reloading the path can never
+// observe a partial model); the two syncs make it atomic against crashes —
+// without the file sync a power loss can leave a zero-length file behind
+// the new name, and without the directory sync the rename itself may not
+// have reached stable storage, resurrecting the old (or no) snapshot.
+func saveAtomic(path string, encode func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := Encode(tmp, m); err != nil {
+	if err := encode(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
-	// Flush to stable storage before the rename: without it a crash can
-	// leave a zero-length file at path — atomicity against concurrent
-	// readers alone does not survive power loss.
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: syncing %s: %w", tmp.Name(), err)
@@ -669,6 +696,20 @@ func Save(path string, m *core.Model) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+// Filesystems that do not support fsync on directories make it a no-op.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
 	}
 	return nil
 }

@@ -1,0 +1,564 @@
+package store
+
+// Snapshot format v2: the zero-copy serving layout.
+//
+// v1 (store.go) streams length-prefixed sections through a fixed buffer —
+// robust and simple, but loading is inherently O(model): every float64 is
+// copied from the file into freshly allocated matrices. v2 instead lays
+// the file out so the big numeric blocks can be used *in place* from a
+// read-only memory mapping (Open / MappedModel):
+//
+//	offset 0   magic "CPDSNP\x02\n"                       (8 bytes)
+//	offset 8   sectionCount  uint64 LE
+//	offset 16  tableCRC      uint64 LE (IEEE CRC32 of the table, low 32 bits)
+//	offset 24  section table: sectionCount × 32-byte entries
+//	             tag      [4]byte   (same tags as v1)
+//	             reserved [4]byte   (zero)
+//	             offset   uint64 LE (absolute payload offset, 64-byte aligned)
+//	             length   uint64 LE (payload bytes)
+//	             crc32    uint32 LE (IEEE, over the payload)
+//	             reserved [4]byte   (zero)
+//	then       payloads in table order, ascending offsets, zero-padded gaps
+//
+// Alignment rules: every payload starts on a 64-byte boundary, and every
+// numeric payload begins with a 64-byte shape header (dimension words,
+// zero-padded), so the raw element data also starts on a 64-byte boundary
+// — cache-line aligned and therefore safely reinterpretable as []float64 /
+// []int32 without copying. Numeric data is little-endian; on a big-endian
+// host Open transparently falls back to the copying decoder.
+//
+// Payload layouts:
+//
+//	CFG          raw JSON (core.Config)
+//	DIM          4 × uint64 (NumUsers, NumWords, NumBuckets, NumAttrs)
+//	dense blocks 64-byte header {rows u64, cols u64}, then rows·cols float64
+//	ETA          64-byte header {d1 u64, d2 u64, d3 u64}, then d1·d2·d3 float64
+//	NU           64-byte header {n u64}, then n float64
+//	DOCC/DOCZ    64-byte header {n u64}, then n int32
+//	DOCB         64-byte header {n u64}, then n int64
+//
+// Integrity: the table CRC is always verified (a torn or corrupt table can
+// never be walked), and per-payload CRCs are verified by the copying
+// decoder (Decode/Load/LoadFile). Open skips payload CRCs by design — an
+// O(model) checksum pass would defeat the O(1) map — so a mapped open
+// trusts the payload bytes the way any mmap-consuming system does; run the
+// copying loader when end-to-end verification matters more than load time.
+//
+// Unknown tags are skipped by both readers (forward compatibility), and
+// the v1 and JSON formats keep loading byte-identically through the same
+// sniffing entry points.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// magicV2 identifies a v2 snapshot; same 6-byte prefix as v1, version byte 2.
+const magicV2 = "CPDSNP\x02\n"
+
+const (
+	v2Align      = 64
+	v2HeaderLen  = 24 // magic + sectionCount + tableCRC
+	v2EntryLen   = 32
+	v2ShapeLen   = 64 // the zero-padded shape header of numeric payloads
+	maxV2Entries = 1024
+)
+
+func alignUp(off uint64) uint64 { return (off + v2Align - 1) &^ uint64(v2Align-1) }
+
+// v2section is one planned section: its tag, exact payload length, and an
+// emitter that produces the payload bytes through a v2sink. The same
+// emitter runs twice — once against a CRC-only sink to fill the table,
+// once against the file writer — so the payload bytes have a single
+// source of truth.
+type v2section struct {
+	tag  string
+	size uint64
+	emit func(*v2sink)
+	off  uint64
+	crc  uint32
+}
+
+// v2sink is the payload byte sink: it always feeds the CRC, and writes
+// through to w when non-nil.
+type v2sink struct {
+	w       io.Writer
+	crc     hash.Hash32
+	scratch []byte
+	err     error
+}
+
+func (s *v2sink) raw(p []byte) {
+	if s.err != nil {
+		return
+	}
+	s.crc.Write(p)
+	if s.w != nil {
+		if _, err := s.w.Write(p); err != nil {
+			s.err = err
+		}
+	}
+}
+
+func (s *v2sink) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.raw(b[:])
+}
+
+// shape writes a numeric payload's 64-byte header: the dimension words,
+// zero-padded to v2ShapeLen.
+func (s *v2sink) shape(dims ...uint64) {
+	var b [v2ShapeLen]byte
+	for i, d := range dims {
+		binary.LittleEndian.PutUint64(b[8*i:], d)
+	}
+	s.raw(b[:])
+}
+
+func (s *v2sink) floats(xs []float64) {
+	k := 0
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(s.scratch[k:], math.Float64bits(x))
+		k += 8
+		if k == len(s.scratch) {
+			s.raw(s.scratch)
+			k = 0
+		}
+	}
+	if k > 0 {
+		s.raw(s.scratch[:k])
+	}
+}
+
+func (s *v2sink) int32s(xs []int32) {
+	k := 0
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(s.scratch[k:], uint32(x))
+		k += 4
+		if k == len(s.scratch) {
+			s.raw(s.scratch)
+			k = 0
+		}
+	}
+	if k > 0 {
+		s.raw(s.scratch[:k])
+	}
+}
+
+func (s *v2sink) int64s(xs []int) {
+	k := 0
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(s.scratch[k:], uint64(int64(x)))
+		k += 8
+		if k == len(s.scratch) {
+			s.raw(s.scratch)
+			k = 0
+		}
+	}
+	if k > 0 {
+		s.raw(s.scratch[:k])
+	}
+}
+
+// v2Plan lists the sections of m in file order with exact sizes.
+func v2Plan(m *core.Model) ([]*v2section, error) {
+	cfgJSON, err := json.Marshal(m.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding config: %w", err)
+	}
+	var plan []*v2section
+	add := func(tag string, size uint64, emit func(*v2sink)) {
+		plan = append(plan, &v2section{tag: tag, size: size, emit: emit})
+	}
+	dense := func(tag string, d *sparse.Dense) {
+		add(tag, v2ShapeLen+8*uint64(len(d.Data)), func(s *v2sink) {
+			s.shape(uint64(d.Rows), uint64(d.Cols))
+			s.floats(d.Data)
+		})
+	}
+	add(tagConfig, uint64(len(cfgJSON)), func(s *v2sink) { s.raw(cfgJSON) })
+	add(tagDims, 4*8, func(s *v2sink) {
+		s.u64(uint64(m.NumUsers))
+		s.u64(uint64(m.NumWords))
+		s.u64(uint64(m.NumBuckets))
+		s.u64(uint64(m.NumAttrs))
+	})
+	dense(tagPi, m.Pi)
+	dense(tagTheta, m.Theta)
+	dense(tagPhi, m.Phi)
+	add(tagEta, v2ShapeLen+8*uint64(len(m.Eta.Data)), func(s *v2sink) {
+		s.shape(uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3))
+		s.floats(m.Eta.Data)
+	})
+	nu := m.Nu
+	add(tagNu, v2ShapeLen+8*uint64(len(nu)), func(s *v2sink) {
+		s.shape(uint64(len(nu)))
+		s.floats(nu)
+	})
+	if m.PopFreq != nil {
+		dense(tagPop, m.PopFreq)
+	}
+	if m.Xi != nil {
+		dense(tagXi, m.Xi)
+	}
+	ints32 := func(tag string, xs []int32) {
+		add(tag, v2ShapeLen+4*uint64(len(xs)), func(s *v2sink) {
+			s.shape(uint64(len(xs)))
+			s.int32s(xs)
+		})
+	}
+	ints32(tagDocC, m.DocCommunity)
+	ints32(tagDocZ, m.DocTopic)
+	add(tagDocB, v2ShapeLen+8*uint64(len(m.DocBucket)), func(s *v2sink) {
+		s.shape(uint64(len(m.DocBucket)))
+		s.int64s(m.DocBucket)
+	})
+	for _, sec := range plan {
+		if sec.size > maxSectionBytes {
+			return nil, fmt.Errorf("store: section %q needs %d payload bytes, above the format's %d-byte section limit",
+				sec.tag, sec.size, uint64(maxSectionBytes))
+		}
+	}
+	return plan, nil
+}
+
+// v2Table serializes the section table.
+func v2Table(plan []*v2section) []byte {
+	table := make([]byte, v2EntryLen*len(plan))
+	for i, sec := range plan {
+		e := table[v2EntryLen*i:]
+		copy(e, sec.tag)
+		binary.LittleEndian.PutUint64(e[8:], sec.off)
+		binary.LittleEndian.PutUint64(e[16:], sec.size)
+		binary.LittleEndian.PutUint32(e[24:], sec.crc)
+	}
+	return table
+}
+
+// EncodeV2 writes m as a v2 snapshot: section table first, then 64-byte
+// aligned payloads. The encoder runs each payload twice — a CRC pass to
+// fill the table, then the write pass — so encoding costs two streaming
+// passes over the parameter blocks.
+func EncodeV2(w io.Writer, m *core.Model) error {
+	if m.Pi == nil || m.Theta == nil || m.Phi == nil || m.Eta == nil {
+		return fmt.Errorf("store: model is missing parameter blocks")
+	}
+	plan, err := v2Plan(m)
+	if err != nil {
+		return err
+	}
+	off := alignUp(uint64(v2HeaderLen + v2EntryLen*len(plan)))
+	for _, sec := range plan {
+		sec.off = off
+		off = alignUp(off + sec.size)
+	}
+	scratch := make([]byte, 1<<15)
+	for _, sec := range plan {
+		sink := &v2sink{crc: crc32.NewIEEE(), scratch: scratch}
+		sec.emit(sink)
+		if sink.err != nil {
+			return fmt.Errorf("store: encoding section %q: %w", sec.tag, sink.err)
+		}
+		sec.crc = sink.crc.Sum32()
+	}
+	table := v2Table(plan)
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	hdr := make([]byte, v2HeaderLen)
+	copy(hdr, magicV2)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(plan)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(crc32.ChecksumIEEE(table)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("store: writing v2 header: %w", err)
+	}
+	if _, err := bw.Write(table); err != nil {
+		return fmt.Errorf("store: writing v2 section table: %w", err)
+	}
+	var pad [v2Align]byte
+	pos := uint64(v2HeaderLen + len(table))
+	for _, sec := range plan {
+		if sec.off < pos {
+			return fmt.Errorf("store: internal error: v2 layout overlaps at %q", sec.tag)
+		}
+		if _, err := bw.Write(pad[:sec.off-pos]); err != nil {
+			return fmt.Errorf("store: padding before %q: %w", sec.tag, err)
+		}
+		sink := &v2sink{w: bw, crc: crc32.NewIEEE(), scratch: scratch}
+		sec.emit(sink)
+		if sink.err != nil {
+			return fmt.Errorf("store: writing section %q: %w", sec.tag, sink.err)
+		}
+		if sink.crc.Sum32() != sec.crc {
+			return fmt.Errorf("store: internal error: section %q bytes changed between passes", sec.tag)
+		}
+		pos = sec.off + sec.size
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// v2Entry is one parsed section-table entry.
+type v2Entry struct {
+	tag  string
+	off  uint64
+	size uint64
+	crc  uint32
+}
+
+// parseV2Table validates the v2 header+table bytes (table CRC, entry
+// bounds, 64-byte alignment, ascending non-overlapping offsets) and
+// returns the entries. size is the total input size when known (> 0).
+func parseV2Table(hdr, table []byte, size uint64) ([]v2Entry, error) {
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	wantCRC := binary.LittleEndian.Uint64(hdr[16:])
+	if count == 0 || count > maxV2Entries {
+		return nil, fmt.Errorf("store: v2 snapshot claims %d sections", count)
+	}
+	if uint64(len(table)) != count*v2EntryLen {
+		return nil, fmt.Errorf("store: v2 section table truncated")
+	}
+	if got := uint64(crc32.ChecksumIEEE(table)); got != wantCRC {
+		return nil, fmt.Errorf("store: v2 section table checksum mismatch (%08x, stored %08x)", got, wantCRC)
+	}
+	entries := make([]v2Entry, count)
+	end := alignUp(uint64(v2HeaderLen) + count*v2EntryLen)
+	for i := range entries {
+		e := table[v2EntryLen*i:]
+		entries[i] = v2Entry{
+			tag:  string(e[:4]),
+			off:  binary.LittleEndian.Uint64(e[8:]),
+			size: binary.LittleEndian.Uint64(e[16:]),
+			crc:  binary.LittleEndian.Uint32(e[24:]),
+		}
+		ent := &entries[i]
+		if ent.size > maxSectionBytes || (size > 0 && ent.size > size) {
+			return nil, fmt.Errorf("store: section %q claims %d payload bytes", ent.tag, ent.size)
+		}
+		if ent.off%v2Align != 0 {
+			return nil, fmt.Errorf("store: section %q offset %d is not %d-byte aligned", ent.tag, ent.off, v2Align)
+		}
+		if ent.off < end {
+			return nil, fmt.Errorf("store: section %q overlaps the preceding section", ent.tag)
+		}
+		end = alignUp(ent.off + ent.size)
+		if end < ent.off { // overflow
+			return nil, fmt.Errorf("store: section %q extends past the addressable range", ent.tag)
+		}
+		if size > 0 && ent.off+ent.size > size {
+			return nil, fmt.Errorf("store: section %q extends past the snapshot end", ent.tag)
+		}
+	}
+	return entries, nil
+}
+
+// decodeV2 is the copying v2 reader: it streams the file in table order,
+// verifies every payload CRC, and builds a fully heap-owned model — the
+// path Load/LoadFile use so non-mmap callers (and big-endian hosts) read
+// v2 snapshots with the same guarantees as v1.
+func decodeV2(br *bufio.Reader, limit uint64) (*core.Model, error) {
+	head := make([]byte, v2HeaderLen)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: reading v2 header: %w", err)
+	}
+	if string(head[:len(magicV2)]) != magicV2 {
+		return nil, fmt.Errorf("store: not a v2 CPD snapshot")
+	}
+	count := binary.LittleEndian.Uint64(head[8:])
+	if count == 0 || count > maxV2Entries {
+		return nil, fmt.Errorf("store: v2 snapshot claims %d sections", count)
+	}
+	table := make([]byte, count*v2EntryLen)
+	if _, err := io.ReadFull(br, table); err != nil {
+		return nil, fmt.Errorf("store: reading v2 section table: %w", err)
+	}
+	entries, err := parseV2Table(head, table, limit)
+	if err != nil {
+		return nil, err
+	}
+	m := &core.Model{}
+	var seenDims bool
+	pos := uint64(v2HeaderLen) + count*v2EntryLen
+	d := &decoder{r: br, crc: crc32.NewIEEE(), scratch: make([]byte, 1<<15)}
+	for _, ent := range entries {
+		if ent.off < pos {
+			return nil, fmt.Errorf("store: section %q out of order", ent.tag)
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(ent.off-pos)); err != nil {
+			return nil, fmt.Errorf("store: snapshot truncated before section %q", ent.tag)
+		}
+		d.crc.Reset()
+		if err := applyV2Section(m, d, ent, &seenDims); err != nil {
+			return nil, err
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("store: section %q: %w", ent.tag, d.err)
+		}
+		if got := d.crc.Sum32(); got != ent.crc {
+			return nil, fmt.Errorf("store: section %q: checksum mismatch (payload %08x, stored %08x)", ent.tag, got, ent.crc)
+		}
+		pos = ent.off + ent.size
+	}
+	if !seenDims {
+		return nil, fmt.Errorf("store: snapshot is missing the dimension section")
+	}
+	if m.Pi == nil || m.Theta == nil || m.Phi == nil || m.Eta == nil {
+		return nil, fmt.Errorf("store: snapshot is missing parameter blocks")
+	}
+	if err := validateShapes(m); err != nil {
+		return nil, err
+	}
+	m.Rehydrate()
+	return m, nil
+}
+
+// applyV2Section streams one section payload into the model through the
+// shared decoder (fixed scratch buffer, running CRC) — the copy path
+// never materializes a whole section in memory, matching v1's streaming
+// profile.
+func applyV2Section(m *core.Model, d *decoder, ent v2Entry, seenDims *bool) error {
+	tag := ent.tag
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("store: section %q: "+format, append([]any{tag}, args...)...)
+	}
+	// shape reads the 64-byte shape header and returns n dimension words.
+	shape := func(n int) ([]uint64, error) {
+		if ent.size < v2ShapeLen {
+			return nil, fail("payload shorter than the shape header")
+		}
+		var hdr [v2ShapeLen]byte
+		d.read(hdr[:])
+		if d.err != nil {
+			return nil, nil
+		}
+		dims := make([]uint64, n)
+		for i := range dims {
+			dims[i] = binary.LittleEndian.Uint64(hdr[8*i:])
+		}
+		return dims, nil
+	}
+	dense := func(dst **sparse.Dense) error {
+		dims, err := shape(2)
+		if err != nil || d.err != nil {
+			return err
+		}
+		rows, cols := int(int64(dims[0])), int(int64(dims[1]))
+		if rows < 0 || cols < 0 || rows > maxDim || cols > maxDim ||
+			ent.size != v2ShapeLen+8*dims[0]*dims[1] {
+			return fail("matrix header %dx%d disagrees with section length %d", rows, cols, ent.size)
+		}
+		mat := sparse.NewDense(rows, cols)
+		d.floats(mat.Data)
+		*dst = mat
+		return nil
+	}
+	switch tag {
+	case tagConfig:
+		buf, err := d.take(ent.size)
+		if err == nil {
+			err = json.Unmarshal(buf, &m.Cfg)
+		}
+		if err != nil {
+			return fail("%v", err)
+		}
+	case tagDims:
+		if ent.size != 4*8 {
+			return fail("has length %d, want 32", ent.size)
+		}
+		m.NumUsers = int(int64(d.u64()))
+		m.NumWords = int(int64(d.u64()))
+		m.NumBuckets = int(int64(d.u64()))
+		m.NumAttrs = int(int64(d.u64()))
+		*seenDims = true
+	case tagPi:
+		return dense(&m.Pi)
+	case tagTheta:
+		return dense(&m.Theta)
+	case tagPhi:
+		return dense(&m.Phi)
+	case tagPop:
+		return dense(&m.PopFreq)
+	case tagXi:
+		return dense(&m.Xi)
+	case tagEta:
+		dims, err := shape(3)
+		if err != nil || d.err != nil {
+			return err
+		}
+		d1, d2, d3 := int(int64(dims[0])), int(int64(dims[1])), int(int64(dims[2]))
+		if d1 < 0 || d2 < 0 || d3 < 0 || d1 > maxDim || d2 > maxDim || d3 > maxDim ||
+			dims[0]*dims[1] > maxSectionBytes/8 ||
+			ent.size != v2ShapeLen+8*dims[0]*dims[1]*dims[2] {
+			return fail("tensor header %dx%dx%d disagrees with section length %d", d1, d2, d3, ent.size)
+		}
+		t := sparse.NewTensor3(d1, d2, d3)
+		d.floats(t.Data)
+		m.Eta = t
+	case tagNu:
+		dims, err := shape(1)
+		if err != nil || d.err != nil {
+			return err
+		}
+		if dims[0] > maxSectionBytes/8 || ent.size != v2ShapeLen+8*dims[0] {
+			return fail("slice header %d disagrees with section length %d", dims[0], ent.size)
+		}
+		if dims[0] > 0 {
+			m.Nu = make([]float64, dims[0])
+			d.floats(m.Nu)
+		}
+	case tagDocC, tagDocZ:
+		dims, err := shape(1)
+		if err != nil || d.err != nil {
+			return err
+		}
+		n := dims[0]
+		if n > maxSectionBytes/4 || ent.size != v2ShapeLen+4*n {
+			return fail("slice header %d disagrees with section length %d", n, ent.size)
+		}
+		var xs []int32
+		if n > 0 {
+			xs = make([]int32, n)
+			d.int32sInto(xs)
+		}
+		if tag == tagDocC {
+			m.DocCommunity = xs
+		} else {
+			m.DocTopic = xs
+		}
+	case tagDocB:
+		dims, err := shape(1)
+		if err != nil || d.err != nil {
+			return err
+		}
+		n := dims[0]
+		if n > maxSectionBytes/8 || ent.size != v2ShapeLen+8*n {
+			return fail("slice header %d disagrees with section length %d", n, ent.size)
+		}
+		if n > 0 {
+			m.DocBucket = make([]int, n)
+			d.int64sIntoInts(m.DocBucket)
+		}
+	default:
+		// Forward compatibility: unknown sections are skipped, their CRC
+		// still verified by the caller.
+		d.discard(ent.size)
+	}
+	return nil
+}
+
+// SaveV2 writes m to path as a v2 (mmap-ready) snapshot, with the same
+// atomic, crash-safe rename discipline as Save.
+func SaveV2(path string, m *core.Model) error {
+	return saveAtomic(path, func(w io.Writer) error { return EncodeV2(w, m) })
+}

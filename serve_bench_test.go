@@ -10,6 +10,8 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -28,7 +30,9 @@ func serveBenchModel(b *testing.B) *core.Model {
 
 // BenchmarkServeRank compares Eq. 19 ranking through serve.Engine's
 // inverted index against the full K×|Z| scan of
-// core.Model.RankCommunities, on the same model and queries.
+// core.Model.RankCommunities, on the same model and queries — and the
+// heap-backed engine against one serving the same model zero-copy from a
+// memory-mapped v2 snapshot (the mapped-vs-heap serving comparison).
 func BenchmarkServeRank(b *testing.B) {
 	m := serveBenchModel(b)
 	e := serve.New(m, nil, serve.Options{})
@@ -40,6 +44,25 @@ func BenchmarkServeRank(b *testing.B) {
 	b.Run("inverted-index", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Rank(queries[i%len(queries)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inverted-index-mapped", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.v2.snap")
+		if err := store.SaveV2(path, m); err != nil {
+			b.Fatal(err)
+		}
+		mm, err := store.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		me := serve.NewMulti(serve.Options{Mmap: true})
+		defer me.Close()
+		me.SwapMapped(serve.DefaultSnapshot, mm, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := me.Rank(queries[i%len(queries)], 10); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -78,34 +101,76 @@ func BenchmarkFoldIn(b *testing.B) {
 	}
 }
 
-// BenchmarkSnapshotLoad compares loading the serving-scale model from the
-// binary snapshot format against the legacy JSON path — the store
-// package's raison d'être (a reload under load costs one of these).
+// BenchmarkSnapshotLoad compares loading the serving-scale model across
+// every snapshot path: the v1 binary copy load, the legacy JSON load, the
+// v2 copy load, and the v2 memory-mapped open (store.Open). Every
+// sub-benchmark reports allocations, and the v1/v2 pair plus mmap report
+// an rss-delta metric (process resident-set growth across the run) — the
+// mapped open is the one whose heap and RSS stay O(1) in the matrix
+// payload (matrices alias the mapping; only caches allocate).
 func BenchmarkSnapshotLoad(b *testing.B) {
 	m := serveBenchModel(b)
-	var bin, js bytes.Buffer
+	var bin, js, v2 bytes.Buffer
 	if err := store.Encode(&bin, m); err != nil {
 		b.Fatal(err)
 	}
 	if err := m.Save(&js); err != nil {
 		b.Fatal(err)
 	}
-	b.Run(fmt.Sprintf("binary-%dMB", bin.Len()>>20), func(b *testing.B) {
+	if err := store.EncodeV2(&v2, m); err != nil {
+		b.Fatal(err)
+	}
+	withRSS := func(fn func(b *testing.B)) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			rss0 := serve.ProcessRSS()
+			fn(b)
+			if d := serve.ProcessRSS() - rss0; d > 0 {
+				b.ReportMetric(float64(d), "rss-delta-B")
+			} else {
+				b.ReportMetric(0, "rss-delta-B")
+			}
+		}
+	}
+	b.Run(fmt.Sprintf("binary-%dMB", bin.Len()>>20), withRSS(func(b *testing.B) {
 		b.SetBytes(int64(bin.Len()))
 		for i := 0; i < b.N; i++ {
 			if _, err := store.Load(bytes.NewReader(bin.Bytes())); err != nil {
 				b.Fatal(err)
 			}
 		}
-	})
-	b.Run(fmt.Sprintf("json-%dMB", js.Len()>>20), func(b *testing.B) {
+	}))
+	b.Run(fmt.Sprintf("json-%dMB", js.Len()>>20), withRSS(func(b *testing.B) {
 		b.SetBytes(int64(js.Len()))
 		for i := 0; i < b.N; i++ {
 			if _, err := store.Load(bytes.NewReader(js.Bytes())); err != nil {
 				b.Fatal(err)
 			}
 		}
-	})
+	}))
+	b.Run(fmt.Sprintf("v2-copy-%dMB", v2.Len()>>20), withRSS(func(b *testing.B) {
+		b.SetBytes(int64(v2.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Load(bytes.NewReader(v2.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	b.Run(fmt.Sprintf("v2-mmap-%dMB", v2.Len()>>20), withRSS(func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.v2.snap")
+		if err := os.WriteFile(path, v2.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(v2.Len()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mm, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mm.Close()
+		}
+	}))
 }
 
 // BenchmarkLoadGenMixed pushes the default mixed query workload through
