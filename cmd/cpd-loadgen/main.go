@@ -25,11 +25,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -49,7 +52,7 @@ func main() {
 		snapName  = flag.String("snapshot", "", "route queries to this named snapshot (default snapshot when empty)")
 		useMmap   = flag.Bool("mmap", false, "serve the in-process engine from a memory-mapped v2 snapshot (zero-copy)")
 
-		mixSpec     = flag.String("mix", "rank=4,membership=3,diffusion=2,foldin=1", "relative op weights")
+		mixSpec     = flag.String("mix", "rank=4,membership=3,diffusion=2,foldin=1", "relative op weights; add ingest=N for a write mix (in-process, or against a cpd-serve started with -ingest)")
 		concurrency = flag.Int("concurrency", 8, "workers (closed loop) / max in-flight (open loop)")
 		requests    = flag.Int("requests", 0, "total request count (0 = run for -duration)")
 		duration    = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
@@ -124,7 +127,33 @@ func main() {
 		} else {
 			engine.SwapNamed(name, m, vocab)
 		}
-		target = scenario.EngineTarget{Engine: engine, Snapshot: name}
+		et := scenario.EngineTarget{Engine: engine, Snapshot: name}
+		if mix[scenario.OpIngest] > 0 {
+			// A write mix needs the streaming updater behind the engine: a
+			// throwaway journal plus a background publish loop, so reads
+			// run against live generation swaps exactly as on a real
+			// -ingest server.
+			dir, err := os.MkdirTemp("", "cpd-loadgen-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			j, err := stream.OpenJournal(filepath.Join(dir, "events.wal"), stream.JournalOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer j.Close()
+			u, err := stream.NewUpdater(j, stream.Options{Engine: engine, Snapshot: name})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer u.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go u.Run(ctx)
+			et.Updater = u
+		}
+		target = et
 		fmt.Fprintf(os.Stderr, "target: %s (in-process engine, mapped=%v, |C|=%d |Z|=%d users=%d words=%d)\n",
 			*modelPath, mapped != nil && mapped.Mapped(), m.Cfg.NumCommunities, m.Cfg.NumTopics, m.NumUsers, m.NumWords)
 	}

@@ -3,7 +3,10 @@
 // and exposes the typed query surface as JSON over HTTP — community
 // profiles, user memberships, Eq. 19 ranking via the inverted index,
 // per-topic diffusion probabilities, fold-in inference for unseen users,
-// per-endpoint latency counters, and zero-downtime hot-swap.
+// per-endpoint latency counters, and zero-downtime hot-swap. With -ingest
+// it also runs the streaming write path: live events are journaled,
+// folded in over delta windows, and republished as fresh snapshot
+// generations without a restart.
 //
 // Usage:
 //
@@ -16,35 +19,50 @@
 //	# Multiple named snapshots (e.g. per-region models).
 //	cpd-serve -model eu=models/eu.v2.snap -model us=models/us.v2.snap -mmap
 //
+//	# Live ingest: journal to events.wal, publish every 256 events or 2s.
+//	cpd-serve -model model.v2.snap -ingest events.wal -ingest-dir snapshots/
+//
 //	curl localhost:8080/api/communities
 //	curl 'localhost:8080/api/rank?q=deep+learning&k=5&snapshot=eu'
 //	curl 'localhost:8080/api/user?id=42'
 //	curl -d '{"docs":[[17,204,9]],"seed":1}' localhost:8080/api/foldin
+//	curl -d '[{"type":"add-user"},{"type":"add-doc","user":500,"words":[17,204]}]' localhost:8080/api/ingest
+//	curl localhost:8080/api/ingest/status      # freshness / publish lag
 //	curl -X POST localhost:8080/api/reload     # re-read every -model path
 //	curl localhost:8080/api/snapshots
-//	curl localhost:8080/api/stats              # latency + RSS + mapped/heap bytes
+//	curl localhost:8080/api/stats              # latency + RSS + ingest gauge
 //
 // -model may repeat; "name=path" serves the snapshot under that name
 // (query it with ?snapshot=name), a bare "path" serves as "default". With
-// -mmap, v2 snapshots are memory-mapped and served zero-copy — load is
-// O(1) in model size and a hot-swap never copies the matrices; v1/JSON
-// files fall back to the copying loader. POST /api/reload re-reads the
-// paths the server was started with (clients cannot point it at other
-// files) and swaps each model in atomically; in-flight queries finish on
-// the snapshot they started with. -pprof exposes net/http/pprof under
-// /debug/pprof/. The server shuts down gracefully on SIGINT/SIGTERM.
+// -mmap, v2 snapshots are memory-mapped and served zero-copy. POST
+// /api/reload re-reads the paths the server was started with. -pprof
+// exposes net/http/pprof under /debug/pprof/.
+//
+// With -ingest, POST /api/ingest accepts typed event batches (add-user /
+// add-edge / add-doc / diffusion) that are appended to the CRC'd journal
+// and become query-visible within one publish cycle; /api/ingest/status
+// and the "ingest" section of /api/stats report generation and lag. On
+// SIGINT/SIGTERM the server drains gracefully: ingest closes (503), the
+// journal is flushed, a final snapshot generation is published, and only
+// then does the HTTP listener shut down.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/serve"
+	"repro/internal/socialgraph"
+	"repro/internal/stream"
 )
 
 // modelSpec is one -model flag value: a snapshot name and its path.
@@ -91,6 +109,15 @@ func main() {
 		shards    = flag.Int("user-shards", 0, "user-index shard count (0 = default)")
 		useMmap   = flag.Bool("mmap", false, "serve v2 snapshots zero-copy from a memory mapping")
 		usePprof  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		ingestPath   = flag.String("ingest", "", "event journal path; enables POST /api/ingest and the streaming updater")
+		ingestSlot   = flag.String("ingest-snapshot", serve.DefaultSnapshot, "snapshot slot live ingest updates")
+		ingestDir    = flag.String("ingest-dir", "", "directory for published snapshot generations (default: alongside the journal)")
+		ingestWindow = flag.Int("ingest-window", 256, "delta window: publish after this many pending events")
+		ingestEvery  = flag.Duration("ingest-interval", 2*time.Second, "publish pending events at latest this often")
+		gibbsEvery   = flag.Int("ingest-gibbs-every", 0, "run a delta-Gibbs pass every N publishes (needs -ingest-graph; 0 = fold-in only)")
+		gibbsSweeps  = flag.Int("ingest-gibbs-sweeps", 2, "EM iterations per delta-Gibbs pass")
+		ingestGraph  = flag.String("ingest-graph", "", "base training graph, enables the delta-Gibbs refinement")
 	)
 	flag.Parse()
 	if len(models) == 0 {
@@ -103,9 +130,9 @@ func main() {
 		Mmap:            *useMmap,
 	})
 	defer engine.Close()
+	var vocab *corpus.Vocabulary
 	load := func() error {
 		// One shared vocabulary, parsed once per load, not once per slot.
-		var vocab *corpus.Vocabulary
 		if *vocabPath != "" {
 			var err error
 			if vocab, err = corpus.ReadVocabularyFile(*vocabPath); err != nil {
@@ -131,23 +158,110 @@ func main() {
 		}
 		return nil
 	}
-	var handler http.Handler = serve.APIHandler(engine, reload)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.APIHandler(engine, reload))
+
+	// Streaming write path: journal + updater + ingest endpoints.
+	var updater *stream.Updater
+	var journal *stream.Journal
+	if *ingestPath != "" {
+		var baseGraph *socialgraph.Graph
+		if *ingestGraph != "" {
+			f, err := os.Open(*ingestGraph)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if baseGraph, err = socialgraph.Read(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+		dir := *ingestDir
+		if dir == "" {
+			dir = filepath.Dir(*ingestPath)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		var err error
+		journal, err = stream.OpenJournal(*ingestPath, stream.JournalOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		updater, err = stream.NewUpdater(journal, stream.Options{
+			Engine:       engine,
+			Snapshot:     *ingestSlot,
+			Vocab:        vocab,
+			Dir:          dir,
+			WindowEvents: *ingestWindow,
+			Interval:     *ingestEvery,
+			GibbsEvery:   *gibbsEvery,
+			GibbsSweeps:  *gibbsSweeps,
+			BaseGraph:    baseGraph,
+			Mmap:         *useMmap,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer updater.Close()
+		engine.SetIngestStats(func() any { return updater.Status() })
+		// A restored journal/checkpoint may carry stream state the slot's
+		// on-disk model predates; publish it up front so previously
+		// ingested users are query-visible from the first request.
+		if st := updater.Status(); st.PendingEvents > 0 || st.Users > st.BaseUsers || st.StreamDocs > 0 {
+			if info, err := updater.Publish(); err != nil {
+				log.Fatalf("publishing restored stream state: %v", err)
+			} else if info != nil {
+				log.Printf("published restored stream state as generation %d (%d users)", info.Generation, info.Users)
+			}
+		}
+		mux.Handle("/api/ingest", updater.Handler())
+		mux.Handle("/api/ingest/status", updater.Handler())
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			if err := updater.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("updater stopped: %v", err)
+			}
+		}()
+		st := updater.Status()
+		fmt.Printf("cpd-serve ingest on %s (slot %s, %d pending, generation %d)\n",
+			*ingestPath, *ingestSlot, st.PendingEvents, st.Generation)
+	}
+
+	var handler http.Handler = mux
 	if *usePprof {
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
+		pmux := http.NewServeMux()
+		pmux.Handle("/", handler)
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = pmux
 	}
 	for _, info := range engine.SnapshotsInfo() {
 		fmt.Printf("cpd-serve snapshot %s: %d users, %d words, mapped=%v (%d mapped / %d heap bytes)\n",
 			info.Name, info.Users, info.Words, info.Mapped, info.MappedBytes, info.HeapBytes)
 	}
 	fmt.Printf("cpd-serve listening on %s (%d snapshots)\n", *addr, len(models))
-	if err := serve.RunHTTP(*addr, handler); err != nil && err != http.ErrServerClosed {
+	// Graceful drain: on SIGINT/SIGTERM, before the listener closes, stop
+	// accepting ingest, flush the journal and publish a final generation —
+	// nothing accepted is ever lost to a shutdown.
+	drain := func() {
+		if updater == nil {
+			return
+		}
+		if err := updater.Drain(); err != nil {
+			log.Printf("drain failed: %v", err)
+			return
+		}
+		fmt.Printf("drained: final generation %d published\n", updater.Generation())
+	}
+	if err := serve.RunHTTPWithShutdown(*addr, handler, drain); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	fmt.Println("shut down cleanly")

@@ -5,11 +5,17 @@
 // serving, and -format json keeps the legacy encoding. Every reader in
 // this repository sniffs all formats.
 //
+// With -resume, training continues from a saved snapshot instead of
+// starting fresh: the stored assignments seed the sampler (core's
+// Resume-from-snapshot path), and the graph may have grown new users,
+// documents and links since the snapshot was taken.
+//
 // Usage:
 //
 //	cpd-train -graph twitter.graph -communities 50 -topics 25 -iters 30 -out model.snap
 //	cpd-train -graph twitter.graph -format v2 -out model.v2.snap
 //	cpd-train -graph twitter.graph -format json -out model.json
+//	cpd-train -graph twitter.graph -resume model.v2.snap -iters 10 -out model2.v2.snap
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 		rho         = flag.Float64("rho", 0, "membership prior (0 = paper default 50/|C|)")
 		out         = flag.String("out", "", "model output file (required)")
 		format      = flag.String("format", "binary", "model output format: binary (v1) | v2 (mmap-ready) | json")
+		resume      = flag.String("resume", "", "continue training from this saved model snapshot (ignores -communities/-topics/-rho)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *out == "" {
@@ -50,16 +57,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, diag, err := core.Train(g, core.Config{
-		NumCommunities: *communities,
-		NumTopics:      *topics,
-		EMIters:        *iters,
-		Workers:        *workers,
-		Seed:           *seed,
-		Rho:            *rho,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var m *core.Model
+	var diag *core.Diagnostics
+	if *resume != "" {
+		base, err := store.LoadFile(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, diag, err = core.TrainResumed(g, base, *iters, core.ResumeOptions{
+			Workers: *workers,
+			Seed:    *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		*communities, *topics = m.Cfg.NumCommunities, m.Cfg.NumTopics
+	} else {
+		var err error
+		m, diag, err = core.Train(g, core.Config{
+			NumCommunities: *communities,
+			NumTopics:      *topics,
+			EMIters:        *iters,
+			Workers:        *workers,
+			Seed:           *seed,
+			Rho:            *rho,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	switch *format {
 	case "binary", "v1":

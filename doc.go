@@ -15,12 +15,22 @@
 // refcount-hot-swappable snapshots with a sharded user index, an
 // inverted rank index and fold-in inference for unseen users
 // (internal/serve), the SocialLens browser UI on top of it
-// (internal/lens), and the cpd-serve / cpd-lens servers. A workload
-// harness (internal/scenario) adds named seeded scenario presets across
-// degree/membership/vocabulary/diffusion regimes, an end-to-end
-// regression runner with golden metric files, and the cpd-loadgen
-// traffic generator that reports QPS and latency percentiles against a
-// served model.
+// (internal/lens), and the cpd-serve / cpd-lens servers. A streaming
+// write path (internal/stream) keeps served models fresh without full
+// retrains: a CRC'd append-only event journal with crash-safe replay,
+// watermark and compaction; an incremental updater that folds affected
+// users in per delta window and periodically re-estimates them with a
+// resumable delta-Gibbs pass (core.NewEngineFromModel + dirty-set
+// sweeps); and a publisher that promotes v2 snapshot generations into
+// the serving engine's hot-swap slots (cmd/cpd-serve -ingest, with the
+// cpd-stream backfill CLI and cpd-train -resume on the same core path).
+// A workload harness (internal/scenario) adds named seeded scenario
+// presets across degree/membership/vocabulary/diffusion regimes —
+// including streaming ingest regimes with replay-equals-batch and
+// freshness invariants — an end-to-end regression runner with golden
+// metric files, and the cpd-loadgen traffic generator that reports QPS
+// and latency percentiles (reads and ingest writes) against a served
+// model.
 //
 // See README.md for a quickstart, the package map, and how to run the
 // experiments. The root package holds the per-table/per-figure benchmarks

@@ -57,6 +57,11 @@ type Engine struct {
 	overlays []*overlay
 	detSC    *scratch // direct-mode scratch for sequential detection sweeps
 
+	// dirty, when non-nil, restricts sweeps to the marked users (see
+	// SetDirty): the streaming delta trainer's "sweep only affected rows"
+	// mode. nil means every user sweeps.
+	dirty []bool
+
 	// Measured timings. segSecs has one writer per segment per sweep (the
 	// owning worker); workerSecs is filled at the barrier.
 	segSecs        []float64
@@ -364,8 +369,11 @@ func (e *Engine) workerLoop(w int, ov *overlay) {
 // attribute moves under the attribute extension, then the segment's own
 // Pólya-Gamma link variables.
 func (e *Engine) runSegment(seg *segment, sc *scratch) {
-	st := e.st
+	st, dirty := e.st, e.dirty
 	for _, u := range seg.users {
+		if dirty != nil && !dirty[u] {
+			continue
+		}
 		if !st.contentOn {
 			st.sampleUserCommunityBlock(u, sc)
 			continue
@@ -382,16 +390,37 @@ func (e *Engine) runSegment(seg *segment, sc *scratch) {
 			}
 		}
 	}
+	// Link augmentation variables are refreshed when either endpoint's
+	// membership may have moved; a link between two clean users keeps its
+	// value (its posterior is unchanged to within the sweep's staleness).
 	if !st.cfg.NoFriendship {
 		for _, li := range seg.friends {
+			if dirty != nil {
+				f := st.g.Friends[li]
+				if !dirty[f.U] && !dirty[f.V] {
+					continue
+				}
+			}
 			st.sampleLambda(int(li), sc)
 		}
 		for _, li := range seg.negs {
+			if dirty != nil {
+				f := st.negFriends[li]
+				if !dirty[f.U] && !dirty[f.V] {
+					continue
+				}
+			}
 			st.sampleLambdaNeg(int(li), sc)
 		}
 	}
 	if st.contentOn {
 		for _, de := range seg.diffs {
+			if dirty != nil {
+				l := st.g.Diffs[de]
+				if !dirty[st.g.Docs[l.I].User] && !dirty[st.g.Docs[l.J].User] {
+					continue
+				}
+			}
 			st.sampleDelta(int(de), sc)
 		}
 	}

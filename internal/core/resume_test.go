@@ -1,0 +1,177 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/socialgraph"
+)
+
+// resumeBase trains a small model to resume from.
+func resumeBase(t *testing.T) (*socialgraph.Graph, *Model) {
+	t.Helper()
+	g := testGraph(120, 31)
+	m, _, err := Train(g, Config{
+		NumCommunities: 6, NumTopics: 8, EMIters: 6, Workers: 2,
+		Seed: 9, Rho: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m
+}
+
+// sameModel asserts bit-identity of every block two resumed runs must
+// agree on.
+func sameModel(t *testing.T, name string, a, b *Model) {
+	t.Helper()
+	checks := []struct {
+		what     string
+		got, exp any
+	}{
+		{"pi", a.Pi.Data, b.Pi.Data},
+		{"theta", a.Theta.Data, b.Theta.Data},
+		{"phi", a.Phi.Data, b.Phi.Data},
+		{"eta", a.Eta.Data, b.Eta.Data},
+		{"nu", a.Nu, b.Nu},
+		{"docC", a.DocCommunity, b.DocCommunity},
+		{"docZ", a.DocTopic, b.DocTopic},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.got, c.exp) {
+			t.Fatalf("%s: %s differs between the two runs", name, c.what)
+		}
+	}
+}
+
+func TestResumeDeterministic(t *testing.T) {
+	g, m := resumeBase(t)
+	run := func(workers int) *Model {
+		out, _, err := TrainResumed(g, m, 3, ResumeOptions{Workers: workers, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(1)
+	sameModel(t, "repeat", a, b)
+	// Worker count must not change the resumed chain either — the same
+	// guarantee fresh training gives.
+	sameModel(t, "workers", a, run(3))
+}
+
+// TestResumeDirtyAllEqualsFull is the delta-Gibbs contract: restricting
+// the sweep to a dirty set that covers every user is bit-identical to an
+// unrestricted resumed run.
+func TestResumeDirtyAllEqualsFull(t *testing.T) {
+	g, m := resumeBase(t)
+	run := func(dirty []bool) *Model {
+		e, err := NewEngineFromModel(g, m, ResumeOptions{Workers: 2, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		if err := e.SetDirty(dirty); err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := e.RunEM(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	all := make([]bool, g.NumUsers)
+	for i := range all {
+		all[i] = true
+	}
+	sameModel(t, "dirty=all vs full", run(nil), run(all))
+}
+
+// TestResumeDirtySubsetFreezesCleanUsers: a restricted sweep must leave
+// clean users' document assignments untouched while still moving dirty
+// users'.
+func TestResumeDirtySubsetFreezesCleanUsers(t *testing.T) {
+	g, m := resumeBase(t)
+	e, err := NewEngineFromModel(g, m, ResumeOptions{Workers: 2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	dirty := make([]bool, g.NumUsers)
+	for u := 0; u < g.NumUsers/4; u++ {
+		dirty[u] = true
+	}
+	if err := e.SetDirty(dirty); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := e.RunEM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i, d := range g.Docs {
+		if !dirty[d.User] {
+			if out.DocCommunity[i] != m.DocCommunity[i] || out.DocTopic[i] != m.DocTopic[i] {
+				t.Fatalf("clean user %d's doc %d was resampled under a dirty-set sweep", d.User, i)
+			}
+		} else if out.DocCommunity[i] != m.DocCommunity[i] || out.DocTopic[i] != m.DocTopic[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no dirty user's assignment moved in 2 sweeps — the dirty sweep did nothing")
+	}
+	if err := e.SetDirty(make([]bool, 3)); err == nil {
+		t.Fatal("SetDirty accepted a mask of the wrong length")
+	}
+}
+
+// TestResumeExtendedGraph resumes onto a graph grown with new users and
+// documents: the stored assignments seed the old documents, the new ones
+// initialize from the resume seed, and the resulting model covers the
+// extended population.
+func TestResumeExtendedGraph(t *testing.T) {
+	g, m := resumeBase(t)
+	ext := &socialgraph.Graph{
+		NumUsers: g.NumUsers + 2,
+		NumWords: g.NumWords,
+		Docs:     append(append([]socialgraph.Doc{}, g.Docs...), socialgraph.Doc{User: int32(g.NumUsers), Time: 5, Words: []int32{1, 2, 3}}, socialgraph.Doc{User: int32(g.NumUsers + 1), Time: 9, Words: []int32{4, 5}}),
+		Friends:  append(append([]socialgraph.FriendLink{}, g.Friends...), socialgraph.FriendLink{U: int32(g.NumUsers), V: 0}),
+		Diffs:    append([]socialgraph.DiffLink{}, g.Diffs...),
+	}
+	out, _, err := TrainResumed(ext, m, 2, ResumeOptions{Workers: 2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumUsers != ext.NumUsers {
+		t.Fatalf("resumed model covers %d users, want %d", out.NumUsers, ext.NumUsers)
+	}
+	if len(out.DocCommunity) != len(ext.Docs) {
+		t.Fatalf("resumed model assigns %d docs, want %d", len(out.DocCommunity), len(ext.Docs))
+	}
+	// Repeatability on the extended graph too.
+	out2, _, err := TrainResumed(ext, m, 2, ResumeOptions{Workers: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameModel(t, "extended", out, out2)
+}
+
+func TestResumeRejectsBadInputs(t *testing.T) {
+	g, m := resumeBase(t)
+	tooSmall := &socialgraph.Graph{NumUsers: 1, NumWords: g.NumWords,
+		Docs: []socialgraph.Doc{{User: 0, Words: []int32{0}}}}
+	if _, err := NewEngineFromModel(tooSmall, m, ResumeOptions{}); err == nil {
+		t.Fatal("resume accepted a graph smaller than the model's corpus")
+	}
+	bad := *m
+	bad.Cfg.ModelAttributes = true
+	if _, err := NewEngineFromModel(g, &bad, ResumeOptions{}); err == nil {
+		t.Fatal("resume accepted a ModelAttributes model")
+	}
+	bad2 := *m
+	bad2.Cfg.NoJointModeling = true
+	if _, err := NewEngineFromModel(g, &bad2, ResumeOptions{}); err == nil {
+		t.Fatal("resume accepted a NoJointModeling model")
+	}
+}

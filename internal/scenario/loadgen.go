@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/stream"
 )
 
 // OpKind enumerates the query kinds a load mix is composed of.
@@ -28,10 +29,11 @@ const (
 	OpMembership
 	OpDiffusion
 	OpFoldIn
+	OpIngest
 	numOps
 )
 
-var opNames = [numOps]string{"rank", "membership", "diffusion", "foldin"}
+var opNames = [numOps]string{"rank", "membership", "diffusion", "foldin", "ingest"}
 
 func (k OpKind) String() string { return opNames[k] }
 
@@ -39,7 +41,9 @@ func (k OpKind) String() string { return opNames[k] }
 type Mix [numOps]float64
 
 // DefaultMix is a read-heavy service profile: mostly ranking and
-// membership lookups, some diffusion probes, a trickle of fold-ins.
+// membership lookups, some diffusion probes, a trickle of fold-ins, no
+// writes (add "ingest=N" to the mix for read-under-write runs; ingest
+// targets need a stream updater or a cpd-serve started with -ingest).
 func DefaultMix() Mix { return Mix{OpRank: 4, OpMembership: 3, OpDiffusion: 2, OpFoldIn: 1} }
 
 // ParseMix parses "rank=4,membership=3,diffusion=2,foldin=1". Omitted ops
@@ -103,6 +107,7 @@ type Request struct {
 	U, V   int     // membership / diffusion
 	Z, B   int     // diffusion
 	FoldIn *serve.FoldInRequest
+	Events []stream.Event // ingest
 }
 
 // Target executes requests — either in-process against a serve.Engine or
@@ -113,10 +118,12 @@ type Target interface {
 
 // EngineTarget drives a serve.Engine directly (no network, no JSON):
 // the ceiling the HTTP path is compared against. Snapshot selects one of
-// the engine's named snapshots (empty = the default).
+// the engine's named snapshots (empty = the default). Updater, when set,
+// receives the mix's ingest ops (without one, ingest requests error).
 type EngineTarget struct {
 	Engine   *serve.Engine
 	Snapshot string
+	Updater  *stream.Updater
 }
 
 // Do implements Target.
@@ -135,6 +142,11 @@ func (t EngineTarget) Do(req *Request) error {
 		_, err = t.Engine.DiffusionIn(name, req.U, req.V, req.Z, req.B)
 	case OpFoldIn:
 		_, err = t.Engine.FoldInNamed(name, req.FoldIn)
+	case OpIngest:
+		if t.Updater == nil {
+			return fmt.Errorf("scenario: ingest op without an Updater on the EngineTarget")
+		}
+		_, err = t.Updater.Ingest(req.Events)
 	}
 	return err
 }
@@ -198,6 +210,12 @@ func (t HTTPTarget) Do(req *Request) error {
 			foldURL += "?" + snap[1:]
 		}
 		resp, err = client.Post(foldURL, "application/json", &body)
+	case OpIngest:
+		var body bytes.Buffer
+		if err := json.NewEncoder(&body).Encode(req.Events); err != nil {
+			return err
+		}
+		resp, err = client.Post(t.Base+"/api/ingest", "application/json", &body)
 	}
 	if err != nil {
 		return err
@@ -308,6 +326,28 @@ func genRequest(r *rng.RNG, o *LoadOptions) *Request {
 			docs[i] = doc
 		}
 		req.FoldIn = &serve.FoldInRequest{Docs: docs, Seed: r.Uint64(), Sweeps: o.FoldInSweeps}
+	case OpIngest:
+		// A write-mix op is mostly fresh documents on existing users, with
+		// a sprinkle of edges and brand-new users — the churn shape a live
+		// service sees. Only base-population ids are drawn, so the batch
+		// validates whatever else is in flight.
+		switch r.Intn(8) {
+		case 0:
+			req.Events = []stream.Event{{Type: stream.EvAddUser}}
+		case 1:
+			u := r.Intn(s.Users)
+			v := r.Intn(s.Users)
+			if v == u {
+				v = (v + 1) % s.Users
+			}
+			req.Events = []stream.Event{{Type: stream.EvAddEdge, User: int32(u), Target: int32(v)}}
+		default:
+			doc := make([]int32, o.FoldInDocLen)
+			for j := range doc {
+				doc[j] = int32(r.Intn(s.Words))
+			}
+			req.Events = []stream.Event{{Type: stream.EvAddDoc, User: int32(r.Intn(s.Users)), Time: int64(r.Intn(1 << 20)), Words: doc}}
+		}
 	}
 	return req
 }

@@ -70,10 +70,15 @@ func TestClosedLoopCountsAndMix(t *testing.T) {
 	if total != 2000 {
 		t.Fatalf("target executed %d requests, want 2000", total)
 	}
-	// The default mix is 4:3:2:1 — every op must appear, rank most often.
+	// The default mix is 4:3:2:1 reads with no writes — every weighted op
+	// must appear (rank most often), ingest not at all.
+	def := DefaultMix()
 	for k := OpKind(0); k < numOps; k++ {
-		if target.perOp[k] == 0 {
+		if def[k] > 0 && target.perOp[k] == 0 {
 			t.Errorf("op %v never generated", k)
+		}
+		if def[k] == 0 && target.perOp[k] != 0 {
+			t.Errorf("op %v generated %d times despite zero weight", k, target.perOp[k])
 		}
 	}
 	if target.perOp[OpRank] <= target.perOp[OpFoldIn] {

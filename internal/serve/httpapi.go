@@ -227,6 +227,15 @@ func writeQueryErr(w http.ResponseWriter, err error) {
 // signal-triggered shutdown. Both cmd/cpd-serve and cmd/cpd-lens run
 // through it instead of bare http.ListenAndServe.
 func RunHTTP(addr string, h http.Handler) error {
+	return RunHTTPWithShutdown(addr, h, nil)
+}
+
+// RunHTTPWithShutdown is RunHTTP with a drain hook: onSignal runs after
+// the shutdown signal arrives but BEFORE the HTTP server stops serving,
+// so a streaming server can stop accepting ingest, flush its journal and
+// publish a final snapshot while reads keep flowing — the graceful-drain
+// sequence of cmd/cpd-serve.
+func RunHTTPWithShutdown(addr string, h http.Handler, onSignal func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := &http.Server{Addr: addr, Handler: h}
@@ -236,6 +245,9 @@ func RunHTTP(addr string, h http.Handler) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	if onSignal != nil {
+		onSignal()
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -272,6 +272,10 @@ type Engine struct {
 
 	lat [epCount]latencyCounter
 
+	// ingestStats, when set (SetIngestStats), contributes the streaming
+	// freshness/lag section of StatsReport.
+	ingestStats atomic.Value // of func() any
+
 	foldJobs  chan foldJob
 	closeOnce sync.Once
 }
@@ -554,22 +558,38 @@ func (e *Engine) SnapshotsInfo() []SnapshotStats {
 }
 
 // StatsReport is the full /api/stats payload: endpoint latency counters,
-// per-snapshot memory accounting, and process RSS.
+// per-snapshot memory accounting, process RSS, and — when a streaming
+// updater is attached — its freshness/lag gauge.
 type StatsReport struct {
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Snapshots []SnapshotStats          `json:"snapshots"`
 	// ProcessRSSBytes is the process's resident set size (0 where the
 	// platform offers no cheap reading).
 	ProcessRSSBytes int64 `json:"processRSSBytes"`
+	// Ingest is the streaming updater's status (generation, pending-event
+	// lag, last publish), present only on servers running live ingest.
+	Ingest any `json:"ingest,omitempty"`
+}
+
+// SetIngestStats attaches a provider whose value is embedded as the
+// "ingest" section of every StatsReport — how cmd/cpd-serve surfaces the
+// stream updater's freshness gauge on /api/stats without this package
+// depending on internal/stream. nil detaches.
+func (e *Engine) SetIngestStats(fn func() any) {
+	e.ingestStats.Store(fn)
 }
 
 // StatsReport assembles the full stats payload.
 func (e *Engine) StatsReport() *StatsReport {
-	return &StatsReport{
+	r := &StatsReport{
 		Endpoints:       e.Stats(),
 		Snapshots:       e.SnapshotsInfo(),
 		ProcessRSSBytes: ProcessRSS(),
 	}
+	if fn, ok := e.ingestStats.Load().(func() any); ok && fn != nil {
+		r.Ingest = fn()
+	}
+	return r
 }
 
 // --- typed query API ----------------------------------------------------

@@ -1,0 +1,55 @@
+// Package stream is the write path of the serving system: it turns live
+// events — new users, friendship edges, documents, diffusions — into
+// refreshed model snapshots, so the profiles cpd-serve answers from track
+// a moving social graph without full retrains. Three pieces compose it:
+//
+//   - Journal (journal.go): an append-only, CRC-framed event log with
+//     batched fsync, crash-safe replay (a torn or corrupt tail is detected
+//     and truncated at the last valid record), a published-offset
+//     watermark, and watermark-based compaction. Record framing reuses the
+//     length+CRC32 section discipline of the internal/store snapshot
+//     formats.
+//
+//   - Updater (updater.go): validates and applies events into an
+//     accumulated stream corpus, and every delta window re-infers the
+//     affected users by folding their cumulative documents and friendships
+//     in against the frozen model parameters through serve.Engine's
+//     fold-in worker pool. Every GibbsEvery-th publish may additionally run
+//     a resumable delta-Gibbs pass (core.NewEngineFromModel +
+//     Engine.SetDirty) over the merged base+stream graph, re-estimating
+//     the affected rows — and the global Θ/Φ/η — by actual sampling.
+//
+//   - Publisher (part of the updater): builds the extended model (base
+//     rows + folded/re-estimated rows), writes it as a v2 snapshot with a
+//     monotonic generation number, atomically promotes it into the target
+//     serve.Engine slot (hot-swap; in-flight queries finish on their old
+//     snapshot), advances the journal watermark, and prunes old snapshot
+//     files. Status() is the freshness/lag gauge /api/stats exposes.
+//
+// # Freshness and determinism guarantees
+//
+// An event accepted by Ingest is applied to the in-memory corpus
+// immediately and becomes query-visible at the next publish — "visible
+// within one publish cycle". Fold-in windows are deterministic: each
+// user's profile is a pure function of (base model, their cumulative
+// documents and base-user friendships, their derived seed), so ingesting a
+// corpus event-by-event and publishing per window yields bit-identical
+// query results to batch-folding the same final corpus in one window
+// (the replay-equals-batch invariant the streaming scenario presets pin).
+// Delta-Gibbs publishes trade that replay identity for genuine
+// re-estimation; they remain deterministic per (journal, options).
+//
+// # Journal format
+//
+//	header (16 bytes): magic "CPDJNL1\n" + baseOffset uint64 LE
+//	records:           length uint32 LE | payload | crc32 uint32 LE (IEEE, over payload)
+//	payload:           type u8 | user i32 | target i32 | time i64 | nWords u32 | words []i32 (all LE)
+//
+// Offsets are logical: baseOffset is the logical offset of the first
+// record in the file, so compaction (rewriting the file without records
+// below the watermark) preserves every previously returned offset. The
+// watermark lives in a sidecar file (path + ".mark", offset + CRC,
+// written atomically); an optional updater checkpoint (path + ".state")
+// snapshots the accumulated corpus at the watermark so a restart replays
+// only the unpublished suffix.
+package stream

@@ -1,0 +1,1032 @@
+package stream
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/serve"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+	"repro/internal/store"
+)
+
+// Options configures an Updater. Engine is required; Base defaults to the
+// target slot's current snapshot (pinned for the updater's lifetime).
+type Options struct {
+	// Engine is the serving engine whose named slot the updater publishes
+	// into and whose fold-in worker pool it borrows.
+	Engine *serve.Engine
+	// Snapshot is the target slot name (default serve.DefaultSnapshot).
+	Snapshot string
+	// Base is the frozen generation-0 model every fold-in runs against.
+	// nil acquires the target slot's current snapshot instead; the
+	// updater then keeps that snapshot pinned until Close, so a mapped
+	// base can never be unmapped under it.
+	Base *core.Model
+	// Vocab labels published snapshots (nil keeps free-text queries off).
+	Vocab *corpus.Vocabulary
+	// Dir, when non-empty, is where published v2 snapshot files land
+	// (gen-%08d.v2.snap); empty publishes in-memory only.
+	Dir string
+	// KeepSnapshots bounds how many published snapshot files are retained
+	// in Dir (default 3; older generations are pruned).
+	KeepSnapshots int
+
+	// WindowEvents is the delta window: MaybePublish (and Run) publish
+	// once at least this many events are pending (default 256).
+	WindowEvents int
+	// Interval is Run's publish deadline: pending events are published at
+	// latest this long after the previous publish even if the window is
+	// not full (default 2s).
+	Interval time.Duration
+	// FoldSweeps is the Gibbs sweep count per fold-in (default 20).
+	FoldSweeps int
+	// FoldSeed is the base of the per-user fold-in seeds. Each user's seed
+	// is a pure function of (FoldSeed, user id), which is what makes
+	// incremental replay bit-identical to batch fold-in.
+	FoldSeed uint64
+
+	// GibbsEvery, when > 0 (and BaseGraph is set), runs a resumable
+	// delta-Gibbs pass on every GibbsEvery-th publish: the merged
+	// base+stream graph is re-sampled with only the users touched since
+	// the last pass marked dirty, re-estimating their rows and the global
+	// profiles. 0 disables (pure fold-in mode — the replay-equals-batch
+	// regime).
+	GibbsEvery int
+	// GibbsSweeps is the EM iteration count per delta pass (default 2).
+	GibbsSweeps int
+	// BaseGraph is the training graph of Base, required for delta-Gibbs:
+	// it must match the base model exactly (same users, documents, words).
+	BaseGraph *socialgraph.Graph
+	// Workers sizes the delta-Gibbs engine pool (0 = NumCPU).
+	Workers int
+
+	// Mmap promotes published snapshot files through the engine's mapped
+	// loader (requires Dir and an engine built with Options.Mmap).
+	Mmap bool
+	// CompactBytes triggers checkpoint+compaction from Run once the
+	// journal file exceeds this size (default 4 MiB; negative disables).
+	CompactBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Snapshot == "" {
+		o.Snapshot = serve.DefaultSnapshot
+	}
+	if o.WindowEvents <= 0 {
+		o.WindowEvents = 256
+	}
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.FoldSweeps <= 0 {
+		o.FoldSweeps = 20
+	}
+	if o.GibbsSweeps <= 0 {
+		o.GibbsSweeps = 2
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 3
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 4 << 20
+	}
+	return o
+}
+
+// userState is one stream-touched user's accumulated corpus.
+type userState struct {
+	docs    []int32 // indices into Updater.docs
+	friends []int32 // friend user ids, arrival order, deduplicated
+	dirty   bool    // needs re-folding at the next publish
+}
+
+// Status is the freshness/lag gauge surfaced on /api/ingest/status and
+// inside /api/stats.
+type Status struct {
+	Snapshot   string `json:"snapshot"`
+	Generation uint64 `json:"generation"`
+	BaseUsers  int    `json:"baseUsers"`
+	Users      int    `json:"users"`
+
+	StreamDocs  int `json:"streamDocs"`
+	StreamEdges int `json:"streamEdges"`
+	StreamDiffs int `json:"streamDiffs"`
+
+	// PendingEvents is the publish lag: events applied in memory but not
+	// yet visible to queries. JournalTail/Watermark are the corresponding
+	// journal offsets.
+	PendingEvents int    `json:"pendingEvents"`
+	DirtyUsers    int    `json:"dirtyUsers"`
+	JournalTail   uint64 `json:"journalTail"`
+	Watermark     uint64 `json:"watermark"`
+	JournalBytes  int64  `json:"journalBytes"`
+
+	AppliedEvents   uint64 `json:"appliedEvents"`
+	Publishes       uint64 `json:"publishes"`
+	GibbsPasses     uint64 `json:"gibbsPasses"`
+	LastPublishUnix int64  `json:"lastPublishUnix,omitempty"`
+	LastPublishMs   int64  `json:"lastPublishMs,omitempty"`
+	// LastError is the most recent publish/checkpoint failure the Run
+	// loop retried past ("" when healthy).
+	LastError string `json:"lastError,omitempty"`
+	Draining  bool   `json:"draining"`
+}
+
+// PublishInfo describes one completed publish.
+type PublishInfo struct {
+	Generation uint64 `json:"generation"`
+	Version    uint64 `json:"version"`
+	Users      int    `json:"users"`
+	Folded     int    `json:"folded"`
+	Gibbs      bool   `json:"gibbs"`
+	Path       string `json:"path,omitempty"`
+}
+
+// ErrDraining reports an ingest attempted after StopIngest.
+var ErrDraining = fmt.Errorf("stream: updater is draining; ingest is closed")
+
+// ErrJournal marks a server-side journal write failure during Ingest —
+// distinct from a validation error: the batch may be PARTIALLY journaled
+// and applied (everything before the failing event), so a retry of the
+// whole batch would duplicate that prefix. The HTTP surface maps it to
+// 500, not 400.
+var ErrJournal = fmt.Errorf("stream: journal write failed")
+
+// Updater drains journaled events into refreshed snapshots. All methods
+// are safe for concurrent use; Publish is internally serialized with
+// Ingest.
+type Updater struct {
+	opts Options
+	j    *Journal
+
+	releaseBase func() // pin on the acquired base snapshot (may be nil)
+
+	mu        sync.Mutex
+	base      *core.Model          // generation-0 reference (frozen)
+	refined   *core.Model          // latest delta-Gibbs output (== base until a pass runs)
+	baseUsers int                  // base.NumUsers
+	baseDocs  int                  // len(base.DocCommunity)
+	users     map[int32]*userState // stream-touched users (new and changed)
+	newUsers  int                  // users added above baseUsers
+	docs      []socialgraph.Doc    // stream documents, global user ids
+	docC      []int32              // latest assignment per stream doc
+	docZ      []int32
+	edges     []socialgraph.FriendLink
+	diffs     []socialgraph.DiffLink // global doc ids
+	foldPi    map[int32][]float64    // latest folded membership row per user
+
+	pending   int    // events applied since the last publish
+	pendingTo uint64 // journal offset covering the applied events
+
+	generation    uint64
+	applied       uint64
+	publishes     uint64
+	gibbsPasses   uint64
+	lastPublish   time.Time
+	lastPublishMs int64
+	lastError     string
+	draining      bool
+	// published marks that THIS process has promoted a snapshot into the
+	// engine. A restored checkpoint carries generation > 0, but the engine
+	// slot still holds whatever the server loaded from disk — the first
+	// Publish after a restart must rebuild even with nothing pending.
+	published bool
+
+	// statusMu guards statusCache, a copy refreshed after every mutation
+	// so Status() never has to wait on a long-running publish.
+	statusMu    sync.Mutex
+	statusCache Status
+
+	notify chan struct{} // pending >= window, consumed by Run
+}
+
+// NewUpdater builds an updater over an opened journal and restores its
+// state: from the checkpoint sidecar when one matches the journal's
+// watermark, else by replaying the journal from its base (marking every
+// replayed doc-owning user dirty, so the first publish rebuilds their
+// rows). Events past the watermark are applied and left pending.
+func NewUpdater(j *Journal, opts Options) (*Updater, error) {
+	opts = opts.withDefaults()
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("stream: Options.Engine is required")
+	}
+	if opts.GibbsEvery > 0 && opts.BaseGraph == nil {
+		return nil, fmt.Errorf("stream: GibbsEvery needs Options.BaseGraph")
+	}
+	u := &Updater{
+		opts:   opts,
+		j:      j,
+		users:  make(map[int32]*userState),
+		foldPi: make(map[int32][]float64),
+		notify: make(chan struct{}, 1),
+	}
+	u.base = opts.Base
+	if u.base == nil {
+		s, release, err := opts.Engine.AcquireNamed(opts.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("stream: acquiring base snapshot: %w", err)
+		}
+		u.base = s.Model
+		u.releaseBase = release
+	}
+	u.refined = u.base
+	u.baseUsers = u.base.NumUsers
+	u.baseDocs = len(u.base.DocCommunity)
+	if g := opts.BaseGraph; g != nil {
+		if g.NumUsers != u.baseUsers || len(g.Docs) != u.baseDocs || g.NumWords != u.base.NumWords {
+			u.close()
+			return nil, fmt.Errorf("stream: BaseGraph (%d users, %d docs, %d words) does not match the base model (%d users, %d docs, %d words)",
+				g.NumUsers, len(g.Docs), g.NumWords, u.baseUsers, u.baseDocs, u.base.NumWords)
+		}
+	}
+	from, err := u.restoreCheckpoint()
+	if err != nil {
+		u.close()
+		return nil, err
+	}
+	u.pendingTo = from
+	if err := j.Replay(from, func(off uint64, ev Event) error {
+		if aerr := u.applyLocked(&ev); aerr != nil {
+			return fmt.Errorf("stream: journal replay at offset %d: %w", off, aerr)
+		}
+		u.pendingTo = off
+		u.pending++
+		u.applied++
+		return nil
+	}); err != nil {
+		u.close()
+		return nil, err
+	}
+	if from == j.Base() {
+		// No checkpoint: everything replayed is unpublished as far as this
+		// process knows — every doc-owning stream user re-folds on the
+		// first publish, rebuilding the rows a previous process had.
+		for _, us := range u.users {
+			us.dirty = true
+		}
+	}
+	u.refreshStatusLocked()
+	return u, nil
+}
+
+// close releases held resources (not the journal, which the caller owns).
+func (u *Updater) close() {
+	if u.releaseBase != nil {
+		u.releaseBase()
+		u.releaseBase = nil
+	}
+}
+
+// Close releases the base-snapshot pin. The journal is the caller's to
+// close.
+func (u *Updater) Close() { u.close() }
+
+// StopIngest makes every further Ingest fail with ErrDraining — the first
+// step of a graceful drain.
+func (u *Updater) StopIngest() {
+	u.mu.Lock()
+	u.draining = true
+	u.refreshStatusLocked()
+	u.mu.Unlock()
+}
+
+// Ingest validates evs against the current corpus, resolves AddUser ids,
+// appends everything to the journal and applies it in memory. It returns
+// the resolved events (AddUser events carry their assigned ids). The batch
+// is atomic: on a validation error nothing is journaled or applied.
+func (u *Updater) Ingest(evs []Event) ([]Event, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.draining {
+		return nil, ErrDraining
+	}
+	// Validate the whole batch against a speculative view before touching
+	// the journal.
+	resolved := make([]Event, len(evs))
+	specUsers := u.baseUsers + u.newUsers
+	specDocs := u.baseDocs + len(u.docs)
+	for i := range evs {
+		ev := evs[i]
+		switch ev.Type {
+		case EvAddUser:
+			next := int32(specUsers)
+			if ev.User > 0 && ev.User != next {
+				return nil, fmt.Errorf("stream: event %d adds user %d, expected the next id %d", i, ev.User, next)
+			}
+			ev.User = next
+			specUsers++
+		case EvAddEdge:
+			if err := u.checkUser(int(ev.User), specUsers); err != nil {
+				return nil, fmt.Errorf("stream: event %d: %w", i, err)
+			}
+			if err := u.checkUser(int(ev.Target), specUsers); err != nil {
+				return nil, fmt.Errorf("stream: event %d: %w", i, err)
+			}
+			if ev.User == ev.Target {
+				return nil, fmt.Errorf("stream: event %d is a self-edge on user %d", i, ev.User)
+			}
+		case EvAddDoc, EvDiffusion:
+			if err := u.checkUser(int(ev.User), specUsers); err != nil {
+				return nil, fmt.Errorf("stream: event %d: %w", i, err)
+			}
+			if len(ev.Words) == 0 {
+				return nil, fmt.Errorf("stream: event %d carries an empty document", i)
+			}
+			if len(ev.Words) > MaxEventWords {
+				return nil, fmt.Errorf("stream: event %d has %d words (limit %d)", i, len(ev.Words), MaxEventWords)
+			}
+			for _, w := range ev.Words {
+				if w < 0 || int(w) >= u.base.NumWords {
+					return nil, fmt.Errorf("stream: event %d has out-of-vocabulary word %d (|W|=%d)", i, w, u.base.NumWords)
+				}
+			}
+			if ev.Type == EvDiffusion {
+				if ev.Target < 0 || int(ev.Target) >= specDocs {
+					return nil, fmt.Errorf("stream: event %d diffuses unknown document %d (have %d)", i, ev.Target, specDocs)
+				}
+			}
+			specDocs++
+		default:
+			return nil, fmt.Errorf("stream: event %d has unknown type %d", i, ev.Type)
+		}
+		resolved[i] = ev
+	}
+	for i := range resolved {
+		off, err := u.j.Append(&resolved[i])
+		if err != nil {
+			u.refreshStatusLocked()
+			return nil, fmt.Errorf("%w: event %d of %d: %v", ErrJournal, i, len(resolved), err)
+		}
+		if aerr := u.applyLocked(&resolved[i]); aerr != nil {
+			// Cannot happen after validation; surface loudly if it does.
+			u.refreshStatusLocked()
+			return nil, fmt.Errorf("stream: internal error applying validated event: %w", aerr)
+		}
+		u.pendingTo = off
+		u.pending++
+		u.applied++
+	}
+	u.refreshStatusLocked()
+	if u.pending >= u.opts.WindowEvents {
+		select {
+		case u.notify <- struct{}{}:
+		default:
+		}
+	}
+	return resolved, nil
+}
+
+func (u *Updater) checkUser(id, specUsers int) error {
+	if id < 0 || id >= specUsers {
+		return fmt.Errorf("unknown user %d (have %d)", id, specUsers)
+	}
+	return nil
+}
+
+// user returns (creating if needed) the stream state of a user.
+func (u *Updater) user(id int32) *userState {
+	us := u.users[id]
+	if us == nil {
+		us = &userState{}
+		u.users[id] = us
+	}
+	return us
+}
+
+// applyLocked folds one validated event into the corpus state.
+func (u *Updater) applyLocked(ev *Event) error {
+	switch ev.Type {
+	case EvAddUser:
+		next := int32(u.baseUsers + u.newUsers)
+		if ev.User != next {
+			return fmt.Errorf("add-user id %d, expected %d", ev.User, next)
+		}
+		u.newUsers++
+		u.user(ev.User)
+	case EvAddEdge:
+		total := u.baseUsers + u.newUsers
+		if int(ev.User) >= total || int(ev.Target) >= total || ev.User < 0 || ev.Target < 0 || ev.User == ev.Target {
+			return fmt.Errorf("bad edge %d->%d", ev.User, ev.Target)
+		}
+		u.edges = append(u.edges, socialgraph.FriendLink{U: ev.User, V: ev.Target})
+		for _, id := range [2]int32{ev.User, ev.Target} {
+			us := u.user(id)
+			if !containsInt32(us.friends, other(id, ev.User, ev.Target)) {
+				us.friends = append(us.friends, other(id, ev.User, ev.Target))
+			}
+			us.dirty = true
+		}
+	case EvAddDoc, EvDiffusion:
+		total := u.baseUsers + u.newUsers
+		if int(ev.User) >= total || ev.User < 0 || len(ev.Words) == 0 {
+			return fmt.Errorf("bad document event for user %d", ev.User)
+		}
+		docID := int32(u.baseDocs + len(u.docs))
+		if ev.Type == EvDiffusion {
+			if ev.Target < 0 || ev.Target >= docID {
+				return fmt.Errorf("diffusion of unknown document %d", ev.Target)
+			}
+			u.diffs = append(u.diffs, socialgraph.DiffLink{I: docID, J: ev.Target, T: ev.Time})
+		}
+		u.docs = append(u.docs, socialgraph.Doc{User: ev.User, Time: ev.Time, Words: ev.Words})
+		u.docC = append(u.docC, 0)
+		u.docZ = append(u.docZ, 0)
+		us := u.user(ev.User)
+		us.docs = append(us.docs, docID)
+		us.dirty = true
+	default:
+		return fmt.Errorf("unknown event type %d", ev.Type)
+	}
+	return nil
+}
+
+func other(self, a, b int32) int32 {
+	if self == a {
+		return b
+	}
+	return a
+}
+
+func containsInt32(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Model assembles and returns the current extended model — the state the
+// next publish would promote. The returned model is freshly built and
+// owned by the caller (its global blocks alias the frozen reference).
+func (u *Updater) Model() *core.Model {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.buildExtendedLocked()
+}
+
+// Pending returns the number of applied-but-unpublished events.
+func (u *Updater) Pending() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.pending
+}
+
+// Generation returns the last published generation number.
+func (u *Updater) Generation() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.generation
+}
+
+// Status returns the freshness/lag gauge. It reads a cache refreshed
+// after every mutation instead of taking the updater lock, so monitoring
+// (/api/ingest/status, /api/stats) stays responsive during a long
+// publish or delta-Gibbs pass — at the cost of reporting the state as of
+// the last completed mutation.
+func (u *Updater) Status() Status {
+	u.statusMu.Lock()
+	defer u.statusMu.Unlock()
+	return u.statusCache
+}
+
+// refreshStatusLocked recomputes the status cache; callers hold u.mu.
+func (u *Updater) refreshStatusLocked() {
+	st := u.statusLocked()
+	u.statusMu.Lock()
+	u.statusCache = st
+	u.statusMu.Unlock()
+}
+
+func (u *Updater) statusLocked() Status {
+	dirty := 0
+	for _, us := range u.users {
+		if us.dirty {
+			dirty++
+		}
+	}
+	st := Status{
+		Snapshot:      u.opts.Snapshot,
+		Generation:    u.generation,
+		BaseUsers:     u.baseUsers,
+		Users:         u.baseUsers + u.newUsers,
+		StreamDocs:    len(u.docs),
+		StreamEdges:   len(u.edges),
+		StreamDiffs:   len(u.diffs),
+		PendingEvents: u.pending,
+		DirtyUsers:    dirty,
+		JournalTail:   u.j.Tail(),
+		Watermark:     u.j.Watermark(),
+		JournalBytes:  u.j.SizeBytes(),
+		AppliedEvents: u.applied,
+		Publishes:     u.publishes,
+		GibbsPasses:   u.gibbsPasses,
+		Draining:      u.draining,
+	}
+	if !u.lastPublish.IsZero() {
+		st.LastPublishUnix = u.lastPublish.Unix()
+		st.LastPublishMs = u.lastPublishMs
+	}
+	st.LastError = u.lastError
+	return st
+}
+
+// MaybePublish publishes when at least one delta window of events is
+// pending; returns (nil, false, nil) otherwise.
+func (u *Updater) MaybePublish() (*PublishInfo, bool, error) {
+	u.mu.Lock()
+	due := u.pending >= u.opts.WindowEvents
+	u.mu.Unlock()
+	if !due {
+		return nil, false, nil
+	}
+	info, err := u.Publish()
+	return info, err == nil, err
+}
+
+// Publish folds every dirty user in against the frozen reference, runs
+// the delta-Gibbs pass when one is due, builds the extended model, writes
+// it as a v2 snapshot (when Dir is set) and atomically promotes it into
+// the engine slot. In-flight queries finish on the snapshot they started
+// with; the journal watermark advances past everything the new generation
+// covers. A publish with nothing pending and nothing dirty is a no-op.
+func (u *Updater) Publish() (*PublishInfo, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.publishLocked()
+}
+
+func (u *Updater) publishLocked() (*PublishInfo, error) {
+	defer u.refreshStatusLocked()
+	dirty := u.dirtyUsersLocked()
+	// The no-op guard is process-local (u.published, not u.generation):
+	// after a restart the restored generation may be > 0 while the engine
+	// slot still serves whatever the process loaded from disk, so the
+	// first publish must rebuild even with nothing pending.
+	if u.pending == 0 && len(dirty) == 0 && u.published {
+		return nil, nil
+	}
+	start := time.Now()
+	// Make everything the new generation will cover durable first: a
+	// published snapshot must never be ahead of the journal on disk.
+	if err := u.j.Sync(); err != nil {
+		return nil, err
+	}
+	folded, err := u.foldDirtyLocked(dirty)
+	if err != nil {
+		return nil, err
+	}
+	gibbsDue := u.opts.GibbsEvery > 0 && u.opts.BaseGraph != nil &&
+		(u.publishes+1)%uint64(u.opts.GibbsEvery) == 0
+	if gibbsDue {
+		if err := u.gibbsPassLocked(); err != nil {
+			return nil, fmt.Errorf("stream: delta-Gibbs pass: %w", err)
+		}
+	}
+	model := u.buildExtendedLocked()
+	u.generation++
+	info := &PublishInfo{
+		Generation: u.generation,
+		Users:      model.NumUsers,
+		Folded:     folded,
+		Gibbs:      gibbsDue,
+	}
+	if u.opts.Dir != "" {
+		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", u.generation))
+		if err := store.SaveV2(path, model); err != nil {
+			u.generation--
+			return nil, err
+		}
+		info.Path = path
+	}
+	if u.opts.Mmap && info.Path != "" {
+		info.Version, err = u.opts.Engine.LoadSnapshot(u.opts.Snapshot, info.Path, u.opts.Vocab)
+		if err != nil {
+			// Keep the generation counter aligned with what the engine
+			// actually serves; the retry rewrites the same file.
+			u.generation--
+			return nil, fmt.Errorf("stream: promoting snapshot: %w", err)
+		}
+	} else {
+		info.Version = u.opts.Engine.SwapNamed(u.opts.Snapshot, model, u.opts.Vocab)
+	}
+	u.published = true
+	if err := u.j.SetWatermark(u.pendingTo); err == nil {
+		u.pending = 0
+	} else {
+		return info, err
+	}
+	u.pruneSnapshotsLocked()
+	u.publishes++
+	u.lastPublish = time.Now()
+	u.lastPublishMs = time.Since(start).Milliseconds()
+	return info, nil
+}
+
+// dirtyUsersLocked lists dirty users in ascending id order — the fixed
+// fold order determinism depends on.
+func (u *Updater) dirtyUsersLocked() []int32 {
+	var ids []int32
+	for id, us := range u.users {
+		if us.dirty {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// foldDirtyLocked re-infers every dirty user with at least one stream
+// document through the serving engine's fold-in pool, against the current
+// slot snapshot — whose Φ/Θ and base-user rows are bit-identical to the
+// frozen base until a delta-Gibbs pass re-estimates them. A changed
+// TRAINED user folds over their full history when the base graph is
+// available (trained documents + streamed documents); without it, only
+// the streamed documents carry evidence — a documented degradation, not
+// a silent one. Users without documents stay on their previous row
+// (edges alone cannot move a membership off the prior). Dirty flags
+// clear on success.
+func (u *Updater) foldDirtyLocked(ids []int32) (int, error) {
+	var reqs []*serve.FoldInRequest
+	var reqUsers []int32
+	var reqSkip []int // base-graph documents prepended per request
+	for _, id := range ids {
+		us := u.users[id]
+		if len(us.docs) == 0 {
+			us.dirty = false
+			continue
+		}
+		req := &serve.FoldInRequest{
+			Docs:   make([][]int32, 0, len(us.docs)),
+			Seed:   u.opts.FoldSeed ^ (uint64(uint32(id))*0x9E3779B97F4A7C15 + 0x1CE),
+			Sweeps: u.opts.FoldSweeps,
+		}
+		// A trained user's re-fold keeps their training-corpus evidence
+		// when we have it, so one streamed document cannot collapse a
+		// 20-document posterior.
+		if int(id) < u.baseUsers && u.opts.BaseGraph != nil {
+			for _, d := range u.opts.BaseGraph.UserDocs(int(id)) {
+				req.Docs = append(req.Docs, u.opts.BaseGraph.Docs[d].Words)
+			}
+		}
+		skip := len(req.Docs)
+		for _, d := range us.docs {
+			req.Docs = append(req.Docs, u.docs[d-int32(u.baseDocs)].Words)
+		}
+		// Fold-in conditions on trained neighbours only: links to other
+		// stream users wait for the delta-Gibbs pass.
+		for _, f := range us.friends {
+			if int(f) < u.baseUsers {
+				req.Friends = append(req.Friends, f)
+			}
+		}
+		reqs = append(reqs, req)
+		reqUsers = append(reqUsers, id)
+		reqSkip = append(reqSkip, skip)
+	}
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	results, errs := u.opts.Engine.FoldInBatchNamed(u.opts.Snapshot, reqs)
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("stream: folding user %d in: %w", reqUsers[i], err)
+		}
+	}
+	for i, res := range results {
+		id := reqUsers[i]
+		us := u.users[id]
+		u.foldPi[id] = res.Pi
+		for k, d := range us.docs {
+			u.docC[d-int32(u.baseDocs)] = res.DocCommunity[reqSkip[i]+k]
+			u.docZ[d-int32(u.baseDocs)] = res.DocTopic[reqSkip[i]+k]
+		}
+		us.dirty = false
+	}
+	return len(reqs), nil
+}
+
+// gibbsPassLocked runs the resumable delta-Gibbs refinement: resume a
+// sampler from the current extended model on the merged base+stream
+// graph, sweep only the users touched since the last pass, and adopt the
+// re-estimated model as the new reference for base rows and global
+// profiles. Deterministic per (options, generation).
+func (u *Updater) gibbsPassLocked() error {
+	g, err := u.mergedGraphLocked()
+	if err != nil {
+		return err
+	}
+	m0 := u.buildExtendedLocked()
+	eng, err := core.NewEngineFromModel(g, m0, core.ResumeOptions{
+		Workers: u.opts.Workers,
+		Seed:    u.opts.FoldSeed + 0xD1B5 + u.generation,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	dirty := make([]bool, g.NumUsers)
+	for id := range u.users {
+		dirty[id] = true
+	}
+	if len(u.users) > 0 {
+		if err := eng.SetDirty(dirty); err != nil {
+			return err
+		}
+	}
+	model, _, err := eng.RunEM(u.opts.GibbsSweeps)
+	if err != nil {
+		return err
+	}
+	u.refined = model
+	u.gibbsPasses++
+	// The refined model is now authoritative for every user: fold rows
+	// are superseded, and stream-doc assignments continue from the
+	// re-sampled chain.
+	u.foldPi = make(map[int32][]float64)
+	for i := range u.docs {
+		u.docC[i] = model.DocCommunity[u.baseDocs+i]
+		u.docZ[i] = model.DocTopic[u.baseDocs+i]
+	}
+	return nil
+}
+
+// mergedGraphLocked assembles base graph + stream corpus.
+func (u *Updater) mergedGraphLocked() (*socialgraph.Graph, error) {
+	bg := u.opts.BaseGraph
+	if bg == nil {
+		return nil, fmt.Errorf("stream: no base graph")
+	}
+	g := &socialgraph.Graph{
+		NumUsers: u.baseUsers + u.newUsers,
+		NumWords: bg.NumWords,
+		NumAttrs: bg.NumAttrs,
+		Docs:     append(append(make([]socialgraph.Doc, 0, len(bg.Docs)+len(u.docs)), bg.Docs...), u.docs...),
+		Friends:  append(append(make([]socialgraph.FriendLink, 0, len(bg.Friends)+len(u.edges)), bg.Friends...), u.edges...),
+		Diffs:    append(append(make([]socialgraph.DiffLink, 0, len(bg.Diffs)+len(u.diffs)), bg.Diffs...), u.diffs...),
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: merged graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// buildExtendedLocked assembles the next published model: the refined
+// reference's rows and global blocks, overridden by the latest fold
+// results, extended over the full stream population.
+func (u *Updater) buildExtendedLocked() *core.Model {
+	ref := u.refined
+	C := ref.Cfg.NumCommunities
+	total := u.baseUsers + u.newUsers
+	m := &core.Model{
+		Cfg:        ref.Cfg,
+		NumUsers:   total,
+		NumWords:   ref.NumWords,
+		NumBuckets: ref.NumBuckets,
+		NumAttrs:   ref.NumAttrs,
+		Pi:         sparse.NewDense(total, C),
+		Theta:      ref.Theta,
+		Phi:        ref.Phi,
+		Eta:        ref.Eta,
+		Nu:         ref.Nu,
+		PopFreq:    ref.PopFreq,
+		Xi:         ref.Xi,
+	}
+	uniform := 1 / float64(C)
+	for id := 0; id < total; id++ {
+		dst := m.Pi.Row(id)
+		if row, ok := u.foldPi[int32(id)]; ok {
+			copy(dst, row)
+		} else if id < ref.NumUsers {
+			copy(dst, ref.Pi.Row(id))
+		} else {
+			// A declared user with no documents yet: the smoothed prior.
+			for c := range dst {
+				dst[c] = uniform
+			}
+		}
+	}
+	m.DocCommunity = make([]int32, u.baseDocs+len(u.docs))
+	m.DocTopic = make([]int32, u.baseDocs+len(u.docs))
+	m.DocBucket = make([]int, u.baseDocs+len(u.docs))
+	copy(m.DocCommunity, ref.DocCommunity[:min(len(ref.DocCommunity), u.baseDocs)])
+	copy(m.DocTopic, ref.DocTopic[:min(len(ref.DocTopic), u.baseDocs)])
+	copy(m.DocBucket, ref.DocBucket[:min(len(ref.DocBucket), u.baseDocs)])
+	copy(m.DocCommunity[u.baseDocs:], u.docC)
+	copy(m.DocTopic[u.baseDocs:], u.docZ)
+	// Stream documents' buckets default to 0: the popularity factor is
+	// re-estimated only by delta-Gibbs passes, which recompute buckets
+	// from the merged graph's real time range.
+	m.Rehydrate()
+	return m
+}
+
+// pruneSnapshotsLocked deletes published snapshot files older than the
+// last KeepSnapshots generations.
+func (u *Updater) pruneSnapshotsLocked() {
+	if u.opts.Dir == "" || u.generation <= uint64(u.opts.KeepSnapshots) {
+		return
+	}
+	cut := u.generation - uint64(u.opts.KeepSnapshots)
+	for gen := cut; gen > 0; gen-- {
+		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", gen))
+		if err := os.Remove(path); err != nil {
+			break // already pruned past here (or never written)
+		}
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop accepting ingest,
+// fsync the journal, and publish a final snapshot covering everything
+// pending. Safe to call more than once.
+func (u *Updater) Drain() error {
+	u.StopIngest()
+	if err := u.j.Sync(); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.pending == 0 && len(u.dirtyUsersLocked()) == 0 {
+		return nil
+	}
+	_, err := u.publishLocked()
+	return err
+}
+
+// Run is the background publish loop: it publishes whenever a delta
+// window fills (promptly, via Ingest's notification), at latest every
+// Interval while events are pending, and checkpoints+compacts the journal
+// when it outgrows CompactBytes. A failed publish or checkpoint is
+// recorded in Status().LastError and retried on the next tick — the loop
+// only returns when ctx is cancelled. The caller typically follows with
+// Drain.
+func (u *Updater) Run(ctx context.Context) error {
+	t := time.NewTicker(u.opts.Interval)
+	defer t.Stop()
+	setErr := func(err error) {
+		u.mu.Lock()
+		if err != nil {
+			u.lastError = err.Error()
+		} else {
+			u.lastError = ""
+		}
+		u.refreshStatusLocked()
+		u.mu.Unlock()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-u.notify:
+		case <-t.C:
+		}
+		if u.Pending() > 0 {
+			_, err := u.Publish()
+			setErr(err)
+			if err != nil {
+				continue
+			}
+		}
+		if u.opts.CompactBytes > 0 && u.j.SizeBytes() > u.opts.CompactBytes {
+			setErr(u.Checkpoint())
+		}
+	}
+}
+
+// --- checkpoint ----------------------------------------------------------
+
+// checkpointState is the serialized corpus state at a watermark.
+type checkpointState struct {
+	Offset     uint64                   `json:"offset"`
+	Generation uint64                   `json:"generation"`
+	Applied    uint64                   `json:"applied"`
+	Publishes  uint64                   `json:"publishes"`
+	NewUsers   int                      `json:"newUsers"`
+	Users      map[int32]*ckptUser      `json:"users"`
+	Docs       []socialgraph.Doc        `json:"docs"`
+	DocC       []int32                  `json:"docC"`
+	DocZ       []int32                  `json:"docZ"`
+	Edges      []socialgraph.FriendLink `json:"edges"`
+	Diffs      []socialgraph.DiffLink   `json:"diffs"`
+	FoldPi     map[int32][]float64      `json:"foldPi"`
+}
+
+type ckptUser struct {
+	Docs    []int32 `json:"docs"`
+	Friends []int32 `json:"friends"`
+	Dirty   bool    `json:"dirty"`
+}
+
+const checkpointMagic = "CPDSTAT1"
+
+func (u *Updater) statePath() string { return u.j.path + ".state" }
+
+// Checkpoint publishes anything pending, snapshots the accumulated corpus
+// to the sidecar state file, and compacts the journal down to the
+// watermark — the bound on journal growth for long-running ingest.
+func (u *Updater) Checkpoint() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.pending > 0 {
+		if _, err := u.publishLocked(); err != nil {
+			return err
+		}
+	}
+	st := checkpointState{
+		Offset:     u.j.Watermark(),
+		Generation: u.generation,
+		Applied:    u.applied,
+		Publishes:  u.publishes,
+		NewUsers:   u.newUsers,
+		Users:      make(map[int32]*ckptUser, len(u.users)),
+		Docs:       u.docs,
+		DocC:       u.docC,
+		DocZ:       u.docZ,
+		Edges:      u.edges,
+		Diffs:      u.diffs,
+		FoldPi:     u.foldPi,
+	}
+	for id, us := range u.users {
+		st.Users[id] = &ckptUser{Docs: us.docs, Friends: us.friends, Dirty: us.dirty}
+	}
+	payload, err := json.Marshal(&st)
+	if err != nil {
+		return fmt.Errorf("stream: encoding checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, len(checkpointMagic)+12+len(payload))
+	buf = append(buf, checkpointMagic...)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
+	buf = append(buf, n[:]...)
+	buf = append(buf, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, crc[:]...)
+	// The checkpoint must be durable BEFORE compaction drops the records
+	// it summarizes — otherwise a crash between the two loses the
+	// pre-watermark corpus from both the journal and the checkpoint.
+	if err := writeFileDurable(u.statePath(), buf); err != nil {
+		return err
+	}
+	return u.j.Compact()
+}
+
+// restoreCheckpoint loads the sidecar state if it matches the journal's
+// watermark, returning the offset to replay from. A missing, corrupt or
+// stale checkpoint falls back to the journal base with zero state.
+func (u *Updater) restoreCheckpoint() (uint64, error) {
+	buf, err := os.ReadFile(u.statePath())
+	if err != nil {
+		return u.j.Base(), nil
+	}
+	hdr := len(checkpointMagic)
+	if len(buf) < hdr+12 || string(buf[:hdr]) != checkpointMagic {
+		return u.j.Base(), nil
+	}
+	n := binary.LittleEndian.Uint64(buf[hdr:])
+	if uint64(len(buf)) != uint64(hdr)+8+n+4 {
+		return u.j.Base(), nil
+	}
+	payload := buf[hdr+8 : hdr+8+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[hdr+8+int(n):]) {
+		return u.j.Base(), nil
+	}
+	var st checkpointState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return u.j.Base(), nil
+	}
+	if st.Offset < u.j.Base() || st.Offset > u.j.Tail() {
+		return u.j.Base(), nil
+	}
+	// Defensive shape check before adopting the state.
+	if len(st.DocC) != len(st.Docs) || len(st.DocZ) != len(st.Docs) {
+		return u.j.Base(), nil
+	}
+	u.newUsers = st.NewUsers
+	u.docs = st.Docs
+	u.docC = st.DocC
+	u.docZ = st.DocZ
+	u.edges = st.Edges
+	u.diffs = st.Diffs
+	if st.FoldPi != nil {
+		u.foldPi = st.FoldPi
+	}
+	u.generation = st.Generation
+	u.applied = st.Applied
+	u.publishes = st.Publishes
+	for id, cu := range st.Users {
+		u.users[id] = &userState{docs: cu.Docs, friends: cu.Friends, dirty: cu.Dirty}
+	}
+	return st.Offset, nil
+}
