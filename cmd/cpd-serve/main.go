@@ -118,6 +118,7 @@ func main() {
 		gibbsEvery   = flag.Int("ingest-gibbs-every", 0, "run a delta-Gibbs pass every N publishes (needs -ingest-graph; 0 = fold-in only)")
 		gibbsSweeps  = flag.Int("ingest-gibbs-sweeps", 2, "EM iterations per delta-Gibbs pass")
 		ingestGraph  = flag.String("ingest-graph", "", "base training graph, enables the delta-Gibbs refinement")
+		fullRebuild  = flag.Bool("ingest-full-rebuild", false, "pin every publish to the full rebuild path (differential baseline / escape hatch; default is the O(changed) incremental publish)")
 	)
 	flag.Parse()
 	if len(models) == 0 {
@@ -202,6 +203,7 @@ func main() {
 			GibbsSweeps:  *gibbsSweeps,
 			BaseGraph:    baseGraph,
 			Mmap:         *useMmap,
+			FullRebuild:  *fullRebuild,
 		})
 		if err != nil {
 			log.Fatal(err)

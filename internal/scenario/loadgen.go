@@ -116,6 +116,15 @@ type Target interface {
 	Do(req *Request) error
 }
 
+// IngestStatusser is the optional Target extension for write mixes: a
+// target that can report the stream updater's status lets the load
+// report include publish-lag percentiles (event append → servable
+// generation), not just ingest op counts. Both built-in targets
+// implement it; EngineTarget needs its Updater set.
+type IngestStatusser interface {
+	IngestStatus() (*stream.Status, error)
+}
+
 // EngineTarget drives a serve.Engine directly (no network, no JSON):
 // the ceiling the HTTP path is compared against. Snapshot selects one of
 // the engine's named snapshots (empty = the default). Updater, when set,
@@ -149,6 +158,16 @@ func (t EngineTarget) Do(req *Request) error {
 		_, err = t.Updater.Ingest(req.Events)
 	}
 	return err
+}
+
+// IngestStatus implements IngestStatusser from the updater's status
+// cache.
+func (t EngineTarget) IngestStatus() (*stream.Status, error) {
+	if t.Updater == nil {
+		return nil, fmt.Errorf("scenario: no Updater on the EngineTarget")
+	}
+	st := t.Updater.Status()
+	return &st, nil
 }
 
 // HTTPTarget drives a live serving endpoint (cpd-serve or cpd-lens)
@@ -228,6 +247,28 @@ func (t HTTPTarget) Do(req *Request) error {
 		return fmt.Errorf("scenario: %s answered status %d", req.Op, resp.StatusCode)
 	}
 	return nil
+}
+
+// IngestStatus implements IngestStatusser over GET /api/ingest/status.
+func (t HTTPTarget) IngestStatus() (*stream.Status, error) {
+	client := t.Client
+	if client == nil {
+		client = loadClient
+	}
+	resp, err := client.Get(t.Base + "/api/ingest/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("scenario: ingest status answered %d", resp.StatusCode)
+	}
+	var st stream.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // LoadOptions configures one load-generation run.
@@ -443,13 +484,23 @@ type OpStats struct {
 }
 
 // Report is a load run's result: throughput plus per-op latency
-// percentiles.
+// percentiles, and — for write mixes against a status-capable target —
+// the server-side publish-lag distribution.
 type Report struct {
 	Elapsed  time.Duration      `json:"elapsed"`
 	Requests uint64             `json:"requests"`
 	Errors   uint64             `json:"errors"`
 	QPS      float64            `json:"qps"`
 	Ops      map[string]OpStats `json:"ops"`
+
+	// PublishLag summarizes event append → servable generation time as
+	// measured by the updater itself (set when the mix ingests and the
+	// target reports ingest status). Unlike the ingest op latency above —
+	// which only times the append — this is the freshness an ingested
+	// event actually experiences.
+	PublishLag           *stream.LatencySummary `json:"publishLag,omitempty"`
+	Publishes            uint64                 `json:"publishes,omitempty"`
+	IncrementalPublishes uint64                 `json:"incrementalPublishes,omitempty"`
 }
 
 // String renders the report as the table cpd-loadgen prints.
@@ -472,6 +523,10 @@ func (r *Report) String() string {
 			s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
 			s.Max.Round(time.Microsecond))
 	}
+	if lag := r.PublishLag; lag != nil {
+		fmt.Fprintf(&sb, "publish lag (append→servable): p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms  (%d batches, %d publishes, %d incremental)\n",
+			lag.P50Ms, lag.P95Ms, lag.P99Ms, lag.MaxMs, lag.Count, r.Publishes, r.IncrementalPublishes)
+	}
 	return sb.String()
 }
 
@@ -483,10 +538,28 @@ func RunLoad(target Target, opts LoadOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rep *Report
 	if o.Rate > 0 {
-		return runOpenLoop(target, &o)
+		rep, err = runOpenLoop(target, &o)
+	} else {
+		rep, err = runClosedLoop(target, &o)
 	}
-	return runClosedLoop(target, &o)
+	if err != nil {
+		return nil, err
+	}
+	// Write mixes also report server-side publish lag when the target can
+	// surface it — a failed status fetch just leaves the field unset (the
+	// load numbers themselves are complete without it).
+	if o.Mix[OpIngest] > 0 {
+		if ts, ok := target.(IngestStatusser); ok {
+			if st, serr := ts.IngestStatus(); serr == nil && st != nil {
+				rep.PublishLag = st.PublishLag
+				rep.Publishes = st.Publishes
+				rep.IncrementalPublishes = st.IncrementalPublishes
+			}
+		}
+	}
+	return rep, nil
 }
 
 type workerStats struct {

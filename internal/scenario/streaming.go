@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -112,6 +113,11 @@ type StreamMetrics struct {
 
 	Publishes   uint64 `json:"publishes"`
 	GibbsPasses uint64 `json:"gibbsPasses"`
+	// IncrementalPublishes counts the publishes that took the O(changed)
+	// path (patched model and indexes) rather than a full rebuild; the
+	// run verifies these serve bit-identically to a shadow updater forced
+	// to rebuild everything.
+	IncrementalPublishes uint64 `json:"incrementalPublishes"`
 
 	// NMI is detected-vs-planted agreement over the FULL population —
 	// trained base users and streamed users together.
@@ -294,7 +300,7 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 			fn()
 		}
 	}()
-	newUpdater := func(tag string) (*serve.Engine, *stream.Journal, *stream.Updater, error) {
+	newUpdater := func(tag string, fullRebuild bool) (*serve.Engine, *stream.Journal, *stream.Updater, error) {
 		engine := serve.New(baseModel, b.Vocab, serve.Options{})
 		tmp, err := os.MkdirTemp(opts.Dir, "cpd-stream-"+tag+"-*")
 		if err != nil {
@@ -318,6 +324,7 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 			GibbsSweeps:  2,
 			BaseGraph:    baseG,
 			Workers:      2,
+			FullRebuild:  fullRebuild,
 		})
 		if err != nil {
 			j.Close()
@@ -327,13 +334,24 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 		return engine, j, u, nil
 	}
 
-	engine, j, u, err := newUpdater("incr")
+	engine, j, u, err := newUpdater("incr", false)
 	if err != nil {
 		return nil, err
 	}
 	defer engine.Close()
 	defer j.Close()
 	defer u.Close()
+
+	// Shadow updater: same events, same publish cadence, but every publish
+	// forced down the full-rebuild path — the baseline the incremental
+	// publisher must serve bit-identically to.
+	fbEngine, fbJournal, fb, err := newUpdater("fullrb", true)
+	if err != nil {
+		return nil, err
+	}
+	defer fbEngine.Close()
+	defer fbJournal.Close()
+	defer fb.Close()
 
 	m := &StreamMetrics{
 		Preset: p.Name, BaseUsers: baseUsers, TotalUsers: g.NumUsers,
@@ -387,21 +405,37 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 			wg.Wait()
 			return m, fmt.Errorf("scenario %s: publish failed: %w", p.Name, err)
 		}
+		if _, err := fb.Ingest(evs[i:end]); err != nil {
+			close(stopReads)
+			wg.Wait()
+			return m, fmt.Errorf("scenario %s: shadow ingest failed at event %d: %w", p.Name, i, err)
+		}
+		if _, _, err := fb.MaybePublish(); err != nil {
+			close(stopReads)
+			wg.Wait()
+			return m, fmt.Errorf("scenario %s: shadow publish failed: %w", p.Name, err)
+		}
 	}
 	if _, err := u.Publish(); err != nil {
 		close(stopReads)
 		wg.Wait()
 		return m, fmt.Errorf("scenario %s: final publish failed: %w", p.Name, err)
 	}
+	if _, err := fb.Publish(); err != nil {
+		close(stopReads)
+		wg.Wait()
+		return m, fmt.Errorf("scenario %s: shadow final publish failed: %w", p.Name, err)
+	}
 
 	// Freshness probe: one more user+doc, one publish cycle, visible —
 	// all while the read hammer is still running.
 	probeUser := int32(g.NumUsers)
-	genBefore := u.Generation()
-	if _, err := u.Ingest([]stream.Event{
+	probeEvents := []stream.Event{
 		{Type: stream.EvAddUser, User: probeUser},
 		{Type: stream.EvAddDoc, User: probeUser, Time: 1 << 20, Words: g.Docs[0].Words},
-	}); err != nil {
+	}
+	genBefore := u.Generation()
+	if _, err := u.Ingest(probeEvents); err != nil {
 		close(stopReads)
 		wg.Wait()
 		return m, fmt.Errorf("scenario %s: probe ingest failed: %w", p.Name, err)
@@ -420,6 +454,16 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 	if res, err := engine.Membership(int(probeUser), 3); err != nil || len(res.Communities) == 0 {
 		fail("probe event not query-visible within one publish cycle (%v)", err)
 	}
+	if _, err := fb.Ingest(probeEvents); err != nil {
+		close(stopReads)
+		wg.Wait()
+		return m, fmt.Errorf("scenario %s: shadow probe ingest failed: %w", p.Name, err)
+	}
+	if _, err := fb.Publish(); err != nil {
+		close(stopReads)
+		wg.Wait()
+		return m, fmt.Errorf("scenario %s: shadow probe publish failed: %w", p.Name, err)
+	}
 	close(stopReads)
 	wg.Wait()
 	m.ReadQueries, m.ReadErrors = reads.Load(), readErrs.Load()
@@ -429,17 +473,29 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 
 	st := u.Status()
 	m.Publishes, m.GibbsPasses = st.Publishes, st.GibbsPasses
+	m.IncrementalPublishes = st.IncrementalPublishes
 	if p.GibbsEvery > 0 && st.GibbsPasses == 0 {
 		fail("delta-Gibbs never ran despite GibbsEvery=%d over %d publishes", p.GibbsEvery, st.Publishes)
 	}
 	if st.PendingEvents != 0 {
 		fail("%d events still pending after the final publish", st.PendingEvents)
 	}
+	if st.Publishes >= 2 && st.IncrementalPublishes == 0 && p.GibbsEvery != 1 {
+		fail("no publish took the incremental path over %d publishes", st.Publishes)
+	}
+
+	// Incremental-equals-full-rebuild, as served: after identical events
+	// through identical publish cadences, the chain of patched snapshots
+	// must answer every query bit-identically to the shadow's from-scratch
+	// rebuilds.
+	if diff := servedDiff(engine, fbEngine, g.NumUsers+1, baseModel.NumWords); diff != "" {
+		fail("incremental and full-rebuild publishes serve differently: %s", diff)
+	}
 
 	// Replay-equals-batch (pure fold-in only): batch-ingest the identical
 	// event sequence (probe included) and compare the extended models.
 	if p.GibbsEvery == 0 {
-		bEngine, bJournal, batch, err := newUpdater("batch")
+		bEngine, bJournal, batch, err := newUpdater("batch", false)
 		if err != nil {
 			return m, err
 		}
@@ -485,6 +541,50 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 		return m, fmt.Errorf("scenario %s: %s", p.Name, strings.Join(problems, "; "))
 	}
 	return m, nil
+}
+
+// servedDiff compares everything two engines serve on their default
+// slots — per-user memberships, word-query rankings and community
+// summaries — with the process-local Version counters normalized away.
+// It returns "" when they are bit-identical, else a description of the
+// first divergence.
+func servedDiff(a, b *serve.Engine, users, words int) string {
+	for id := 0; id < users; id++ {
+		ra, ea := a.Membership(id, 5)
+		rb, eb := b.Membership(id, 5)
+		if (ea != nil) != (eb != nil) {
+			return fmt.Sprintf("membership(%d) errors diverge: %v vs %v", id, ea, eb)
+		}
+		if ea != nil {
+			continue
+		}
+		ra.Version, rb.Version = 0, 0
+		if !reflect.DeepEqual(ra, rb) {
+			return fmt.Sprintf("membership(%d): %+v vs %+v", id, ra, rb)
+		}
+	}
+	step := words / 16
+	if step < 1 {
+		step = 1
+	}
+	for w := 0; w < words; w += step {
+		ra, ea := a.Rank([]int32{int32(w)}, 5)
+		rb, eb := b.Rank([]int32{int32(w)}, 5)
+		if (ea != nil) != (eb != nil) {
+			return fmt.Sprintf("rank(%d) errors diverge: %v vs %v", w, ea, eb)
+		}
+		if ea != nil {
+			continue
+		}
+		ra.Version, rb.Version = 0, 0
+		if !reflect.DeepEqual(ra, rb) {
+			return fmt.Sprintf("rank(%d): %+v vs %+v", w, ra, rb)
+		}
+	}
+	if ca, cb := a.Communities(), b.Communities(); !reflect.DeepEqual(ca, cb) {
+		return fmt.Sprintf("community summaries: %+v vs %+v", ca, cb)
+	}
+	return ""
 }
 
 func floatsEqual(a, b []float64) bool {

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -150,5 +151,25 @@ func TestLoadGenIngestMix(t *testing.T) {
 	// Publishing after the run folds the written docs in cleanly.
 	if _, err := u.Publish(); err != nil {
 		t.Fatal(err)
+	}
+	// A publish has now drained lag samples: a follow-up write run's
+	// report must carry the publish-lag percentiles, not just counts.
+	rep2, err := RunLoad(EngineTarget{Engine: engine, Updater: u}, LoadOptions{
+		Mix:      mix,
+		Space:    SpaceFromModel(model),
+		Requests: 40,
+		Seed:     12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.PublishLag == nil || rep2.PublishLag.Count == 0 {
+		t.Fatalf("write-mix report lacks publish-lag percentiles: %+v", rep2)
+	}
+	if !strings.Contains(rep2.String(), "publish lag") {
+		t.Fatalf("report table does not render publish lag:\n%s", rep2)
+	}
+	if rep2.Publishes == 0 {
+		t.Fatalf("report missed the publish count: %+v", rep2)
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/sparse"
 )
 
 // RankIndex is the inverted index behind Engine.Rank. It decomposes the
@@ -25,107 +26,184 @@ import (
 //
 // Posting lists keep only each word's perWord highest-scoring communities
 // (perWord >= |C| keeps them all and makes single-word ranking exact);
-// entries are stored descending by score, flat in memory.
+// entries are stored descending by score. Lists are immutable once built
+// and held per word, so a derived index can share unchanged words' lists
+// with its predecessor (copy-on-write): patchRankIndex recomputes only
+// the listed words and aliases everything else, making a publish that
+// touches d words cost O(d·|C|·|Z|) plus one O(|W|) header copy instead
+// of a full O(|W|·|C|·|Z|) rebuild.
 type RankIndex struct {
 	numWords int
-	offsets  []int32 // len numWords+1; postings of word w are [offsets[w], offsets[w+1])
-	comms    []int32
-	scores   []float64
+	lists    []postingList // len numWords
 }
 
-// buildRankIndex precomputes the posting lists from the model's rank table
-// and topic-word distributions, processing words in blocks so the
-// transient buffers stay small (O(block·(|Z|+|C|))) even for 50k-word
-// vocabularies.
+// postingList is one word's posting list: communities descending by
+// score. A list is never mutated after construction — patched indexes
+// alias their predecessor's lists.
+type postingList struct {
+	comms  []int32
+	scores []float64
+}
+
+// rankBlockLen is the word-block width of the index builder: transient
+// buffers stay O(block·(|Z|+|C|)) even for 50k-word vocabularies, and φ
+// rows are walked contiguously.
+const rankBlockLen = 256
+
+// rankScratch holds the block scorer's transient buffers so patching many
+// words reuses one allocation.
+type rankScratch struct {
+	pz     []float64 // pz[z*block+j] = p(z | w0+j)
+	colSum []float64 // Σ_z φ_z,w per block column
+	wordSc []float64 // wordSc[c*block+j] = S[c][w0+j]
+	sel    []float64 // one word's dense score vector, len |C|
+}
+
+func newRankScratch(C, Z int) *rankScratch {
+	return &rankScratch{
+		pz:     make([]float64, Z*rankBlockLen),
+		colSum: make([]float64, rankBlockLen),
+		wordSc: make([]float64, C*rankBlockLen),
+		sel:    make([]float64, C),
+	}
+}
+
+// scoreWordBlock computes S[·][w] for words [w0, w0+n) and hands each
+// word's dense score vector to emit (empty=true for words that never
+// occur under any topic). Both the full builder and the single-word patch
+// path run THIS function, so per-word float operation sequences — and
+// therefore result bits — are identical regardless of which path produced
+// a list.
+func scoreWordBlock(m *core.Model, rt *sparse.Dense, w0, n int, sc *rankScratch, emit func(j int, sel []float64, empty bool)) {
+	Z, C := len(sc.pz)/rankBlockLen, len(sc.sel)
+	for j := 0; j < n; j++ {
+		sc.colSum[j] = 0
+	}
+	for z := 0; z < Z; z++ {
+		phi := m.Phi.Row(z)[w0 : w0+n]
+		dst := sc.pz[z*rankBlockLen : z*rankBlockLen+n]
+		for j, v := range phi {
+			dst[j] = v
+			sc.colSum[j] += v
+		}
+	}
+	for z := 0; z < Z; z++ {
+		dst := sc.pz[z*rankBlockLen : z*rankBlockLen+n]
+		for j := range dst {
+			if sc.colSum[j] > 0 {
+				dst[j] /= sc.colSum[j]
+			}
+		}
+	}
+	for c := 0; c < C; c++ {
+		dst := sc.wordSc[c*rankBlockLen : c*rankBlockLen+n]
+		for j := range dst {
+			dst[j] = 0
+		}
+		row := rt.Row(c)
+		for z := 0; z < Z; z++ {
+			rv := row[z]
+			if rv == 0 {
+				continue
+			}
+			src := sc.pz[z*rankBlockLen : z*rankBlockLen+n]
+			for j, v := range src {
+				dst[j] += rv * v
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		if sc.colSum[j] <= 0 {
+			emit(j, nil, true)
+			continue
+		}
+		for c := 0; c < C; c++ {
+			sc.sel[c] = sc.wordSc[c*rankBlockLen+j]
+		}
+		emit(j, sc.sel, false)
+	}
+}
+
+// buildRankIndex precomputes every word's posting list from the model's
+// rank table and topic-word distributions. Lists are carved out of two
+// shared arenas (one allocation each for the whole vocabulary).
 func buildRankIndex(m *core.Model, perWord int) *RankIndex {
 	C, Z, V := m.Cfg.NumCommunities, m.Cfg.NumTopics, m.NumWords
 	if perWord <= 0 || perWord > C {
 		perWord = C
 	}
 	rt := m.RankTable()
-	ix := &RankIndex{
-		numWords: V,
-		offsets:  make([]int32, V+1),
-		comms:    make([]int32, 0, V*perWord),
-		scores:   make([]float64, 0, V*perWord),
-	}
-	const block = 256
-	pz := make([]float64, Z*block)     // pz[z*block+j] = p(z | w0+j)
-	colSum := make([]float64, block)   // Σ_z φ_z,w
-	wordSc := make([]float64, C*block) // wordSc[c*block+j] = S[c][w0+j]
-	sel := make([]float64, C)
-	for w0 := 0; w0 < V; w0 += block {
+	sc := newRankScratch(C, Z)
+	offsets := make([]int32, V+1)
+	comms := make([]int32, 0, V*perWord)
+	scores := make([]float64, 0, V*perWord)
+	for w0 := 0; w0 < V; w0 += rankBlockLen {
 		n := V - w0
-		if n > block {
-			n = block
+		if n > rankBlockLen {
+			n = rankBlockLen
 		}
-		for j := 0; j < n; j++ {
-			colSum[j] = 0
-		}
-		for z := 0; z < Z; z++ {
-			phi := m.Phi.Row(z)[w0 : w0+n]
-			dst := pz[z*block : z*block+n]
-			for j, v := range phi {
-				dst[j] = v
-				colSum[j] += v
-			}
-		}
-		for z := 0; z < Z; z++ {
-			dst := pz[z*block : z*block+n]
-			for j := range dst {
-				if colSum[j] > 0 {
-					dst[j] /= colSum[j]
+		scoreWordBlock(m, rt, w0, n, sc, func(j int, sel []float64, empty bool) {
+			if !empty {
+				for _, c := range mathx.TopKIndices(sel, perWord) {
+					comms = append(comms, int32(c))
+					scores = append(scores, sel[c])
 				}
 			}
-		}
-		for c := 0; c < C; c++ {
-			dst := wordSc[c*block : c*block+n]
-			for j := range dst {
-				dst[j] = 0
-			}
-			row := rt.Row(c)
-			for z := 0; z < Z; z++ {
-				rv := row[z]
-				if rv == 0 {
-					continue
-				}
-				src := pz[z*block : z*block+n]
-				for j, v := range src {
-					dst[j] += rv * v
-				}
-			}
-		}
-		for j := 0; j < n; j++ {
-			w := w0 + j
-			if colSum[j] <= 0 {
-				// The word never occurs under any topic: empty posting list.
-				ix.offsets[w+1] = int32(len(ix.comms))
-				continue
-			}
-			for c := 0; c < C; c++ {
-				sel[c] = wordSc[c*block+j]
-			}
-			ix.appendTop(sel, perWord)
-			ix.offsets[w+1] = int32(len(ix.comms))
-		}
+			offsets[w0+j+1] = int32(len(comms))
+		})
+	}
+	ix := &RankIndex{numWords: V, lists: make([]postingList, V)}
+	for w := 0; w < V; w++ {
+		lo, hi := offsets[w], offsets[w+1]
+		ix.lists[w] = postingList{comms: comms[lo:hi:hi], scores: scores[lo:hi:hi]}
 	}
 	return ix
 }
 
-// appendTop appends the k highest entries of sel as one posting list,
-// descending by score.
-func (ix *RankIndex) appendTop(sel []float64, k int) {
-	for _, c := range mathx.TopKIndices(sel, k) {
-		ix.comms = append(ix.comms, int32(c))
-		ix.scores = append(ix.scores, sel[c])
+// patchRankIndex derives model m's rank index from prev by recomputing
+// only the listed words' posting lists and sharing every other list.
+// Correctness contract: every word whose score column S[·][w] changed
+// between prev's model and m must be listed (Delta.Words); wholesale
+// rank-table changes must rebuild instead. Out-of-range ids are ignored.
+// The recompute runs the shared block scorer one word at a time, so a
+// patched index is bit-identical to a from-scratch build of m.
+func patchRankIndex(prev *RankIndex, m *core.Model, perWord int, words []int32) *RankIndex {
+	C, Z := m.Cfg.NumCommunities, m.Cfg.NumTopics
+	if perWord <= 0 || perWord > C {
+		perWord = C
 	}
+	ix := &RankIndex{numWords: prev.numWords, lists: append([]postingList(nil), prev.lists...)}
+	if len(words) == 0 {
+		return ix
+	}
+	rt := m.RankTable()
+	sc := newRankScratch(C, Z)
+	for _, w := range words {
+		if w < 0 || int(w) >= ix.numWords {
+			continue
+		}
+		var pl postingList
+		scoreWordBlock(m, rt, int(w), 1, sc, func(_ int, sel []float64, empty bool) {
+			if empty {
+				return
+			}
+			idx := mathx.TopKIndices(sel, perWord)
+			pl = postingList{comms: make([]int32, len(idx)), scores: make([]float64, len(idx))}
+			for i, c := range idx {
+				pl.comms[i] = int32(c)
+				pl.scores[i] = sel[c]
+			}
+		})
+		ix.lists[w] = pl
+	}
+	return ix
 }
 
 // Postings returns word w's posting list views (communities and scores,
 // descending by score). The slices are owned by the index.
 func (ix *RankIndex) Postings(w int32) ([]int32, []float64) {
-	lo, hi := ix.offsets[w], ix.offsets[w+1]
-	return ix.comms[lo:hi], ix.scores[lo:hi]
+	pl := ix.lists[w]
+	return pl.comms, pl.scores
 }
 
 // Accumulate adds each query word's posting list into the dense score
@@ -133,26 +211,30 @@ func (ix *RankIndex) Postings(w int32) ([]int32, []float64) {
 // invariant to the 1/|q| normalization, which is therefore skipped.
 func (ix *RankIndex) Accumulate(scores []float64, query []int32) {
 	for _, w := range query {
-		lo, hi := ix.offsets[w], ix.offsets[w+1]
-		comms := ix.comms[lo:hi]
-		vals := ix.scores[lo:hi]
-		for i, c := range comms {
-			scores[c] += vals[i]
+		pl := ix.lists[w]
+		for i, c := range pl.comms {
+			scores[c] += pl.scores[i]
 		}
 	}
 }
 
-// Bytes estimates the index's heap footprint.
+// Bytes estimates the index's heap footprint. Lists shared with other
+// snapshots are counted here too — it is a per-snapshot working-set
+// estimate, not exclusive ownership.
 func (ix *RankIndex) Bytes() int64 {
-	return 4*int64(len(ix.offsets)) + 4*int64(len(ix.comms)) + 8*int64(len(ix.scores))
+	n := int64(len(ix.lists)) * 48 // two slice headers per word
+	for i := range ix.lists {
+		n += 4*int64(len(ix.lists[i].comms)) + 8*int64(len(ix.lists[i].scores))
+	}
+	return n
 }
 
 // PostingsPerWord reports the index's effective posting-list bound (the
 // longest stored list).
 func (ix *RankIndex) PostingsPerWord() int {
 	maxLen := 0
-	for w := 0; w < ix.numWords; w++ {
-		if n := int(ix.offsets[w+1] - ix.offsets[w]); n > maxLen {
+	for i := range ix.lists {
+		if n := len(ix.lists[i].comms); n > maxLen {
 			maxLen = n
 		}
 	}

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// clonePatchModel deep-copies the blocks snapshot construction reads, so
+// a mutated successor never aliases its predecessor (the adversarial
+// case for copy-on-write: sharing must come from the patch logic, not
+// from accidental aliasing).
+func clonePatchModel(m *core.Model) *core.Model {
+	cloneDense := func(d *sparse.Dense) *sparse.Dense {
+		cp := sparse.NewDense(d.Rows, d.Cols)
+		copy(cp.Data, d.Data)
+		return cp
+	}
+	cp := &core.Model{
+		Cfg:        m.Cfg,
+		NumUsers:   m.NumUsers,
+		NumWords:   m.NumWords,
+		NumBuckets: m.NumBuckets,
+		Pi:         cloneDense(m.Pi),
+		Theta:      cloneDense(m.Theta),
+		Phi:        cloneDense(m.Phi),
+		Eta:        sparse.NewTensor3(m.Eta.D1, m.Eta.D2, m.Eta.D3),
+		Nu:         append([]float64(nil), m.Nu...),
+		PopFreq:    cloneDense(m.PopFreq),
+	}
+	copy(cp.Eta.Data, m.Eta.Data)
+	cp.Rehydrate()
+	return cp
+}
+
+// growPatchModel returns a clone of m with extra appended users carrying
+// fresh random membership rows.
+func growPatchModel(m *core.Model, extra int, r *rand.Rand) *core.Model {
+	cp := clonePatchModel(m)
+	C := m.Cfg.NumCommunities
+	pi := sparse.NewDense(m.NumUsers+extra, C)
+	copy(pi.Data, cp.Pi.Data)
+	for u := m.NumUsers; u < m.NumUsers+extra; u++ {
+		randomizePiRow(pi.Row(u), r)
+	}
+	cp.Pi = pi
+	cp.NumUsers += extra
+	cp.Rehydrate()
+	return cp
+}
+
+func randomizePiRow(row []float64, r *rand.Rand) {
+	var sum float64
+	for i := range row {
+		row[i] = 1e-4
+		sum += row[i]
+	}
+	for k := 0; k < 3; k++ {
+		c := r.Intn(len(row))
+		v := r.Float64()
+		row[c] += v
+		sum += v
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+func requireSameRankIndex(t *testing.T, got, want *RankIndex) {
+	t.Helper()
+	if got.numWords != want.numWords {
+		t.Fatalf("numWords %d != %d", got.numWords, want.numWords)
+	}
+	for w := 0; w < want.numWords; w++ {
+		gc, gs := got.Postings(int32(w))
+		wc, ws := want.Postings(int32(w))
+		if len(gc) != len(wc) {
+			t.Fatalf("word %d: %d postings, want %d", w, len(gc), len(wc))
+		}
+		for i := range wc {
+			if gc[i] != wc[i] {
+				t.Fatalf("word %d entry %d: community %d, want %d", w, i, gc[i], wc[i])
+			}
+			if math.Float64bits(gs[i]) != math.Float64bits(ws[i]) {
+				t.Fatalf("word %d entry %d: score bits %x, want %x", w, i,
+					math.Float64bits(gs[i]), math.Float64bits(ws[i]))
+			}
+		}
+	}
+}
+
+func requireSameUserIndex(t *testing.T, got, want *userIndex) {
+	t.Helper()
+	if got.shardCount != want.shardCount || got.topK != want.topK || got.users != want.users {
+		t.Fatalf("shape (%d,%d,%d) != (%d,%d,%d)",
+			got.shardCount, got.topK, got.users, want.shardCount, want.topK, want.users)
+	}
+	for sh := range want.shards {
+		if got.shards[sh].users != want.shards[sh].users {
+			t.Fatalf("shard %d users %d != %d", sh, got.shards[sh].users, want.shards[sh].users)
+		}
+		if !reflect.DeepEqual(got.shards[sh].comms, want.shards[sh].comms) {
+			t.Fatalf("shard %d comms differ", sh)
+		}
+	}
+	if len(got.memberLists) != len(want.memberLists) {
+		t.Fatalf("memberLists len %d != %d", len(got.memberLists), len(want.memberLists))
+	}
+	for c := range want.memberLists {
+		g, w := got.memberLists[c], want.memberLists[c]
+		if len(g) != len(w) {
+			t.Fatalf("community %d member count %d != %d: got %v want %v", c, len(g), len(w), g, w)
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("community %d member %d: %d != %d", c, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestPatchFromDifferential drives a chain of randomized deltas — user
+// churn, user growth, vocabulary-touching φ-column changes, and mixes —
+// through PatchFrom, asserting after every step that the patched
+// snapshot's rank index and user index are bit-identical to from-scratch
+// builds of the same model. The patched chain never rebuilds, so sharing
+// bugs accumulate and surface.
+func TestPatchFromDifferential(t *testing.T) {
+	const (
+		users, C, Z, V = 120, 12, 6, 400
+		rounds         = 24
+	)
+	r := rand.New(rand.NewSource(42))
+	m := SyntheticModel(users, C, Z, V, 99)
+	opts := Options{UserShards: 4, PostingsPerWord: 8}.withDefaults()
+	snap := newSnapshot(m, nil, DefaultSnapshot, 0, opts)
+	for round := 0; round < rounds; round++ {
+		var next *core.Model
+		var delta Delta
+		switch round % 4 {
+		case 0: // membership churn on existing users
+			next = clonePatchModel(m)
+			for i := 0; i < 1+r.Intn(8); i++ {
+				u := r.Intn(next.NumUsers)
+				randomizePiRow(next.Pi.Row(u), r)
+				delta.Users = append(delta.Users, int32(u))
+			}
+			next.Rehydrate()
+		case 1: // user growth only (implicit delta)
+			next = growPatchModel(m, 1+r.Intn(10), r)
+		case 2: // vocabulary-touching delta: rescale φ columns
+			next = clonePatchModel(m)
+			for i := 0; i < 1+r.Intn(6); i++ {
+				w := r.Intn(V)
+				for z := 0; z < Z; z++ {
+					next.Phi.Row(z)[w] *= 0.25 + r.Float64()
+				}
+				delta.Words = append(delta.Words, int32(w))
+			}
+			next.Rehydrate()
+		default: // churn + growth + words at once, with duplicate ids
+			next = growPatchModel(m, 1+r.Intn(5), r)
+			for i := 0; i < 1+r.Intn(5); i++ {
+				u := r.Intn(m.NumUsers)
+				randomizePiRow(next.Pi.Row(u), r)
+				delta.Users = append(delta.Users, int32(u), int32(u))
+			}
+			for i := 0; i < 1+r.Intn(3); i++ {
+				w := r.Intn(V)
+				for z := 0; z < Z; z++ {
+					next.Phi.Row(z)[w] *= 0.25 + r.Float64()
+				}
+				delta.Words = append(delta.Words, int32(w))
+			}
+			next.Rehydrate()
+		}
+		patched := PatchFrom(snap, next, nil, delta)
+		scratch := newSnapshot(next, nil, DefaultSnapshot, 0, opts)
+		requireSameRankIndex(t, patched.index, scratch.index)
+		requireSameUserIndex(t, patched.users, scratch.users)
+		if !reflect.DeepEqual(patched.labels, scratch.labels) && len(delta.Words) > 0 {
+			t.Fatalf("round %d: labels diverged after vocabulary delta", round)
+		}
+		snap.Release()
+		scratch.Release()
+		snap, m = patched, next
+	}
+	snap.Release()
+}
+
+// TestPatchFromSharing asserts the whole point of the patch path: with
+// an empty delta every posting list, every shard buffer, and every
+// member list is shared (aliased) with the predecessor, and a small
+// delta shares all untouched words/shards.
+func TestPatchFromSharing(t *testing.T) {
+	m := SyntheticModel(64, 8, 4, 200, 7)
+	opts := Options{UserShards: 4}.withDefaults()
+	snap := newSnapshot(m, nil, DefaultSnapshot, 0, opts)
+	defer snap.Release()
+
+	same := func(a, b []int32) bool {
+		return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+	}
+
+	empty := PatchFrom(snap, m, nil, Delta{})
+	defer empty.Release()
+	for w := range snap.index.lists {
+		if !same(empty.index.lists[w].comms, snap.index.lists[w].comms) {
+			t.Fatalf("word %d list not shared under empty delta", w)
+		}
+	}
+	for sh := range snap.users.shards {
+		if !same(empty.users.shards[sh].comms, snap.users.shards[sh].comms) {
+			t.Fatalf("shard %d not shared under empty delta", sh)
+		}
+	}
+
+	// One dirty user (id 5, shard 1) and one dirty word (id 9).
+	next := clonePatchModel(m)
+	r := rand.New(rand.NewSource(3))
+	randomizePiRow(next.Pi.Row(5), r)
+	for z := 0; z < m.Cfg.NumTopics; z++ {
+		next.Phi.Row(z)[9] *= 2
+	}
+	next.Rehydrate()
+	patched := PatchFrom(snap, next, nil, Delta{Users: []int32{5}, Words: []int32{9}})
+	defer patched.Release()
+	for w := range snap.index.lists {
+		shared := same(patched.index.lists[w].comms, snap.index.lists[w].comms)
+		if w == 9 && shared && len(snap.index.lists[w].comms) > 0 {
+			t.Fatalf("dirty word 9 still shares its predecessor's list")
+		}
+		if w != 9 && !shared {
+			t.Fatalf("clean word %d was copied", w)
+		}
+	}
+	for sh := range snap.users.shards {
+		shared := same(patched.users.shards[sh].comms, snap.users.shards[sh].comms)
+		if sh == 5%4 && shared {
+			t.Fatalf("dirty shard %d still shares its buffer", sh)
+		}
+		if sh != 5%4 && !shared {
+			t.Fatalf("clean shard %d was copied", sh)
+		}
+	}
+}
+
+// TestPatchFromFallbacks: deltas the patch path must refuse — Globals,
+// user shrink, shape changes — still produce correct (fully rebuilt)
+// snapshots.
+func TestPatchFromFallbacks(t *testing.T) {
+	m := SyntheticModel(50, 6, 4, 120, 11)
+	opts := Options{UserShards: 2}.withDefaults()
+	snap := newSnapshot(m, nil, DefaultSnapshot, 0, opts)
+	defer snap.Release()
+
+	r := rand.New(rand.NewSource(5))
+	next := clonePatchModel(m)
+	randomizePiRow(next.Pi.Row(3), r)
+	next.Rehydrate()
+
+	// Globals forces a full rebuild even with no listed users/words.
+	full := PatchFrom(snap, next, nil, Delta{Globals: true})
+	scratch := newSnapshot(next, nil, DefaultSnapshot, 0, opts)
+	requireSameRankIndex(t, full.index, scratch.index)
+	requireSameUserIndex(t, full.users, scratch.users)
+	full.Release()
+	scratch.Release()
+
+	// Out-of-range ids in the delta are ignored, not fatal.
+	ok := PatchFrom(snap, next, nil, Delta{Users: []int32{-1, 3, 9999}, Words: []int32{-2, 100000}})
+	scratch = newSnapshot(next, nil, DefaultSnapshot, 0, opts)
+	requireSameRankIndex(t, ok.index, scratch.index)
+	requireSameUserIndex(t, ok.users, scratch.users)
+	ok.Release()
+	scratch.Release()
+}
+
+// TestSwapPatchedMatchesSwapNamed drives the engine-level API: a chain
+// of SwapPatched publishes must serve results deep-equal to an engine
+// fully rebuilt at each step (modulo the version counter).
+func TestSwapPatchedMatchesSwapNamed(t *testing.T) {
+	const users, C, Z, V = 80, 10, 5, 300
+	m := SyntheticModel(users, C, Z, V, 21)
+	inc := New(m, nil, Options{UserShards: 4})
+	defer inc.Close()
+	ref := New(m, nil, Options{UserShards: 4})
+	defer ref.Close()
+
+	r := rand.New(rand.NewSource(77))
+	for round := 0; round < 6; round++ {
+		next := growPatchModel(m, 1+r.Intn(4), r)
+		var dirty []int32
+		for i := 0; i < 3; i++ {
+			u := r.Intn(m.NumUsers)
+			randomizePiRow(next.Pi.Row(u), r)
+			dirty = append(dirty, int32(u))
+		}
+		next.Rehydrate()
+		inc.SwapPatched(DefaultSnapshot, next, nil, Delta{Users: dirty})
+		ref.SwapNamed(DefaultSnapshot, next, nil)
+		m = next
+
+		for u := 0; u < next.NumUsers; u += 7 {
+			a, err := inc.Membership(u, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ref.Membership(u, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Version, b.Version = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("round %d: membership(%d) diverged:\n%+v\n%+v", round, u, a, b)
+			}
+		}
+		for q := 0; q < V; q += 17 {
+			a, err := inc.Rank([]int32{int32(q), int32((q * 3) % V)}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ref.Rank([]int32{int32(q), int32((q * 3) % V)}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Version, b.Version = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("round %d: rank(%d) diverged:\n%+v\n%+v", round, q, a, b)
+			}
+		}
+		ac := inc.Communities()
+		bc := ref.Communities()
+		if !reflect.DeepEqual(ac, bc) {
+			t.Fatalf("round %d: communities diverged", round)
+		}
+	}
+}

@@ -33,6 +33,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -141,12 +142,9 @@ func newSnapshot(m *core.Model, vocab *corpus.Vocabulary, name string, version u
 		Version:  version,
 		opts:     opts,
 		openness: apps.Openness(m),
-		labels:   make([]string, m.Cfg.NumCommunities),
+		labels:   communityLabels(m, vocab),
 		index:    buildRankIndex(m, opts.PostingsPerWord),
 		users:    buildUserIndex(m, opts.UserShards, opts.MemberTopK),
-	}
-	for c := range s.labels {
-		s.labels[c] = apps.CommunityLabel(m, vocab, c, 3)
 	}
 	s.refs.Store(1)
 	// Derived state is always heap; the matrices count as heap until a
@@ -155,11 +153,105 @@ func newSnapshot(m *core.Model, vocab *corpus.Vocabulary, name string, version u
 	return s
 }
 
-// attachMapped records the mapped backing of the snapshot's model. Must
-// run before the snapshot is published. On the aligned-copy fallback
-// (no real kernel mapping) the matrices stay accounted as heap — which
-// they are.
-func (s *Snapshot) attachMapped(mm *store.MappedModel) {
+// Delta describes how a model differs from the one behind an existing
+// snapshot, letting snapshot construction reuse unchanged derived state
+// (PatchFrom). The zero Delta means "nothing changed beyond appended
+// users".
+type Delta struct {
+	// Users lists the users whose membership row (π_u) changed, in any
+	// order (PatchFrom normalizes). Users with ids at or past the
+	// previous snapshot's user count are implicitly new and need not be
+	// listed.
+	Users []int32
+	// Words lists vocabulary ids whose topic-word column (φ_·,w) changed
+	// while the global rank table (Θ, η) stayed fixed.
+	Words []int32
+	// Globals marks the shared profile blocks (Θ, Φ, η, ν wholesale) as
+	// changed — forces a full rebuild of every derived structure.
+	Globals bool
+}
+
+// PatchFrom builds a snapshot of m by patching prev's derived state:
+// rank-index posting lists are recomputed only for delta.Words, user
+// shards and member lists only where delta.Users (plus appended users)
+// moved, and everything else — openness, labels, unchanged posting
+// lists, untouched shards — is shared with prev. Sharing is safe because
+// derived state is immutable and heap-allocated (never a view into
+// prev's possibly-mapped matrices), so it outlives prev's retirement.
+//
+// A patched snapshot is bit-identical to a from-scratch newSnapshot of m
+// provided the delta covers every change between prev.Model and m: the
+// per-word rank scorer and per-slot top-K selection run the exact float
+// operation sequences of the full builders. When patching does not apply
+// — delta.Globals, a changed community/topic/word count, or a shrunken
+// user set — PatchFrom falls back to a full build.
+//
+// The returned snapshot is not yet published and carries one reference
+// (for the slot that will own it); callers that abandon it must Release
+// it.
+func PatchFrom(prev *Snapshot, m *core.Model, vocab *corpus.Vocabulary, delta Delta) *Snapshot {
+	pm := prev.Model
+	if delta.Globals ||
+		m.Cfg.NumCommunities != pm.Cfg.NumCommunities ||
+		m.Cfg.NumTopics != pm.Cfg.NumTopics ||
+		m.NumWords != pm.NumWords ||
+		m.NumUsers < pm.NumUsers {
+		return newSnapshot(m, vocab, prev.Name, 0, prev.opts)
+	}
+	opts := prev.opts
+	s := &Snapshot{
+		Model:    m,
+		Vocab:    vocab,
+		Name:     prev.Name,
+		opts:     opts,
+		openness: prev.openness, // depends on η only, unchanged by definition here
+		labels:   prev.labels,
+		users:    patchUserIndex(prev.users, m, normalizeDirty(delta.Users, pm.NumUsers)),
+	}
+	if len(delta.Words) == 0 {
+		s.index = prev.index
+	} else {
+		s.index = patchRankIndex(prev.index, m, opts.PostingsPerWord, delta.Words)
+		// Labels read Φ's top words; a vocabulary-touching delta may move
+		// them.
+		s.labels = communityLabels(m, vocab)
+	}
+	if vocab != prev.Vocab && len(delta.Words) == 0 {
+		s.labels = communityLabels(m, vocab)
+	}
+	s.refs.Store(1)
+	s.heapBytes = m.CacheBytes() + s.index.Bytes() + s.users.bytes() + m.MatrixBytes()
+	return s
+}
+
+func communityLabels(m *core.Model, vocab *corpus.Vocabulary) []string {
+	labels := make([]string, m.Cfg.NumCommunities)
+	for c := range labels {
+		labels[c] = apps.CommunityLabel(m, vocab, c, 3)
+	}
+	return labels
+}
+
+// normalizeDirty sorts, dedups, and clips the explicit dirty-user set to
+// ids below the previous snapshot's user count (larger ids are the
+// implicit appended range).
+func normalizeDirty(users []int32, prevUsers int) []int32 {
+	out := make([]int32, 0, len(users))
+	for _, u := range users {
+		if u >= 0 && int(u) < prevUsers {
+			out = append(out, u)
+		}
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// AttachMapped records the mapped backing of the snapshot's model and
+// hands the snapshot ownership of mm (unmapped when the last reference
+// goes). Must run before the snapshot is published. On the aligned-copy
+// fallback (no real kernel mapping) the matrices stay accounted as heap
+// — which they are.
+func (s *Snapshot) AttachMapped(mm *store.MappedModel) {
 	s.closer = mm
 	s.mapped = mm.Mapped()
 	if s.mapped {
@@ -424,8 +516,37 @@ func (e *Engine) SwapNamed(name string, m *core.Model, vocab *corpus.Vocabulary)
 // in-flight query releases it.
 func (e *Engine) SwapMapped(name string, mm *store.MappedModel, vocab *corpus.Vocabulary) uint64 {
 	s := newSnapshot(mm.Model, vocab, name, 0, e.opts)
-	s.attachMapped(mm)
+	s.AttachMapped(mm)
 	return e.publish(s)
+}
+
+// BuildSnapshot constructs — without publishing — a snapshot of m for
+// the named slot: patched from the slot's current snapshot when delta is
+// non-nil and a predecessor exists (PatchFrom), fully built otherwise.
+// The caller publishes it with Promote or must Release it if abandoned.
+// Splitting construction from promotion lets callers time the two phases
+// separately and attach a mapped backing (Snapshot.AttachMapped) before
+// the snapshot goes live.
+func (e *Engine) BuildSnapshot(name string, m *core.Model, vocab *corpus.Vocabulary, delta *Delta) *Snapshot {
+	if delta != nil {
+		if prev, release, err := e.AcquireNamed(name); err == nil {
+			s := PatchFrom(prev, m, vocab, *delta)
+			release()
+			return s
+		}
+	}
+	return newSnapshot(m, vocab, name, 0, e.opts)
+}
+
+// Promote atomically installs a snapshot from BuildSnapshot into its
+// named slot and returns the new version. In-flight queries finish on
+// the snapshot they started with.
+func (e *Engine) Promote(s *Snapshot) uint64 { return e.publish(s) }
+
+// SwapPatched is BuildSnapshot+Promote in one step — the delta-aware
+// counterpart of SwapNamed.
+func (e *Engine) SwapPatched(name string, m *core.Model, vocab *corpus.Vocabulary, delta Delta) uint64 {
+	return e.publish(e.BuildSnapshot(name, m, vocab, &delta))
 }
 
 // DropSnapshot removes the named slot, releasing the engine's reference.

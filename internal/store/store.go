@@ -8,6 +8,9 @@
 // top of that (BenchmarkSnapshotLoad), which is what makes zero-downtime
 // hot-swapping of big models practical in serve.Engine. The JSON format
 // remains readable through Load, which sniffs the file's leading bytes.
+// SaveV2Reusing (v2reuse.go) writes a v2 snapshot while splicing
+// unchanged sections byte-for-byte out of a previous snapshot file — the
+// store half of the streaming publisher's O(changed) publish path.
 //
 // v1 layout:
 //

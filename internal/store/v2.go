@@ -86,6 +86,15 @@ type v2section struct {
 	emit func(*v2sink)
 	off  uint64
 	crc  uint32
+
+	// ident is the backing slice the payload is encoded from ([]float64,
+	// []int32 or []int; nil for synthesized payloads like CFG/DIM) and
+	// dims its shape words. Together they let SaveV2Reusing recognize
+	// sections whose bytes are guaranteed identical to the previous save
+	// (same backing array, same length, same shape) and splice them from
+	// the previous file instead of re-encoding. See SectionManifest.
+	ident any
+	dims  []uint64
 }
 
 // v2sink is the payload byte sink: it always feeds the CRC, and writes
@@ -177,17 +186,17 @@ func v2Plan(m *core.Model) ([]*v2section, error) {
 		return nil, fmt.Errorf("store: encoding config: %w", err)
 	}
 	var plan []*v2section
-	add := func(tag string, size uint64, emit func(*v2sink)) {
-		plan = append(plan, &v2section{tag: tag, size: size, emit: emit})
+	add := func(tag string, size uint64, ident any, dims []uint64, emit func(*v2sink)) {
+		plan = append(plan, &v2section{tag: tag, size: size, emit: emit, ident: ident, dims: dims})
 	}
 	dense := func(tag string, d *sparse.Dense) {
-		add(tag, v2ShapeLen+8*uint64(len(d.Data)), func(s *v2sink) {
+		add(tag, v2ShapeLen+8*uint64(len(d.Data)), d.Data, []uint64{uint64(d.Rows), uint64(d.Cols)}, func(s *v2sink) {
 			s.shape(uint64(d.Rows), uint64(d.Cols))
 			s.floats(d.Data)
 		})
 	}
-	add(tagConfig, uint64(len(cfgJSON)), func(s *v2sink) { s.raw(cfgJSON) })
-	add(tagDims, 4*8, func(s *v2sink) {
+	add(tagConfig, uint64(len(cfgJSON)), nil, nil, func(s *v2sink) { s.raw(cfgJSON) })
+	add(tagDims, 4*8, nil, nil, func(s *v2sink) {
 		s.u64(uint64(m.NumUsers))
 		s.u64(uint64(m.NumWords))
 		s.u64(uint64(m.NumBuckets))
@@ -196,12 +205,13 @@ func v2Plan(m *core.Model) ([]*v2section, error) {
 	dense(tagPi, m.Pi)
 	dense(tagTheta, m.Theta)
 	dense(tagPhi, m.Phi)
-	add(tagEta, v2ShapeLen+8*uint64(len(m.Eta.Data)), func(s *v2sink) {
-		s.shape(uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3))
-		s.floats(m.Eta.Data)
-	})
+	add(tagEta, v2ShapeLen+8*uint64(len(m.Eta.Data)), m.Eta.Data,
+		[]uint64{uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3)}, func(s *v2sink) {
+			s.shape(uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3))
+			s.floats(m.Eta.Data)
+		})
 	nu := m.Nu
-	add(tagNu, v2ShapeLen+8*uint64(len(nu)), func(s *v2sink) {
+	add(tagNu, v2ShapeLen+8*uint64(len(nu)), nu, []uint64{uint64(len(nu))}, func(s *v2sink) {
 		s.shape(uint64(len(nu)))
 		s.floats(nu)
 	})
@@ -212,17 +222,18 @@ func v2Plan(m *core.Model) ([]*v2section, error) {
 		dense(tagXi, m.Xi)
 	}
 	ints32 := func(tag string, xs []int32) {
-		add(tag, v2ShapeLen+4*uint64(len(xs)), func(s *v2sink) {
+		add(tag, v2ShapeLen+4*uint64(len(xs)), xs, []uint64{uint64(len(xs))}, func(s *v2sink) {
 			s.shape(uint64(len(xs)))
 			s.int32s(xs)
 		})
 	}
 	ints32(tagDocC, m.DocCommunity)
 	ints32(tagDocZ, m.DocTopic)
-	add(tagDocB, v2ShapeLen+8*uint64(len(m.DocBucket)), func(s *v2sink) {
-		s.shape(uint64(len(m.DocBucket)))
-		s.int64s(m.DocBucket)
-	})
+	add(tagDocB, v2ShapeLen+8*uint64(len(m.DocBucket)), m.DocBucket,
+		[]uint64{uint64(len(m.DocBucket))}, func(s *v2sink) {
+			s.shape(uint64(len(m.DocBucket)))
+			s.int64s(m.DocBucket)
+		})
 	for _, sec := range plan {
 		if sec.size > maxSectionBytes {
 			return nil, fmt.Errorf("store: section %q needs %d payload bytes, above the format's %d-byte section limit",
@@ -248,7 +259,8 @@ func v2Table(plan []*v2section) []byte {
 // EncodeV2 writes m as a v2 snapshot: section table first, then 64-byte
 // aligned payloads. The encoder runs each payload twice — a CRC pass to
 // fill the table, then the write pass — so encoding costs two streaming
-// passes over the parameter blocks.
+// passes over the parameter blocks. (SaveV2Reusing skips both passes for
+// sections unchanged since a previous save.)
 func EncodeV2(w io.Writer, m *core.Model) error {
 	if m.Pi == nil || m.Theta == nil || m.Phi == nil || m.Eta == nil {
 		return fmt.Errorf("store: model is missing parameter blocks")
@@ -257,6 +269,15 @@ func EncodeV2(w io.Writer, m *core.Model) error {
 	if err != nil {
 		return err
 	}
+	return encodeV2Plan(w, plan, nil, nil)
+}
+
+// encodeV2Plan lays out and writes a planned v2 snapshot. Sections with
+// an entry in reuse skip both emit passes: their CRC is taken from the
+// previous save's table and their payload bytes are spliced verbatim
+// from prevFile (re-verified against that CRC while copying). reuse may
+// be nil for a plain full encode.
+func encodeV2Plan(w io.Writer, plan []*v2section, reuse map[string]manifestEntry, prevFile io.ReaderAt) error {
 	off := alignUp(uint64(v2HeaderLen + v2EntryLen*len(plan)))
 	for _, sec := range plan {
 		sec.off = off
@@ -264,6 +285,10 @@ func EncodeV2(w io.Writer, m *core.Model) error {
 	}
 	scratch := make([]byte, 1<<15)
 	for _, sec := range plan {
+		if ent, ok := reuse[sec.tag]; ok {
+			sec.crc = ent.crc
+			continue
+		}
 		sink := &v2sink{crc: crc32.NewIEEE(), scratch: scratch}
 		sec.emit(sink)
 		if sink.err != nil {
@@ -292,6 +317,13 @@ func EncodeV2(w io.Writer, m *core.Model) error {
 		}
 		if _, err := bw.Write(pad[:sec.off-pos]); err != nil {
 			return fmt.Errorf("store: padding before %q: %w", sec.tag, err)
+		}
+		if ent, ok := reuse[sec.tag]; ok {
+			if err := spliceSection(bw, prevFile, ent, scratch); err != nil {
+				return fmt.Errorf("store: splicing section %q from previous snapshot: %w", sec.tag, err)
+			}
+			pos = sec.off + sec.size
+			continue
 		}
 		sink := &v2sink{w: bw, crc: crc32.NewIEEE(), scratch: scratch}
 		sec.emit(sink)

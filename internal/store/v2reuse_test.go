@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// reuseModel is the shared small model for the reuse tests.
+func reuseModel() *core.Model { return testModel(40, 6, 4, 120, 17) }
+
+// reuseSuccessor builds the streaming publisher's model shape: a fresh
+// model value whose per-publish blocks (Pi, doc assignments) are newly
+// allocated while the base-model blocks alias the predecessor's arrays —
+// the pointer-identity pattern SaveV2Reusing keys on.
+func reuseSuccessor(t *testing.T, m *core.Model) *core.Model {
+	t.Helper()
+	next := *m
+	pi := sparse.NewDense(m.Pi.Rows+2, m.Pi.Cols)
+	copy(pi.Data, m.Pi.Data)
+	for i := m.Pi.Rows * m.Pi.Cols; i < len(pi.Data); i++ {
+		pi.Data[i] = 1.0 / float64(m.Pi.Cols)
+	}
+	next.Pi = pi
+	next.NumUsers += 2
+	next.DocCommunity = append(append([]int32(nil), m.DocCommunity...), 1)
+	next.DocTopic = append(append([]int32(nil), m.DocTopic...), 0)
+	next.DocBucket = append(append([]int(nil), m.DocBucket...), 3)
+	next.Rehydrate()
+	return &next
+}
+
+// TestSaveV2ReusingByteIdentical is the core guarantee: a reusing save
+// must produce exactly the bytes a full SaveV2 would, while actually
+// splicing the aliased base-model sections.
+func TestSaveV2ReusingByteIdentical(t *testing.T) {
+	m := reuseModel()
+	dir := t.TempDir()
+
+	p0 := filepath.Join(dir, "gen0.v2.snap")
+	man, err := SaveV2Reusing(p0, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ReusedSections() != 0 {
+		t.Fatalf("first save reused %d sections", man.ReusedSections())
+	}
+	full0, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := EncodeV2(&enc, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full0, enc.Bytes()) {
+		t.Fatal("SaveV2Reusing(nil) differs from EncodeV2")
+	}
+
+	next := reuseSuccessor(t, m)
+	p1 := filepath.Join(dir, "gen1.v2.snap")
+	man1, err := SaveV2Reusing(p1, next, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man1.ReusedSections() == 0 {
+		t.Fatal("second save reused no sections despite aliased base blocks")
+	}
+	got, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Reset()
+	if err := EncodeV2(&enc, next); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, enc.Bytes()) {
+		t.Fatalf("reusing save is not byte-identical to a full encode (%d vs %d bytes)", len(got), enc.Len())
+	}
+
+	// The reused file must round-trip through both readers.
+	lm, err := LoadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.NumUsers != next.NumUsers || len(lm.DocCommunity) != len(next.DocCommunity) {
+		t.Fatalf("loaded model shape mismatch")
+	}
+	mm, err := Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Close()
+}
+
+// TestSaveV2ReusingChained: reuse must keep working across a chain of
+// generations, each manifest describing the previous file.
+func TestSaveV2ReusingChained(t *testing.T) {
+	m := reuseModel()
+	dir := t.TempDir()
+	man, err := SaveV2Reusing(filepath.Join(dir, "gen0.v2.snap"), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := m
+	for gen := 1; gen <= 4; gen++ {
+		cur = reuseSuccessor(t, cur)
+		path := filepath.Join(dir, "gen.v2.snap")
+		man, err = SaveV2Reusing(path, cur, man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.ReusedSections() == 0 {
+			t.Fatalf("gen %d reused nothing", gen)
+		}
+		var enc bytes.Buffer
+		if err := EncodeV2(&enc, cur); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, enc.Bytes()) {
+			t.Fatalf("gen %d not byte-identical", gen)
+		}
+	}
+}
+
+// TestSaveV2ReusingFallback: a missing or corrupted previous file must
+// degrade to a correct full encode, never a failed or wrong save.
+func TestSaveV2ReusingFallback(t *testing.T) {
+	m := reuseModel()
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "gen0.v2.snap")
+	man, err := SaveV2Reusing(p0, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := reuseSuccessor(t, m)
+
+	t.Run("missing-prev", func(t *testing.T) {
+		if err := os.Remove(p0); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "gen1-missing.v2.snap")
+		man1, err := SaveV2Reusing(path, next, man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man1.ReusedSections() != 0 {
+			t.Fatalf("claimed %d reused sections with the previous file gone", man1.ReusedSections())
+		}
+		var enc bytes.Buffer
+		if err := EncodeV2(&enc, next); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := os.ReadFile(path)
+		if !bytes.Equal(got, enc.Bytes()) {
+			t.Fatal("fallback save not byte-identical to a full encode")
+		}
+	})
+
+	t.Run("corrupt-prev", func(t *testing.T) {
+		// Rewrite gen0, then flip a byte inside a payload that would be
+		// spliced (the previous file's CRC check must catch it).
+		man, err = SaveV2Reusing(p0, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(p0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xFF
+		if err := os.WriteFile(p0, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "gen1-corrupt.v2.snap")
+		man1, err := SaveV2Reusing(path, next, man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man1.ReusedSections() != 0 {
+			t.Fatalf("claimed %d reused sections from a corrupt predecessor", man1.ReusedSections())
+		}
+		var enc bytes.Buffer
+		if err := EncodeV2(&enc, next); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := os.ReadFile(path)
+		if !bytes.Equal(got, enc.Bytes()) {
+			t.Fatal("fallback save not byte-identical to a full encode")
+		}
+	})
+}

@@ -19,12 +19,33 @@
 //     Engine.SetDirty) over the merged base+stream graph, re-estimating
 //     the affected rows — and the global Θ/Φ/η — by actual sampling.
 //
-//   - Publisher (part of the updater): builds the extended model (base
-//     rows + folded/re-estimated rows), writes it as a v2 snapshot with a
+//   - Publisher (publish.go): builds the extended model (base rows +
+//     folded/re-estimated rows), writes it as a v2 snapshot with a
 //     monotonic generation number, atomically promotes it into the target
 //     serve.Engine slot (hot-swap; in-flight queries finish on their old
 //     snapshot), advances the journal watermark, and prunes old snapshot
-//     files. Status() is the freshness/lag gauge /api/stats exposes.
+//     files. Status() is the freshness/lag gauge /api/stats exposes, now
+//     including per-phase publish timings and publish-latency /
+//     append→servable-lag histograms.
+//
+// # O(changed) publishes
+//
+// Steady-state publishes cost proportional to the set of users that
+// changed since the last publish, not the model size. Three layers
+// compose the incremental path (see publish.go's header for the flow):
+// the extended model is patched from the previous publish's (only
+// re-folded Π rows overwritten, new-user rows appended); the serving
+// snapshot is patched copy-on-write from the live one via serve.PatchFrom
+// (the shared rank index is reused — Φ unchanged means word scores
+// unchanged — and only user-index shards containing dirty rows rebuild);
+// and the on-disk generation is written with store.SaveV2Reusing, which
+// splices byte-identical base-model sections out of the previous
+// generation's file instead of re-encoding them. Every layer is
+// bit-for-bit identical to a from-scratch rebuild (TestIncrementalPublish*
+// pins this differentially, down to byte-equal snapshot files). A publish
+// falls back to the full path exactly when the base model itself moved: a
+// delta-Gibbs pass ran, the process restarted, the served snapshot was
+// swapped externally, or Options.FullRebuild pins the baseline.
 //
 // # Freshness and determinism guarantees
 //

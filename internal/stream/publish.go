@@ -1,0 +1,489 @@
+package stream
+
+// The publish path. Every publish promotes a complete, immutable snapshot
+// into the serving engine, but it does not have to *build* one from
+// scratch: between two fold-in publishes only the re-folded users' rows
+// and the streamed documents change, while the base-model blocks (Θ, Φ,
+// η, ν, POPF, XI) are the very same arrays. The publisher exploits that
+// at every layer:
+//
+//   - model: buildExtendedPatchedLocked copies the previously published
+//     Π wholesale (one memcpy) and overwrites only the changed rows,
+//     instead of reassembling every row (buildExtendedLocked);
+//   - save: store.SaveV2Reusing splices unchanged sections byte-for-byte
+//     from the previous snapshot file instead of re-encoding them;
+//   - serve: serve.PatchFrom clones only the touched posting lists and
+//     user-index shards of the previous snapshot and shares the rest.
+//
+// Each layer is bit-identical to its from-scratch counterpart — the
+// incremental path changes the cost of a publish, never its bytes or its
+// query results. A publish falls back to the full path whenever the
+// incremental preconditions do not hold: the first publish of a process,
+// a publish right after a delta-Gibbs pass (the refined reference — and
+// with it every global block — changed), or Options.FullRebuild.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"slices"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+	"repro/internal/store"
+)
+
+// PublishPhases is the per-phase wall-clock breakdown of one publish,
+// surfaced on /api/ingest/status and /api/stats as
+// status.lastPublishPhases.
+type PublishPhases struct {
+	SyncMicros    int64 `json:"syncMicros"`    // journal fsync
+	FoldMicros    int64 `json:"foldMicros"`    // dirty-user fold-in
+	GibbsMicros   int64 `json:"gibbsMicros"`   // delta-Gibbs pass (0 when none ran)
+	ModelMicros   int64 `json:"modelMicros"`   // extended-model assembly
+	SaveMicros    int64 `json:"saveMicros"`    // v2 snapshot write (0 without Dir)
+	IndexMicros   int64 `json:"indexMicros"`   // serving-snapshot (index) build
+	PromoteMicros int64 `json:"promoteMicros"` // engine swap
+	TotalMicros   int64 `json:"totalMicros"`
+	// Full marks a from-scratch publish; incremental otherwise.
+	Full bool `json:"full"`
+	// SectionsReused counts v2 sections spliced from the previous file.
+	SectionsReused int `json:"sectionsReused"`
+}
+
+// lagSample timestamps an applied ingest batch; the publish that covers
+// its journal offset turns it into a publish-lag observation.
+type lagSample struct {
+	off uint64
+	at  time.Time
+}
+
+// --- latency histogram ---------------------------------------------------
+
+// Publish latency and lag accumulate in log-spaced buckets: bucket i
+// covers [latHistBase·latHistGrowth^i, ·^(i+1)), spanning 50µs to beyond
+// an hour in 144 buckets with ~13% resolution — enough for p50/p95/p99
+// without per-publish allocation.
+const (
+	latHistBase    = 50 * time.Microsecond
+	latHistGrowth  = 1.13
+	latHistBuckets = 144
+)
+
+type latHist struct {
+	count   uint64
+	totalNS uint64
+	maxNS   uint64
+	buckets [latHistBuckets]uint64
+}
+
+func latHistIndex(d time.Duration) int {
+	if d <= latHistBase {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(latHistBase)) / math.Log(latHistGrowth))
+	if i >= latHistBuckets {
+		i = latHistBuckets - 1
+	}
+	return i
+}
+
+func (h *latHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.totalNS += uint64(d)
+	if uint64(d) > h.maxNS {
+		h.maxNS = uint64(d)
+	}
+	h.buckets[latHistIndex(d)]++
+}
+
+// quantile returns the q-quantile as the geometric midpoint of the bucket
+// holding the q·count-th observation; the tracked exact maximum caps it.
+func (h *latHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			mid := float64(latHistBase) * math.Pow(latHistGrowth, float64(i)) * math.Sqrt(latHistGrowth)
+			if mid > float64(h.maxNS) {
+				mid = float64(h.maxNS)
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.maxNS)
+}
+
+// LatencySummary is a histogram digest in milliseconds, JSON-shaped for
+// the status endpoints.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	AvgMs float64 `json:"avgMs"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+func (h *latHist) summary() *LatencySummary {
+	if h.count == 0 {
+		return nil
+	}
+	ms := func(d time.Duration) float64 {
+		return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+	}
+	return &LatencySummary{
+		Count: h.count,
+		AvgMs: ms(time.Duration(h.totalNS / h.count)),
+		P50Ms: ms(h.quantile(0.50)),
+		P95Ms: ms(h.quantile(0.95)),
+		P99Ms: ms(h.quantile(0.99)),
+		MaxMs: ms(time.Duration(h.maxNS)),
+	}
+}
+
+// recordLagLocked timestamps the ingest batch just applied for the
+// publish-lag histogram (event append → servable generation). One sample
+// per batch, bounded so a stalled publisher cannot accumulate samples
+// without limit (the bound only coarsens the histogram, never blocks
+// ingest).
+func (u *Updater) recordLagLocked() {
+	const maxLagSamples = 4096
+	if len(u.lagPending) >= maxLagSamples {
+		return
+	}
+	u.lagPending = append(u.lagPending, lagSample{off: u.pendingTo, at: time.Now()})
+}
+
+// drainLagLocked converts every sample the new generation covers into a
+// publish-lag observation.
+func (u *Updater) drainLagLocked(now time.Time, covered uint64) {
+	kept := u.lagPending[:0]
+	for _, s := range u.lagPending {
+		if s.off <= covered {
+			u.lagHist.observe(now.Sub(s.at))
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	u.lagPending = kept
+}
+
+// --- publish -------------------------------------------------------------
+
+// MaybePublish publishes when at least one delta window of events is
+// pending; returns (nil, false, nil) otherwise.
+func (u *Updater) MaybePublish() (*PublishInfo, bool, error) {
+	u.mu.Lock()
+	due := u.pending >= u.opts.WindowEvents
+	u.mu.Unlock()
+	if !due {
+		return nil, false, nil
+	}
+	info, err := u.Publish()
+	return info, err == nil, err
+}
+
+// Publish folds every dirty user in against the frozen reference, runs
+// the delta-Gibbs pass when one is due, builds the extended model, writes
+// it as a v2 snapshot (when Dir is set) and atomically promotes it into
+// the engine slot. In-flight queries finish on the snapshot they started
+// with; the journal watermark advances past everything the new generation
+// covers. A publish with nothing pending and nothing dirty is a no-op.
+//
+// When the incremental preconditions hold (see the package comment above)
+// the model assembly, snapshot save and index build all run in
+// O(changed) instead of O(model) — with output bit-identical to a full
+// rebuild.
+func (u *Updater) Publish() (*PublishInfo, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.publishLocked()
+}
+
+func (u *Updater) publishLocked() (*PublishInfo, error) {
+	defer u.refreshStatusLocked()
+	dirty := u.dirtyUsersLocked()
+	// The no-op guard is process-local (u.published, not u.generation):
+	// after a restart the restored generation may be > 0 while the engine
+	// slot still serves whatever the process loaded from disk, so the
+	// first publish must rebuild even with nothing pending.
+	if u.pending == 0 && len(dirty) == 0 && u.published {
+		return nil, nil
+	}
+	start := time.Now()
+	t := start
+	lap := func() int64 {
+		now := time.Now()
+		d := now.Sub(t)
+		t = now
+		return d.Microseconds()
+	}
+	var ph PublishPhases
+	// Make everything the new generation will cover durable first: a
+	// published snapshot must never be ahead of the journal on disk.
+	if err := u.j.Sync(); err != nil {
+		return nil, err
+	}
+	ph.SyncMicros = lap()
+	folded, err := u.foldDirtyLocked(dirty)
+	if err != nil {
+		return nil, err
+	}
+	ph.FoldMicros = lap()
+	// Everything folded now is a changed row relative to the last
+	// successful publish — including rows folded by earlier attempts that
+	// failed after their fold (pendingRows carries those across retries).
+	u.pendingRows = mergeIDs(u.pendingRows, dirty)
+	gibbsDue := u.opts.GibbsEvery > 0 && u.opts.BaseGraph != nil &&
+		(u.publishes+1)%uint64(u.opts.GibbsEvery) == 0
+	if gibbsDue {
+		if err := u.gibbsPassLocked(); err != nil {
+			return nil, fmt.Errorf("stream: delta-Gibbs pass: %w", err)
+		}
+		ph.GibbsMicros = lap()
+	}
+	// The incremental path patches the last published state, so it needs
+	// one to exist (this process promoted it) and the refined reference to
+	// be the one that state was built from — a delta-Gibbs pass replaces
+	// the reference and with it every global block.
+	full := u.opts.FullRebuild || !u.published || gibbsDue ||
+		u.lastModel == nil || u.lastRef != u.refined
+	var model *core.Model
+	if full {
+		model = u.buildExtendedLocked()
+	} else {
+		model = u.buildExtendedPatchedLocked(u.pendingRows)
+	}
+	ph.ModelMicros = lap()
+	ph.Full = full
+	u.generation++
+	info := &PublishInfo{
+		Generation:  u.generation,
+		Users:       model.NumUsers,
+		Folded:      folded,
+		Gibbs:       gibbsDue,
+		Incremental: !full,
+	}
+	if u.opts.Dir != "" {
+		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", u.generation))
+		if u.opts.FullRebuild {
+			err = store.SaveV2(path, model)
+			u.manifest = nil
+		} else {
+			// Section reuse self-limits: after a Gibbs pass (or on the
+			// first save) no section matches the manifest and every one is
+			// re-encoded — same bytes either way.
+			var man *store.SectionManifest
+			man, err = store.SaveV2Reusing(path, model, u.manifest)
+			if err == nil {
+				u.manifest = man
+				ph.SectionsReused = man.ReusedSections()
+				info.SectionsReused = man.ReusedSections()
+			}
+		}
+		if err != nil {
+			u.generation--
+			return nil, err
+		}
+		info.Path = path
+		ph.SaveMicros = lap()
+	}
+	if u.opts.Mmap && info.Path != "" {
+		mm, merr := store.Open(info.Path)
+		if merr != nil {
+			// Unmappable output: the engine's loader still knows how to
+			// copy-load the file (full index build, no patching).
+			info.Version, err = u.opts.Engine.LoadSnapshot(u.opts.Snapshot, info.Path, u.opts.Vocab)
+			if err != nil {
+				// Keep the generation counter aligned with what the engine
+				// actually serves; the retry rewrites the same file.
+				u.generation--
+				return nil, fmt.Errorf("stream: promoting snapshot: %w", err)
+			}
+			ph.IndexMicros = lap()
+		} else {
+			// The mapped model's numeric blocks are byte-identical to the
+			// heap model just saved (section reuse splices, never
+			// re-derives), so patching the previous generation's indexes
+			// against it preserves bit-identity.
+			snap := u.buildServeSnapshotLocked(mm.Model, full)
+			ph.IndexMicros = lap()
+			snap.AttachMapped(mm)
+			info.Version = u.opts.Engine.Promote(snap)
+			ph.PromoteMicros = lap()
+		}
+	} else {
+		snap := u.buildServeSnapshotLocked(model, full)
+		ph.IndexMicros = lap()
+		info.Version = u.opts.Engine.Promote(snap)
+		ph.PromoteMicros = lap()
+	}
+	now := time.Now()
+	ph.TotalMicros = now.Sub(start).Microseconds()
+	u.lastPhases = ph
+	u.pubHist.observe(now.Sub(start))
+	u.drainLagLocked(now, u.pendingTo)
+	u.published = true
+	u.lastModel = model
+	u.lastRef = u.refined
+	u.lastVersion = info.Version
+	u.pendingRows = nil
+	if full {
+		u.fullRebuilds++
+	} else {
+		u.incrementalPublishes++
+	}
+	if err := u.j.SetWatermark(u.pendingTo); err == nil {
+		u.pending = 0
+	} else {
+		return info, err
+	}
+	u.pruneSnapshotsLocked()
+	u.publishes++
+	u.lastPublish = now
+	u.lastPublishMs = now.Sub(start).Milliseconds()
+	return info, nil
+}
+
+// buildServeSnapshotLocked builds the serving snapshot for m: patched
+// from the engine's current snapshot when this publish is incremental and
+// the slot still holds OUR last promote (an external swap — operator
+// reload, another writer — invalidates the delta, which is relative to
+// u.lastModel), from scratch otherwise.
+func (u *Updater) buildServeSnapshotLocked(m *core.Model, full bool) *serve.Snapshot {
+	e, name := u.opts.Engine, u.opts.Snapshot
+	if !full {
+		if prev, release, err := e.AcquireNamed(name); err == nil {
+			ours := prev.Version == u.lastVersion
+			if ours {
+				// Vocabulary is fixed for the updater's lifetime and the
+				// global blocks are unchanged (no Gibbs pass), so only
+				// user rows differ: Words stays empty.
+				s := serve.PatchFrom(prev, m, u.opts.Vocab, serve.Delta{Users: u.pendingRows})
+				release()
+				return s
+			}
+			release()
+		}
+	}
+	return e.BuildSnapshot(name, m, u.opts.Vocab, nil)
+}
+
+// buildExtendedPatchedLocked is buildExtendedLocked's O(changed) twin for
+// the fold-in regime. Instead of reassembling every membership row it
+// copies the last published Π wholesale (one memcpy), overwrites the rows
+// in rows (re-folded since that publish) from their fold results, and
+// appends rows for users added since. Callers guarantee u.lastModel is
+// the promoted predecessor and u.refined == u.lastRef; under that
+// contract every row lands with exactly the bytes buildExtendedLocked
+// would assign it — unchanged rows were built from the same foldPi/ref
+// sources when lastModel was built, changed rows copy the same foldPi
+// entries — so the result is bit-identical, without the O(users) walk.
+func (u *Updater) buildExtendedPatchedLocked(rows []int32) *core.Model {
+	ref := u.refined
+	last := u.lastModel
+	C := ref.Cfg.NumCommunities
+	total := u.baseUsers + u.newUsers
+	m := &core.Model{
+		Cfg:        ref.Cfg,
+		NumUsers:   total,
+		NumWords:   ref.NumWords,
+		NumBuckets: ref.NumBuckets,
+		NumAttrs:   ref.NumAttrs,
+		Pi:         sparse.NewDense(total, C),
+		Theta:      ref.Theta,
+		Phi:        ref.Phi,
+		Eta:        ref.Eta,
+		Nu:         ref.Nu,
+		PopFreq:    ref.PopFreq,
+		Xi:         ref.Xi,
+	}
+	copy(m.Pi.Data, last.Pi.Data)
+	uniform := 1 / float64(C)
+	for id := last.NumUsers; id < total; id++ {
+		dst := m.Pi.Row(id)
+		if row, ok := u.foldPi[int32(id)]; ok {
+			copy(dst, row)
+		} else if id < ref.NumUsers {
+			copy(dst, ref.Pi.Row(id))
+		} else {
+			// A declared user with no documents yet: the smoothed prior.
+			for c := range dst {
+				dst[c] = uniform
+			}
+		}
+	}
+	for _, id := range rows {
+		if int(id) >= last.NumUsers {
+			continue // appended above
+		}
+		if row, ok := u.foldPi[id]; ok {
+			copy(m.Pi.Row(int(id)), row)
+		}
+		// A dirty user without documents has no fold row and keeps their
+		// previous row — which last.Pi already holds.
+	}
+	u.extendedDocArraysLocked(m, ref)
+	m.Rehydrate()
+	return m
+}
+
+// mergeIDs merges two ascending id lists into one ascending deduplicated
+// list (reusing a's backing array when possible).
+func mergeIDs(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	a = append(a, b...)
+	slices.Sort(a)
+	return slices.Compact(a)
+}
+
+// pruneSnapshotsLocked deletes published snapshot files older than the
+// last KeepSnapshots generations.
+func (u *Updater) pruneSnapshotsLocked() {
+	if u.opts.Dir == "" || u.generation <= uint64(u.opts.KeepSnapshots) {
+		return
+	}
+	cut := u.generation - uint64(u.opts.KeepSnapshots)
+	for gen := cut; gen > 0; gen-- {
+		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", gen))
+		if err := os.Remove(path); err != nil {
+			break // already pruned past here (or never written)
+		}
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop accepting ingest,
+// fsync the journal, and publish a final snapshot covering everything
+// pending. Safe to call more than once.
+func (u *Updater) Drain() error {
+	u.StopIngest()
+	if err := u.j.Sync(); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.pending == 0 && len(u.dirtyUsersLocked()) == 0 {
+		return nil
+	}
+	_, err := u.publishLocked()
+	return err
+}

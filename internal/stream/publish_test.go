@@ -1,0 +1,271 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/socialgraph"
+)
+
+// randomEvents builds a deterministic randomized event stream with user
+// churn: user additions, documents on base and streamed users (including
+// repeat touches, which exercise row overwrites), edges and diffusions.
+func randomEvents(g *socialgraph.Graph, m *core.Model, n int, seed uint64) []Event {
+	r := rand.New(rand.NewPCG(seed, seed^0xABCD))
+	users := m.NumUsers
+	docs := len(g.Docs)
+	words := func() []int32 { return g.Docs[r.IntN(len(g.Docs))].Words }
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		switch p := r.IntN(10); {
+		case p == 0:
+			evs = append(evs, Event{Type: EvAddUser})
+			users++
+		case p <= 5:
+			evs = append(evs, Event{
+				Type: EvAddDoc, User: int32(r.IntN(users)),
+				Time: int64(1000 + i), Words: words(),
+			})
+			docs++
+		case p <= 7:
+			a, b := int32(r.IntN(users)), int32(r.IntN(users))
+			if a == b {
+				b = (b + 1) % int32(users)
+			}
+			evs = append(evs, Event{Type: EvAddEdge, User: a, Target: b})
+		default:
+			evs = append(evs, Event{
+				Type: EvDiffusion, User: int32(r.IntN(users)),
+				Target: int32(r.IntN(docs)), Time: int64(1000 + i), Words: words()[:1],
+			})
+			docs++
+		}
+	}
+	return evs
+}
+
+// requireSameServed compares everything the two engines serve for the
+// default slot, Version normalized away (the counters are process-local).
+func requireSameServed(t *testing.T, inc, full *serve.Engine, users int, queries [][]int32) {
+	t.Helper()
+	for id := 0; id < users; id++ {
+		a, aerr := inc.Membership(id, 4)
+		b, berr := full.Membership(id, 4)
+		if (aerr != nil) != (berr != nil) {
+			t.Fatalf("membership(%d) errors diverge: %v vs %v", id, aerr, berr)
+		}
+		if aerr != nil {
+			continue
+		}
+		a.Version, b.Version = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("membership(%d) diverges:\nincremental %+v\nfull        %+v", id, a, b)
+		}
+	}
+	for qi, q := range queries {
+		a, aerr := inc.Rank(q, 5)
+		b, berr := full.Rank(q, 5)
+		if (aerr != nil) != (berr != nil) {
+			t.Fatalf("rank(query %d) errors diverge: %v vs %v", qi, aerr, berr)
+		}
+		if aerr != nil {
+			continue
+		}
+		a.Version, b.Version = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("rank(query %d) diverges:\nincremental %+v\nfull        %+v", qi, a, b)
+		}
+	}
+	if a, b := inc.Communities(), full.Communities(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("community summaries diverge:\nincremental %+v\nfull        %+v", a, b)
+	}
+}
+
+// TestIncrementalPublishMatchesFullRebuild is the end-to-end differential
+// contract of the O(changed) publish path: an updater publishing
+// incrementally (patched model, patched indexes, section-reusing saves)
+// must serve bit-identical results AND write byte-identical snapshot
+// files to an updater forced to rebuild everything from scratch, across
+// a randomized churny event sequence published window by window.
+func TestIncrementalPublishMatchesFullRebuild(t *testing.T) {
+	g, m := testBase(t)
+	incDir, fullDir := t.TempDir(), t.TempDir()
+	_, _, inc := newTestUpdater(t, g, m, func(o *Options) { o.Dir = incDir })
+	_, _, full := newTestUpdater(t, g, m, func(o *Options) {
+		o.Dir = fullDir
+		o.FullRebuild = true
+	})
+
+	evs := randomEvents(g, m, 120, 42)
+	queries := [][]int32{
+		g.Docs[0].Words[:2],
+		g.Docs[1].Words[:3],
+		{g.Docs[2].Words[0]},
+	}
+	const window = 8
+	gens := 0
+	for lo := 0; lo < len(evs); lo += window {
+		hi := min(lo+window, len(evs))
+		if _, err := inc.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		ii, err := inc.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := full.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Incremental {
+			t.Fatal("FullRebuild updater reported an incremental publish")
+		}
+		gens++
+		if gens > 1 && !ii.Incremental {
+			t.Fatalf("publish %d did not take the incremental path", gens)
+		}
+		requireSameServed(t, inc.opts.Engine, full.opts.Engine, ii.Users, queries)
+
+		af := filepath.Join(incDir, fmt.Sprintf("gen-%08d.v2.snap", ii.Generation))
+		bf := filepath.Join(fullDir, fmt.Sprintf("gen-%08d.v2.snap", fi.Generation))
+		ab, err := os.ReadFile(af)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(bf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab, bb) {
+			t.Fatalf("generation %d snapshot files differ (%d vs %d bytes)", ii.Generation, len(ab), len(bb))
+		}
+	}
+
+	st := inc.Status()
+	if st.IncrementalPublishes == 0 {
+		t.Fatal("no publish took the incremental path")
+	}
+	if st.LastPublishPhases == nil || st.LastPublishPhases.Full {
+		t.Fatalf("last publish phases missing or full: %+v", st.LastPublishPhases)
+	}
+	if st.LastPublishPhases.SectionsReused == 0 {
+		t.Fatal("incremental publishes never reused a snapshot section")
+	}
+	if st.PublishLatency == nil || st.PublishLatency.Count == 0 {
+		t.Fatal("publish latency histogram empty")
+	}
+	if st.PublishLag == nil || st.PublishLag.Count == 0 {
+		t.Fatal("publish lag histogram empty")
+	}
+}
+
+// TestIncrementalPublishWithGibbsMatches runs the same differential with
+// periodic delta-Gibbs passes: a Gibbs publish forces the full path (the
+// refined reference changed) and the incremental path must resume cleanly
+// on the publish after it.
+func TestIncrementalPublishWithGibbsMatches(t *testing.T) {
+	g, m := testBase(t)
+	mod := func(o *Options) {
+		o.BaseGraph = g
+		o.GibbsEvery = 3
+		o.GibbsSweeps = 1
+		o.Workers = 2
+	}
+	_, _, inc := newTestUpdater(t, g, m, mod)
+	_, _, full := newTestUpdater(t, g, m, func(o *Options) {
+		mod(o)
+		o.FullRebuild = true
+	})
+
+	evs := randomEvents(g, m, 60, 7)
+	const window = 10
+	for lo := 0; lo < len(evs); lo += window {
+		hi := min(lo+window, len(evs))
+		if _, err := inc.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		ii, err := inc.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.Publish(); err != nil {
+			t.Fatal(err)
+		}
+		if ii.Gibbs && ii.Incremental {
+			t.Fatal("a Gibbs publish must take the full path")
+		}
+		requireSameServed(t, inc.opts.Engine, full.opts.Engine, ii.Users, nil)
+	}
+	if inc.Status().IncrementalPublishes == 0 {
+		t.Fatal("no publish took the incremental path between Gibbs passes")
+	}
+}
+
+// TestIncrementalPublishMmapMatches covers the mapped promote path: the
+// incremental updater serves from mmapped snapshot files whose indexes
+// are patched from the previous mapped generation.
+func TestIncrementalPublishMmapMatches(t *testing.T) {
+	g, m := testBase(t)
+	incDir := t.TempDir()
+	mkEngine := func() *serve.Engine {
+		e := serve.New(m, nil, serve.Options{Mmap: true})
+		t.Cleanup(e.Close)
+		return e
+	}
+	incEngine, fullEngine := mkEngine(), mkEngine()
+	mkUpdater := func(e *serve.Engine, dir string, fullRebuild bool) *Updater {
+		j, err := OpenJournal(filepath.Join(t.TempDir(), "events.wal"), JournalOptions{SyncEvery: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { j.Close() })
+		u, err := NewUpdater(j, Options{
+			Engine: e, Base: m, WindowEvents: 4, FoldSweeps: 8, FoldSeed: 99,
+			Dir: dir, Mmap: true, FullRebuild: fullRebuild,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(u.Close)
+		return u
+	}
+	inc := mkUpdater(incEngine, incDir, false)
+	full := mkUpdater(fullEngine, t.TempDir(), true)
+
+	evs := randomEvents(g, m, 80, 11)
+	const window = 8
+	var lastInfo *PublishInfo
+	for lo := 0; lo < len(evs); lo += window {
+		hi := min(lo+window, len(evs))
+		if _, err := inc.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.Ingest(evs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		ii, err := inc.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.Publish(); err != nil {
+			t.Fatal(err)
+		}
+		lastInfo = ii
+		requireSameServed(t, incEngine, fullEngine, ii.Users, [][]int32{g.Docs[0].Words[:2]})
+	}
+	if lastInfo == nil || !lastInfo.Incremental {
+		t.Fatalf("mapped publishes never went incremental: %+v", lastInfo)
+	}
+}

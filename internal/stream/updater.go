@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -74,6 +73,13 @@ type Options struct {
 	// Mmap promotes published snapshot files through the engine's mapped
 	// loader (requires Dir and an engine built with Options.Mmap).
 	Mmap bool
+	// FullRebuild disables incremental publish maintenance: every publish
+	// reassembles the extended model from scratch, rebuilds the serving
+	// indexes over every user and word, and re-encodes every snapshot
+	// section. The incremental path is bit-identical to this one — the
+	// flag is the differential-test baseline and an operational escape
+	// hatch, not a correctness knob.
+	FullRebuild bool
 	// CompactBytes triggers checkpoint+compaction from Run once the
 	// journal file exceeds this size (default 4 MiB; negative disables).
 	CompactBytes int64
@@ -137,6 +143,17 @@ type Status struct {
 	GibbsPasses     uint64 `json:"gibbsPasses"`
 	LastPublishUnix int64  `json:"lastPublishUnix,omitempty"`
 	LastPublishMs   int64  `json:"lastPublishMs,omitempty"`
+
+	// Publish cost introspection: how many publishes took the
+	// O(changed) incremental path vs a full rebuild, the per-phase
+	// timing of the most recent publish, and histogram summaries of
+	// publish wall latency and publish lag (event append → servable
+	// generation).
+	FullRebuilds         uint64          `json:"fullRebuilds"`
+	IncrementalPublishes uint64          `json:"incrementalPublishes"`
+	LastPublishPhases    *PublishPhases  `json:"lastPublishPhases,omitempty"`
+	PublishLatency       *LatencySummary `json:"publishLatency,omitempty"`
+	PublishLag           *LatencySummary `json:"publishLag,omitempty"`
 	// LastError is the most recent publish/checkpoint failure the Run
 	// loop retried past ("" when healthy).
 	LastError string `json:"lastError,omitempty"`
@@ -151,6 +168,12 @@ type PublishInfo struct {
 	Folded     int    `json:"folded"`
 	Gibbs      bool   `json:"gibbs"`
 	Path       string `json:"path,omitempty"`
+	// Incremental marks a publish that took the O(changed) path: patched
+	// extended model, patched serving indexes, section-reusing save.
+	Incremental bool `json:"incremental,omitempty"`
+	// SectionsReused counts v2 sections spliced byte-for-byte from the
+	// previous snapshot file instead of re-encoded (0 without Dir).
+	SectionsReused int `json:"sectionsReused,omitempty"`
 }
 
 // ErrDraining reports an ingest attempted after StopIngest.
@@ -202,6 +225,25 @@ type Updater struct {
 	// slot still holds whatever the server loaded from disk — the first
 	// Publish after a restart must rebuild even with nothing pending.
 	published bool
+
+	// Incremental-publish state (publish.go): the extended model behind
+	// the last successful promote, the refined reference it was built
+	// from, the engine version it produced, the section manifest of its
+	// snapshot file, and the user rows re-folded since that promote
+	// (carried across failed attempts so a retried publish cannot lose a
+	// row that was folded before the failure).
+	lastModel   *core.Model
+	lastRef     *core.Model
+	lastVersion uint64
+	manifest    *store.SectionManifest
+	pendingRows []int32
+
+	fullRebuilds         uint64
+	incrementalPublishes uint64
+	lastPhases           PublishPhases
+	pubHist              latHist     // publish wall latency
+	lagHist              latHist     // event append -> servable generation
+	lagPending           []lagSample // applied batches awaiting a publish
 
 	// statusMu guards statusCache, a copy refreshed after every mutation
 	// so Status() never has to wait on a long-running publish.
@@ -377,6 +419,7 @@ func (u *Updater) Ingest(evs []Event) ([]Event, error) {
 		u.pending++
 		u.applied++
 	}
+	u.recordLagLocked()
 	u.refreshStatusLocked()
 	if u.pending >= u.opts.WindowEvents {
 		select {
@@ -538,100 +581,16 @@ func (u *Updater) statusLocked() Status {
 		st.LastPublishUnix = u.lastPublish.Unix()
 		st.LastPublishMs = u.lastPublishMs
 	}
+	st.FullRebuilds = u.fullRebuilds
+	st.IncrementalPublishes = u.incrementalPublishes
+	if u.lastPhases.TotalMicros > 0 {
+		ph := u.lastPhases
+		st.LastPublishPhases = &ph
+	}
+	st.PublishLatency = u.pubHist.summary()
+	st.PublishLag = u.lagHist.summary()
 	st.LastError = u.lastError
 	return st
-}
-
-// MaybePublish publishes when at least one delta window of events is
-// pending; returns (nil, false, nil) otherwise.
-func (u *Updater) MaybePublish() (*PublishInfo, bool, error) {
-	u.mu.Lock()
-	due := u.pending >= u.opts.WindowEvents
-	u.mu.Unlock()
-	if !due {
-		return nil, false, nil
-	}
-	info, err := u.Publish()
-	return info, err == nil, err
-}
-
-// Publish folds every dirty user in against the frozen reference, runs
-// the delta-Gibbs pass when one is due, builds the extended model, writes
-// it as a v2 snapshot (when Dir is set) and atomically promotes it into
-// the engine slot. In-flight queries finish on the snapshot they started
-// with; the journal watermark advances past everything the new generation
-// covers. A publish with nothing pending and nothing dirty is a no-op.
-func (u *Updater) Publish() (*PublishInfo, error) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.publishLocked()
-}
-
-func (u *Updater) publishLocked() (*PublishInfo, error) {
-	defer u.refreshStatusLocked()
-	dirty := u.dirtyUsersLocked()
-	// The no-op guard is process-local (u.published, not u.generation):
-	// after a restart the restored generation may be > 0 while the engine
-	// slot still serves whatever the process loaded from disk, so the
-	// first publish must rebuild even with nothing pending.
-	if u.pending == 0 && len(dirty) == 0 && u.published {
-		return nil, nil
-	}
-	start := time.Now()
-	// Make everything the new generation will cover durable first: a
-	// published snapshot must never be ahead of the journal on disk.
-	if err := u.j.Sync(); err != nil {
-		return nil, err
-	}
-	folded, err := u.foldDirtyLocked(dirty)
-	if err != nil {
-		return nil, err
-	}
-	gibbsDue := u.opts.GibbsEvery > 0 && u.opts.BaseGraph != nil &&
-		(u.publishes+1)%uint64(u.opts.GibbsEvery) == 0
-	if gibbsDue {
-		if err := u.gibbsPassLocked(); err != nil {
-			return nil, fmt.Errorf("stream: delta-Gibbs pass: %w", err)
-		}
-	}
-	model := u.buildExtendedLocked()
-	u.generation++
-	info := &PublishInfo{
-		Generation: u.generation,
-		Users:      model.NumUsers,
-		Folded:     folded,
-		Gibbs:      gibbsDue,
-	}
-	if u.opts.Dir != "" {
-		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", u.generation))
-		if err := store.SaveV2(path, model); err != nil {
-			u.generation--
-			return nil, err
-		}
-		info.Path = path
-	}
-	if u.opts.Mmap && info.Path != "" {
-		info.Version, err = u.opts.Engine.LoadSnapshot(u.opts.Snapshot, info.Path, u.opts.Vocab)
-		if err != nil {
-			// Keep the generation counter aligned with what the engine
-			// actually serves; the retry rewrites the same file.
-			u.generation--
-			return nil, fmt.Errorf("stream: promoting snapshot: %w", err)
-		}
-	} else {
-		info.Version = u.opts.Engine.SwapNamed(u.opts.Snapshot, model, u.opts.Vocab)
-	}
-	u.published = true
-	if err := u.j.SetWatermark(u.pendingTo); err == nil {
-		u.pending = 0
-	} else {
-		return info, err
-	}
-	u.pruneSnapshotsLocked()
-	u.publishes++
-	u.lastPublish = time.Now()
-	u.lastPublishMs = time.Since(start).Milliseconds()
-	return info, nil
 }
 
 // dirtyUsersLocked lists dirty users in ascending id order — the fixed
@@ -817,6 +776,19 @@ func (u *Updater) buildExtendedLocked() *core.Model {
 			}
 		}
 	}
+	u.extendedDocArraysLocked(m, ref)
+	m.Rehydrate()
+	return m
+}
+
+// extendedDocArraysLocked fills m's per-document assignment arrays: the
+// refined reference's base-corpus assignments followed by the stream
+// documents' latest fold/Gibbs assignments. Stream documents' buckets
+// default to 0: the popularity factor is re-estimated only by delta-Gibbs
+// passes, which recompute buckets from the merged graph's real time
+// range. Shared by the full and patched extended-model builders — the doc
+// arrays are O(stream) memcpys either way.
+func (u *Updater) extendedDocArraysLocked(m, ref *core.Model) {
 	m.DocCommunity = make([]int32, u.baseDocs+len(u.docs))
 	m.DocTopic = make([]int32, u.baseDocs+len(u.docs))
 	m.DocBucket = make([]int, u.baseDocs+len(u.docs))
@@ -825,43 +797,6 @@ func (u *Updater) buildExtendedLocked() *core.Model {
 	copy(m.DocBucket, ref.DocBucket[:min(len(ref.DocBucket), u.baseDocs)])
 	copy(m.DocCommunity[u.baseDocs:], u.docC)
 	copy(m.DocTopic[u.baseDocs:], u.docZ)
-	// Stream documents' buckets default to 0: the popularity factor is
-	// re-estimated only by delta-Gibbs passes, which recompute buckets
-	// from the merged graph's real time range.
-	m.Rehydrate()
-	return m
-}
-
-// pruneSnapshotsLocked deletes published snapshot files older than the
-// last KeepSnapshots generations.
-func (u *Updater) pruneSnapshotsLocked() {
-	if u.opts.Dir == "" || u.generation <= uint64(u.opts.KeepSnapshots) {
-		return
-	}
-	cut := u.generation - uint64(u.opts.KeepSnapshots)
-	for gen := cut; gen > 0; gen-- {
-		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", gen))
-		if err := os.Remove(path); err != nil {
-			break // already pruned past here (or never written)
-		}
-	}
-}
-
-// Drain performs the graceful-shutdown sequence: stop accepting ingest,
-// fsync the journal, and publish a final snapshot covering everything
-// pending. Safe to call more than once.
-func (u *Updater) Drain() error {
-	u.StopIngest()
-	if err := u.j.Sync(); err != nil {
-		return err
-	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if u.pending == 0 && len(u.dirtyUsersLocked()) == 0 {
-		return nil
-	}
-	_, err := u.publishLocked()
-	return err
 }
 
 // Run is the background publish loop: it publishes whenever a delta

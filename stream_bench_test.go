@@ -19,6 +19,13 @@ import (
 // streamBenchSetup stands up a serving-scale model, engine, journal and
 // updater (publish window 256, in-memory promotion).
 func streamBenchSetup(b *testing.B, windowEvents int) (*serve.Engine, *stream.Updater) {
+	return streamBenchSetupMode(b, windowEvents, false)
+}
+
+// streamBenchSetupMode is streamBenchSetup with the publish path pinned:
+// fullRebuild forces every publish to rebuild model, indexes and encoding
+// from scratch (the pre-incremental behavior).
+func streamBenchSetupMode(b *testing.B, windowEvents int, fullRebuild bool) (*serve.Engine, *stream.Updater) {
 	b.Helper()
 	m := serve.SyntheticModel(2000, 100, 50, 50000, 2018)
 	e := serve.New(m, nil, serve.Options{})
@@ -34,6 +41,7 @@ func streamBenchSetup(b *testing.B, windowEvents int) (*serve.Engine, *stream.Up
 		WindowEvents: windowEvents,
 		FoldSweeps:   10,
 		FoldSeed:     7,
+		FullRebuild:  fullRebuild,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -101,6 +109,64 @@ func BenchmarkIngestApply(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(u.Status().Publishes), "publishes")
+}
+
+// BenchmarkIncrementalPublish isolates one publish cycle at the serving
+// scale (2000 users, |C|=100, |W|=50k): ingest one 64-event window of
+// documents, publish, repeat. The incremental sub-benchmark takes the
+// O(changed) path (patched Π, patched per-shard user index, shared rank
+// index); full-rebuild pins Options.FullRebuild and reassembles
+// everything — the pre-incremental publish cost. The two serve
+// bit-identical results (TestIncrementalPublishMatchesFullRebuild); the
+// ratio here is what the O(changed) claim buys.
+func BenchmarkIncrementalPublish(b *testing.B) {
+	const window = 64
+	mkBatch := func(k int) []stream.Event {
+		evs := make([]stream.Event, 0, window)
+		for j := 0; j < window; j++ {
+			id := k*window + j
+			words := make([]int32, 12)
+			for w := range words {
+				words[w] = int32((id*131 + w*7919) % 50000)
+			}
+			evs = append(evs, stream.Event{
+				Type: stream.EvAddDoc, User: int32(id % 2000),
+				Time: int64(id), Words: words,
+			})
+		}
+		return evs
+	}
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{
+		{"incremental", false},
+		{"full-rebuild", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, u := streamBenchSetupMode(b, window, mode.full)
+			// Prime generation 1 outside the clock: the first publish is
+			// always a full rebuild, so the incremental mode measures
+			// steady-state patching only.
+			if _, err := u.Ingest(mkBatch(0)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := u.Publish(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := u.Ingest(mkBatch(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := u.Publish(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(window*b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
 }
 
 // BenchmarkServeUnderIngest measures read throughput while a background
