@@ -9,22 +9,35 @@
 //
 //	cpd-lens -model model.snap -vocab data.vocab -addr :8080
 //	cpd-lens -demo               # train on a synthetic network and serve it
+//	cpd-lens -demo -quality      # print the structural quality table and exit
 //
 // -model accepts both the binary snapshot format (internal/store) and the
 // legacy JSON format. The server shuts down gracefully on SIGINT/SIGTERM,
 // draining in-flight requests.
+//
+// -quality prints the model's structural quality report as a metric-rows ×
+// generations table (internal/quality) instead of serving: modularity,
+// coverage, conductance, size distribution and — when a graph is at hand
+// (-graph, or -demo's synthetic network) — the parallel label-propagation
+// baseline as a comparison column. Point it at a running cpd-serve with
+// -quality-url to render that server's /api/quality history instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/lens"
+	"repro/internal/quality"
 	"repro/internal/serve"
+	"repro/internal/socialgraph"
 	"repro/internal/store"
 	"repro/internal/synth"
 )
@@ -33,15 +46,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpd-lens: ")
 	var (
-		modelPath = flag.String("model", "", "trained model file (binary snapshot or JSON)")
-		vocabPath = flag.String("vocab", "", "vocabulary file")
-		addr      = flag.String("addr", ":8080", "listen address")
-		demo      = flag.Bool("demo", false, "train a demo model on synthetic data and serve it")
+		modelPath  = flag.String("model", "", "trained model file (binary snapshot or JSON)")
+		vocabPath  = flag.String("vocab", "", "vocabulary file")
+		graphPath  = flag.String("graph", "", "training graph; gives -quality friendship edges to score")
+		addr       = flag.String("addr", ":8080", "listen address")
+		demo       = flag.Bool("demo", false, "train a demo model on synthetic data and serve it")
+		qualityTab = flag.Bool("quality", false, "print the structural quality table and exit instead of serving")
+		qualityURL = flag.String("quality-url", "", "render a running server's /api/quality history as a table and exit (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
 
+	if *qualityURL != "" {
+		if err := printRemoteQuality(*qualityURL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	var model *core.Model
 	var vocab *corpus.Vocabulary
+	var graph *socialgraph.Graph
 	switch {
 	case *demo:
 		cfg := synth.TwitterLike(500, 42)
@@ -59,6 +83,7 @@ func main() {
 		}
 		model = m
 		vocab = synth.BuildVocabulary(cfg)
+		graph = g
 	case *modelPath != "":
 		var err error
 		model, err = store.LoadFile(*modelPath)
@@ -72,8 +97,24 @@ func main() {
 			}
 			vocab = vf
 		}
+		if *graphPath != "" {
+			f, err := os.Open(*graphPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if graph, err = socialgraph.Read(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			f.Close()
+		}
 	default:
 		log.Fatal("pass -model (and optionally -vocab), or -demo")
+	}
+
+	if *qualityTab {
+		printLocalQuality(model, graph)
+		return
 	}
 
 	engine := serve.New(model, vocab, serve.Options{})
@@ -83,4 +124,44 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("shut down cleanly")
+}
+
+// printLocalQuality scores the loaded model (with the graph's friendship
+// edges when one was given) and prints the metric-rows × generations
+// table. With edges, the PLP baseline renders as a comparison column.
+func printLocalQuality(model *core.Model, graph *socialgraph.Graph) {
+	var friends []socialgraph.FriendLink
+	if graph != nil {
+		friends = graph.Friends
+	}
+	reports := []*quality.Report{quality.FromModel(model, friends, nil)}
+	if len(friends) > 0 {
+		res := baselines.PLP(model.NumUsers, friends, baselines.PLPOptions{Seed: 1})
+		plp := quality.Compute(res.Labels, res.Communities, friends, nil)
+		plp.Algo = "plp"
+		reports = append(reports, plp)
+	}
+	fmt.Print(quality.Table(reports))
+}
+
+// printRemoteQuality renders a running server's /api/quality history.
+func printRemoteQuality(base string) error {
+	resp, err := http.Get(base + "/api/quality")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/api/quality answered status %d", base, resp.StatusCode)
+	}
+	var payload serve.QualityPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return err
+	}
+	reports := payload.History
+	if payload.Baseline != nil {
+		reports = append(reports, payload.Baseline)
+	}
+	fmt.Print(quality.Table(reports))
+	return nil
 }

@@ -13,6 +13,11 @@
 //	cpd-loadgen -url http://localhost:8080 -model model.snap \
 //	    -rate 2000 -duration 30s -mix rank=4,membership=3,diffusion=2,foldin=1
 //
+//	# Reads plus observability traffic: a dashboard polling /api/quality
+//	# and a Prometheus scraper on /metrics ride the same mix.
+//	cpd-loadgen -url http://localhost:8080 -model model.snap \
+//	    -mix rank=4,membership=3,quality=1,metrics=1 -duration 30s
+//
 // The -model snapshot is always required: it defines the id space queries
 // are drawn from (users, words, communities). With -url the model itself
 // stays local; only the generated queries travel.
@@ -52,7 +57,7 @@ func main() {
 		snapName  = flag.String("snapshot", "", "route queries to this named snapshot (default snapshot when empty)")
 		useMmap   = flag.Bool("mmap", false, "serve the in-process engine from a memory-mapped v2 snapshot (zero-copy)")
 
-		mixSpec     = flag.String("mix", "rank=4,membership=3,diffusion=2,foldin=1", "relative op weights; add ingest=N for a write mix (in-process, or against a cpd-serve started with -ingest)")
+		mixSpec     = flag.String("mix", "rank=4,membership=3,diffusion=2,foldin=1", "relative op weights; add ingest=N for a write mix, quality=N / metrics=N for observability-endpoint traffic")
 		concurrency = flag.Int("concurrency", 8, "workers (closed loop) / max in-flight (open loop)")
 		requests    = flag.Int("requests", 0, "total request count (0 = run for -duration)")
 		duration    = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")

@@ -31,6 +31,8 @@
 //	curl -X POST localhost:8080/api/reload     # re-read every -model path
 //	curl localhost:8080/api/snapshots
 //	curl localhost:8080/api/stats              # latency + RSS + ingest gauge
+//	curl localhost:8080/api/quality            # per-generation structural quality
+//	curl localhost:8080/metrics                # Prometheus text exposition
 //
 // -model may repeat; "name=path" serves the snapshot under that name
 // (query it with ?snapshot=name), a bare "path" serves as "default". With
@@ -45,6 +47,14 @@
 // SIGINT/SIGTERM the server drains gracefully: ingest closes (503), the
 // journal is flushed, a final snapshot generation is published, and only
 // then does the HTTP listener shut down.
+//
+// -quality-every N scores every N-th published generation with the
+// structural metrics of internal/quality (modularity, coverage,
+// conductance, size distribution, drift); reports accumulate on
+// /api/quality and export as cpd_quality_* gauges on /metrics.
+// -quality-plp adds the parallel label-propagation baseline as the
+// comparison row (needs a friendship graph: -ingest-graph and/or
+// streamed add-edge events).
 package main
 
 import (
@@ -119,6 +129,8 @@ func main() {
 		gibbsSweeps  = flag.Int("ingest-gibbs-sweeps", 2, "EM iterations per delta-Gibbs pass")
 		ingestGraph  = flag.String("ingest-graph", "", "base training graph, enables the delta-Gibbs refinement")
 		fullRebuild  = flag.Bool("ingest-full-rebuild", false, "pin every publish to the full rebuild path (differential baseline / escape hatch; default is the O(changed) incremental publish)")
+		qualityEvery = flag.Int("quality-every", 0, "score every N-th published generation with structural quality metrics (0 = off)")
+		qualityPLP   = flag.Bool("quality-plp", false, "also score the parallel label-propagation baseline as the /api/quality comparison row")
 	)
 	flag.Parse()
 	if len(models) == 0 {
@@ -204,12 +216,17 @@ func main() {
 			BaseGraph:    baseGraph,
 			Mmap:         *useMmap,
 			FullRebuild:  *fullRebuild,
+			Quality:      *qualityEvery,
+			QualityPLP:   *qualityPLP,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer updater.Close()
 		engine.SetIngestStats(func() any { return updater.Status() })
+		// /metrics covers the write path too: ingest counters and
+		// publish-latency/lag histograms ride behind the engine's families.
+		engine.AddMetricsCollector(updater.WriteMetrics)
 		// A restored journal/checkpoint may carry stream state the slot's
 		// on-disk model predates; publish it up front so previously
 		// ingested users are query-visible from the first request.

@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/rng"
+	"repro/internal/socialgraph"
+)
+
+// plantedGraph builds a blocks-of-equal-size planted partition: dense
+// inside a block, sparse across blocks. Returns the edges and the true
+// block per node.
+func plantedGraph(nodes, blocks int, seed uint64) ([]socialgraph.FriendLink, []int32) {
+	r := rng.New(seed)
+	per := nodes / blocks
+	truth := make([]int32, nodes)
+	for i := range truth {
+		b := i / per
+		if b >= blocks {
+			b = blocks - 1
+		}
+		truth[i] = int32(b)
+	}
+	var edges []socialgraph.FriendLink
+	for u := 0; u < nodes; u++ {
+		for v := u + 1; v < nodes; v++ {
+			p := 0.02
+			if truth[u] == truth[v] {
+				p = 0.30
+			}
+			if r.Float64() < p {
+				edges = append(edges, socialgraph.FriendLink{U: int32(u), V: int32(v)})
+			}
+		}
+	}
+	return edges, truth
+}
+
+func TestPLPTwoTriangles(t *testing.T) {
+	edges := []socialgraph.FriendLink{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+		{U: 2, V: 3},
+	}
+	res := PLP(6, edges, PLPOptions{Seed: 42})
+	if !res.Converged {
+		t.Fatalf("did not converge in %d sweeps", res.Sweeps)
+	}
+	if res.Labels[0] != res.Labels[1] || res.Labels[1] != res.Labels[2] {
+		t.Fatalf("first triangle split: %v", res.Labels)
+	}
+	if res.Labels[3] != res.Labels[4] || res.Labels[4] != res.Labels[5] {
+		t.Fatalf("second triangle split: %v", res.Labels)
+	}
+	if res.Communities < 2 || res.Labels[0] == res.Labels[3] {
+		t.Fatalf("triangles merged: %v", res.Labels)
+	}
+}
+
+func TestPLPDeterministicAcrossShards(t *testing.T) {
+	edges, _ := plantedGraph(240, 6, 9)
+	ref := PLP(240, edges, PLPOptions{Seed: 7, Shards: 1})
+	for _, shards := range []int{2, 3, 5, 16, 64} {
+		got := PLP(240, edges, PLPOptions{Seed: 7, Shards: shards})
+		if len(got.Labels) != len(ref.Labels) {
+			t.Fatalf("shards=%d: length mismatch", shards)
+		}
+		for i := range got.Labels {
+			if got.Labels[i] != ref.Labels[i] {
+				t.Fatalf("shards=%d: label[%d] = %d, want %d (not bit-identical)",
+					shards, i, got.Labels[i], ref.Labels[i])
+			}
+		}
+		if got.Sweeps != ref.Sweeps || got.Communities != ref.Communities {
+			t.Fatalf("shards=%d: sweeps/communities diverged", shards)
+		}
+	}
+	// Repeat runs with the same options are bit-identical too.
+	again := PLP(240, edges, PLPOptions{Seed: 7, Shards: 1})
+	for i := range again.Labels {
+		if again.Labels[i] != ref.Labels[i] {
+			t.Fatal("same-seed rerun differs")
+		}
+	}
+}
+
+func TestPLPRecoversPlantedPartition(t *testing.T) {
+	edges, truth := plantedGraph(240, 4, 3)
+	res := PLP(240, edges, PLPOptions{Seed: 11})
+	if nmi := eval.NMI(res.Labels, truth); nmi < 0.7 {
+		t.Fatalf("PLP NMI vs planted partition = %v, want >= 0.7 (found %d communities)",
+			nmi, res.Communities)
+	}
+}
+
+func TestPLPDegenerateInputs(t *testing.T) {
+	if res := PLP(0, nil, PLPOptions{}); len(res.Labels) != 0 || res.Communities != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+	// Isolated nodes stay singletons.
+	res := PLP(3, nil, PLPOptions{Seed: 1})
+	if res.Communities != 3 {
+		t.Fatalf("isolated nodes merged: %+v", res)
+	}
+}
+
+func TestWarmStartModelResumable(t *testing.T) {
+	g, truth := testGraph(t)
+	res := PLPGraph(g, PLPOptions{Seed: 5})
+	cfg := core.Config{NumCommunities: 8, NumTopics: 6, EMIters: 2, Seed: 17}
+	m0 := WarmStartModel(g, cfg, res.Labels)
+	if len(m0.DocCommunity) != len(g.Docs) || len(m0.DocTopic) != len(g.Docs) {
+		t.Fatal("warm-start assignments do not cover the corpus")
+	}
+	for i := range m0.DocCommunity {
+		if c := m0.DocCommunity[i]; c < 0 || int(c) >= 8 {
+			t.Fatalf("doc %d community %d out of range", i, c)
+		}
+		if z := m0.DocTopic[i]; z < 0 || int(z) >= 6 {
+			t.Fatalf("doc %d topic %d out of range", i, z)
+		}
+	}
+	// The whole point: core's resume machinery accepts it as-is.
+	m, _, err := core.TrainResumed(g, m0, 2, core.ResumeOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("TrainResumed from warm start: %v", err)
+	}
+	if nmi := eval.NMI(hardAssign(m), truth.HomeCommunity); nmi < 0 {
+		t.Fatalf("NMI = %v", nmi)
+	}
+}
+
+func hardAssign(m *core.Model) []int32 {
+	out := make([]int32, m.NumUsers)
+	for u := range out {
+		out[u] = int32(m.TopCommunity(u))
+	}
+	return out
+}

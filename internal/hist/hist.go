@@ -1,0 +1,203 @@
+// Package hist is the one log-bucketed latency histogram shared by the
+// serving engine's per-endpoint counters, the streaming publisher's
+// publish-latency/lag tracking, and the load generator — so p50/p95/p99
+// mean the same thing wherever they are reported, and every surface
+// (JSON stats, the load-test table, the Prometheus exposition on
+// /metrics) digests the same bucket geometry.
+//
+// Bucket i covers [Base·Growth^i, Base·Growth^(i+1)): 240 buckets at 9%
+// growth span 250ns to beyond four minutes with no per-observation
+// allocation. Quantiles report the geometric midpoint of the bucket
+// holding the target observation, capped by the tracked exact maximum.
+package hist
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	Base       = 250 * time.Nanosecond
+	Growth     = 1.09
+	NumBuckets = 240
+)
+
+// invLogGrowth caches 1/ln(Growth) for Index.
+var invLogGrowth = 1 / math.Log(Growth)
+
+// Index maps a duration to its bucket.
+func Index(d time.Duration) int {
+	if d <= Base {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(Base)) * invLogGrowth)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// upperBound is bucket i's exclusive upper edge in nanoseconds.
+func upperBound(i int) float64 {
+	return float64(Base) * math.Pow(Growth, float64(i+1))
+}
+
+// Hist is the single-writer (or externally synchronized) histogram.
+type Hist struct {
+	Count   uint64
+	Errs    uint64
+	TotalNS uint64
+	MaxNS   uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Observe records one latency sample; err marks it as a failed operation
+// (still latency-counted — errors have response times too).
+func (h *Hist) Observe(d time.Duration, err error) {
+	if d < 0 {
+		d = 0
+	}
+	h.Count++
+	h.TotalNS += uint64(d)
+	if err != nil {
+		h.Errs++
+	}
+	if uint64(d) > h.MaxNS {
+		h.MaxNS = uint64(d)
+	}
+	h.Buckets[Index(d)]++
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	h.Count += o.Count
+	h.Errs += o.Errs
+	h.TotalNS += o.TotalNS
+	if o.MaxNS > h.MaxNS {
+		h.MaxNS = o.MaxNS
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns the q-quantile as the geometric midpoint of the bucket
+// holding the q·count-th observation; the tracked exact maximum caps it.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			mid := float64(Base) * math.Pow(Growth, float64(i)) * math.Sqrt(Growth)
+			if mid > float64(h.MaxNS) {
+				mid = float64(h.MaxNS)
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.MaxNS)
+}
+
+// Mean returns the exact average (total/count), not a bucket estimate.
+func (h *Hist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.TotalNS / h.Count)
+}
+
+// Atomic is the concurrent variant: lock-free observation from any number
+// of goroutines, read via Snapshot.
+type Atomic struct {
+	count, errs, totalNS, maxNS atomic.Uint64
+	buckets                     [NumBuckets]atomic.Uint64
+}
+
+// Observe records one latency sample concurrently.
+func (a *Atomic) Observe(d time.Duration, err error) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	a.count.Add(1)
+	a.totalNS.Add(ns)
+	if err != nil {
+		a.errs.Add(1)
+	}
+	for {
+		cur := a.maxNS.Load()
+		if ns <= cur || a.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	a.buckets[Index(d)].Add(1)
+}
+
+// Snapshot copies the counters into a plain Hist. Concurrent observers may
+// land between field loads; each counter is individually consistent, which
+// is all quantile reporting needs.
+func (a *Atomic) Snapshot() *Hist {
+	h := &Hist{
+		Count:   a.count.Load(),
+		Errs:    a.errs.Load(),
+		TotalNS: a.totalNS.Load(),
+		MaxNS:   a.maxNS.Load(),
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] = a.buckets[i].Load()
+	}
+	return h
+}
+
+// PromBounds are the coarse `le` bounds (seconds) the Prometheus
+// exposition rolls the fine buckets into — the fine geometry is great for
+// quantiles but 240 series per histogram is hostile to a scrape.
+var PromBounds = []float64{
+	0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// WriteProm emits the histogram in Prometheus text exposition format:
+// cumulative `name_bucket{...,le="b"}` series over PromBounds ending with
+// le="+Inf", then name_sum (seconds) and name_count. labels is the
+// caller's label set without braces ("" for none); the caller writes the
+// # HELP / # TYPE header lines.
+func (h *Hist) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	fine := 0
+	for _, b := range PromBounds {
+		bNS := b * 1e9
+		for fine < NumBuckets && upperBound(fine) <= bNS {
+			cum += h.Buckets[fine]
+			fine++
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count)
+	lb := ""
+	if labels != "" {
+		lb = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, lb, formatFloat(float64(h.TotalNS)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lb, h.Count)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

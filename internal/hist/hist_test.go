@@ -1,0 +1,120 @@
+package hist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveAndQuantile(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i+1)*time.Microsecond, nil)
+	}
+	if h.Count != 1000 || h.Errs != 0 {
+		t.Fatalf("count=%d errs=%d", h.Count, h.Errs)
+	}
+	if got := h.Mean(); got != 500500*time.Nanosecond {
+		t.Fatalf("mean = %v", got)
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	// ~9% bucket resolution: p50 of uniform 1..1000µs is ~500µs.
+	if p50 < 400*time.Microsecond || p50 > 620*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	if p99 > time.Duration(h.MaxNS) {
+		t.Fatalf("p99 %v beyond tracked max %d", p99, h.MaxNS)
+	}
+	h.Observe(time.Millisecond, errors.New("boom"))
+	if h.Errs != 1 {
+		t.Fatalf("errs = %d", h.Errs)
+	}
+}
+
+func TestMergeMatchesCombined(t *testing.T) {
+	var a, b, c Hist
+	for i := 0; i < 200; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		a.Observe(d, nil)
+		c.Observe(d, nil)
+	}
+	for i := 0; i < 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		b.Observe(d, nil)
+		c.Observe(d, nil)
+	}
+	a.Merge(&b)
+	if a != c {
+		t.Fatal("merged histogram differs from combined observations")
+	}
+}
+
+func TestAtomicMatchesPlain(t *testing.T) {
+	var a Atomic
+	var h Hist
+	for i := 0; i < 500; i++ {
+		d := time.Duration(i*7) * time.Microsecond
+		var err error
+		if i%50 == 0 {
+			err = errors.New("x")
+		}
+		a.Observe(d, err)
+		h.Observe(d, err)
+	}
+	if *a.Snapshot() != h {
+		t.Fatal("atomic snapshot differs from plain histogram")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var h Hist
+	h.Observe(100*time.Microsecond, nil)
+	h.Observe(2*time.Millisecond, nil)
+	h.Observe(3*time.Second, nil)
+	var b strings.Builder
+	h.WriteProm(&b, "x_seconds", `endpoint="rank"`)
+	out := b.String()
+	if !strings.Contains(out, `x_seconds_bucket{endpoint="rank",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "x_seconds_count{endpoint=\"rank\"} 3") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+	// The 100µs observation lands in a fine bucket whose upper edge is
+	// under 250µs, so the le="0.00025" cumulative bucket must hold it.
+	if !strings.Contains(out, `le="0.00025"} 1`) {
+		t.Fatalf("100µs sample not cumulated under 250µs:\n%s", out)
+	}
+	// Cumulative counts never decrease across the bound list.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "_bucket{") {
+			continue
+		}
+		var v int
+		if _, err := fmtSscanLast(line, &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("cumulative bucket decreased at %q", line)
+		}
+		last = v
+	}
+}
+
+func fmtSscanLast(line string, v *int) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	n := 0
+	for _, ch := range line[i+1:] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		n = n*10 + int(ch-'0')
+	}
+	*v = n
+	return 1, nil
+}

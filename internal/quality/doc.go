@@ -1,0 +1,37 @@
+// Package quality computes cheap structural health metrics for a
+// clustering — the observability layer that lets an operator judge
+// whether an automatically republished model generation is better or
+// worse than the one it replaced, without ground truth.
+//
+// A Report scores one hard partition (each user assigned to their
+// top-weight community):
+//
+//   - Modularity (Girvan–Newman): intra-community edge fraction minus the
+//     degree-preserving null expectation. The canonical comparator across
+//     algorithms and generations.
+//   - Coverage: fraction of friendship edges with both endpoints in the
+//     same community.
+//   - Conductance per community: cut volume over the smaller side's
+//     volume — low means a well-separated community; the report carries
+//     the per-community vector and its size-weighted average.
+//   - Community-size distribution: non-empty count, min/p50/max, plus a
+//     Hill (maximum-likelihood) power-law tail exponent — real networks
+//     have heavy-tailed "natural cluster sizes" (Leskovec et al.), so a
+//     collapsing or exploding tail is a first-class health signal.
+//   - Imbalance (max size over mean size) and normalized size entropy —
+//     1.0 is perfectly even, 0 is one giant community.
+//   - Drift vs the previous generation: membership churn (fraction of
+//     users whose top community changed) and NMI between consecutive
+//     assignments, via eval.NMI.
+//
+// Graph-dependent metrics (modularity, coverage, conductance) need the
+// friendship edges and are zero with GraphEdges == 0; every
+// membership-shape metric works from the model alone. Reports are
+// JSON-safe (no NaNs) and render across generations as a NetworKit-style
+// metric-rows × generations table (Table).
+//
+// The package deliberately does not import internal/serve or
+// internal/stream: serve stores Reports per snapshot and exposes them on
+// /api/quality and /metrics, stream computes them after each promote, and
+// both depend on quality, never the reverse.
+package quality

@@ -1,0 +1,261 @@
+package quality
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/socialgraph"
+)
+
+// CommunityQuality is one non-empty community's row in a Report.
+type CommunityQuality struct {
+	ID          int     `json:"id"`
+	Size        int     `json:"size"`
+	Conductance float64 `json:"conductance"`
+}
+
+// Report scores one hard partition. See the package comment for what each
+// metric means. All float fields are finite (JSON-safe).
+type Report struct {
+	// Algo names the clustering being scored ("cpd", "plp").
+	Algo string `json:"algo"`
+	// Generation and Version tie the report to a published snapshot
+	// generation; static loads leave them 0.
+	Generation uint64 `json:"generation"`
+	Version    uint64 `json:"version,omitempty"`
+	UnixMilli  int64  `json:"unixMilli,omitempty"`
+
+	Users       int `json:"users"`
+	Communities int `json:"communities"` // non-empty communities
+	GraphEdges  int `json:"graphEdges"`  // deduped undirected edges scored (0 = membership-only report)
+
+	Modularity     float64 `json:"modularity"`
+	Coverage       float64 `json:"coverage"`
+	AvgConductance float64 `json:"avgConductance"`
+
+	SizeMin      int     `json:"sizeMin"`
+	SizeP50      int     `json:"sizeP50"`
+	SizeMax      int     `json:"sizeMax"`
+	TailExponent float64 `json:"tailExponent"` // Hill MLE on sizes ≥ p50; 0 when the tail is degenerate
+	Imbalance    float64 `json:"imbalance"`    // max size / mean size
+	Entropy      float64 `json:"entropy"`      // normalized size entropy, 1 = even, 0 = one giant community
+
+	// Drift vs the previous generation's assignments (HasPrev gates both).
+	HasPrev bool    `json:"hasPrev"`
+	Churn   float64 `json:"churn"`
+	PrevNMI float64 `json:"prevNMI"`
+
+	PerCommunity []CommunityQuality `json:"perCommunity,omitempty"`
+
+	// CostMicros is what computing this report took — the publish-path
+	// overhead an operator trades for the visibility.
+	CostMicros int64 `json:"costMicros"`
+}
+
+// Assignments hardens a model's mixed membership: each user's top-weight
+// community (ties to the lowest id), the partition every metric scores.
+func Assignments(m *core.Model) []int32 {
+	out := make([]int32, m.NumUsers)
+	for u := range out {
+		out[u] = int32(m.TopCommunity(u))
+	}
+	return out
+}
+
+// FromModel scores a trained model's hard partition. friends may be nil
+// (membership-shape metrics only); prev may be nil (no drift row).
+func FromModel(m *core.Model, friends []socialgraph.FriendLink, prev []int32) *Report {
+	r := Compute(Assignments(m), m.Cfg.NumCommunities, friends, prev)
+	r.Algo = "cpd"
+	return r
+}
+
+// Compute scores the hard partition assign (one community id per user,
+// numComms total slots) against the friendship edges. Edges are treated
+// as undirected and deduplicated, self-loops and out-of-range endpoints
+// skipped; friends == nil yields a membership-only report. prev, when
+// non-nil, is the previous generation's partition for the drift metrics.
+func Compute(assign []int32, numComms int, friends []socialgraph.FriendLink, prev []int32) *Report {
+	start := time.Now()
+	n := len(assign)
+	r := &Report{Users: n}
+	if n == 0 || numComms <= 0 {
+		r.CostMicros = time.Since(start).Microseconds()
+		return r
+	}
+
+	sizes := make([]int, numComms)
+	for _, c := range assign {
+		if c >= 0 && int(c) < numComms {
+			sizes[c]++
+		}
+	}
+	r.sizeStats(sizes, n)
+
+	if len(friends) > 0 {
+		r.graphStats(assign, numComms, sizes, friends)
+	}
+
+	if prev != nil {
+		common := n
+		if len(prev) < common {
+			common = len(prev)
+		}
+		if common > 0 {
+			changed := 0
+			for i := 0; i < common; i++ {
+				if assign[i] != prev[i] {
+					changed++
+				}
+			}
+			r.HasPrev = true
+			r.Churn = float64(changed) / float64(common)
+			r.PrevNMI = sanitize(eval.NMI(assign[:common], prev[:common]))
+		}
+	}
+	r.CostMicros = time.Since(start).Microseconds()
+	return r
+}
+
+// sizeStats fills the membership-shape block from the per-community sizes.
+func (r *Report) sizeStats(sizes []int, n int) {
+	nonEmpty := make([]int, 0, len(sizes))
+	for _, s := range sizes {
+		if s > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	r.Communities = len(nonEmpty)
+	if len(nonEmpty) == 0 {
+		return
+	}
+	sort.Ints(nonEmpty)
+	r.SizeMin = nonEmpty[0]
+	r.SizeP50 = nonEmpty[len(nonEmpty)/2]
+	r.SizeMax = nonEmpty[len(nonEmpty)-1]
+	mean := float64(n) / float64(len(nonEmpty))
+	r.Imbalance = float64(r.SizeMax) / mean
+
+	if len(nonEmpty) > 1 {
+		var h float64
+		for _, s := range nonEmpty {
+			p := float64(s) / float64(n)
+			h -= p * math.Log(p)
+		}
+		r.Entropy = h / math.Log(float64(len(nonEmpty)))
+	}
+
+	// Hill MLE tail exponent over sizes ≥ the median size:
+	// α = 1 + k / Σ ln(s_i / s_min). Degenerate tails (all-equal sizes,
+	// fewer than 3 points) report 0 rather than a meaningless fit.
+	xmin := float64(r.SizeP50)
+	var sum float64
+	k := 0
+	for _, s := range nonEmpty {
+		if s >= r.SizeP50 {
+			sum += math.Log(float64(s) / xmin)
+			k++
+		}
+	}
+	if k >= 3 && sum > 0 {
+		r.TailExponent = 1 + float64(k)/sum
+	}
+}
+
+// graphStats fills modularity, coverage and conductance from the edges.
+func (r *Report) graphStats(assign []int32, numComms int, sizes []int, friends []socialgraph.FriendLink) {
+	n := len(assign)
+	degree := make([]int, n)
+	intra := make([]int, numComms)
+	cut := make([]int, numComms)
+	seen := make(map[int64]struct{}, len(friends))
+	edges := 0
+	for _, f := range friends {
+		u, v := int(f.U), int(f.V)
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges++
+		degree[u]++
+		degree[v]++
+		cu, cv := assign[u], assign[v]
+		if cu == cv {
+			if cu >= 0 && int(cu) < numComms {
+				intra[cu]++
+			}
+		} else {
+			if cu >= 0 && int(cu) < numComms {
+				cut[cu]++
+			}
+			if cv >= 0 && int(cv) < numComms {
+				cut[cv]++
+			}
+		}
+	}
+	r.GraphEdges = edges
+	if edges == 0 {
+		return
+	}
+	volume := make([]int, numComms)
+	for u, d := range degree {
+		if c := assign[u]; c >= 0 && int(c) < numComms {
+			volume[c] += d
+		}
+	}
+	m2 := float64(2 * edges)
+	var q, coverage float64
+	var condSum float64
+	scored := 0
+	for c := 0; c < numComms; c++ {
+		if sizes[c] == 0 {
+			continue
+		}
+		q += float64(intra[c])/float64(edges) - (float64(volume[c])/m2)*(float64(volume[c])/m2)
+		coverage += float64(intra[c])
+		cond := conductance(cut[c], volume[c], 2*edges)
+		condSum += cond
+		scored++
+		r.PerCommunity = append(r.PerCommunity, CommunityQuality{ID: c, Size: sizes[c], Conductance: round6(cond)})
+	}
+	r.Modularity = round6(q)
+	r.Coverage = round6(coverage / float64(edges))
+	if scored > 0 {
+		r.AvgConductance = round6(condSum / float64(scored))
+	}
+}
+
+// conductance is cut / min(vol, totalVol - vol); communities touching no
+// edges, or holding every edge, score 0 (perfectly separated by
+// convention — there is nothing to cut).
+func conductance(cut, vol, totalVol int) float64 {
+	denom := vol
+	if totalVol-vol < denom {
+		denom = totalVol - vol
+	}
+	if denom <= 0 {
+		return 0
+	}
+	return float64(cut) / float64(denom)
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func round6(v float64) float64 {
+	return math.Round(sanitize(v)*1e6) / 1e6
+}

@@ -1,0 +1,161 @@
+package quality
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/socialgraph"
+)
+
+// twoTriangles is the classic hand-checkable fixture: triangles {0,1,2}
+// and {3,4,5} joined by the single bridge 2–3. With the natural
+// partition, m=7, each community holds 3 intra edges and volume 7:
+//
+//	coverage    = 6/7            ≈ 0.857143
+//	modularity  = 2·(3/7 − (7/14)²) = 0.357143
+//	conductance = 1/min(7,7) = 1/7 per community
+func twoTriangles() []socialgraph.FriendLink {
+	return []socialgraph.FriendLink{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+		{U: 2, V: 3},
+	}
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestTwoTrianglesFixture(t *testing.T) {
+	assign := []int32{0, 0, 0, 1, 1, 1}
+	r := Compute(assign, 2, twoTriangles(), nil)
+	if r.GraphEdges != 7 {
+		t.Fatalf("edges = %d, want 7", r.GraphEdges)
+	}
+	approx(t, "coverage", r.Coverage, 0.857143)
+	approx(t, "modularity", r.Modularity, 0.357143)
+	approx(t, "avgConductance", r.AvgConductance, 0.142857)
+	if len(r.PerCommunity) != 2 {
+		t.Fatalf("perCommunity = %+v", r.PerCommunity)
+	}
+	for _, c := range r.PerCommunity {
+		if c.Size != 3 {
+			t.Fatalf("community %d size %d, want 3", c.ID, c.Size)
+		}
+		approx(t, "conductance", c.Conductance, 0.142857)
+	}
+	if r.SizeMin != 3 || r.SizeP50 != 3 || r.SizeMax != 3 {
+		t.Fatalf("size stats %d/%d/%d", r.SizeMin, r.SizeP50, r.SizeMax)
+	}
+	approx(t, "imbalance", r.Imbalance, 1)
+	approx(t, "entropy", r.Entropy, 1)
+	if r.TailExponent != 0 {
+		t.Fatalf("tail exponent on all-equal sizes = %v, want 0", r.TailExponent)
+	}
+	if r.HasPrev {
+		t.Fatal("HasPrev without prev")
+	}
+}
+
+func TestEdgeDedupAndSelfLoops(t *testing.T) {
+	edges := twoTriangles()
+	// Reversed duplicates, an exact duplicate, a self-loop, and an
+	// out-of-range endpoint must all be ignored.
+	edges = append(edges,
+		socialgraph.FriendLink{U: 1, V: 0},
+		socialgraph.FriendLink{U: 0, V: 1},
+		socialgraph.FriendLink{U: 2, V: 2},
+		socialgraph.FriendLink{U: 4, V: 99},
+	)
+	r := Compute([]int32{0, 0, 0, 1, 1, 1}, 2, edges, nil)
+	if r.GraphEdges != 7 {
+		t.Fatalf("edges = %d, want 7 after dedup", r.GraphEdges)
+	}
+	approx(t, "modularity", r.Modularity, 0.357143)
+}
+
+func TestDriftMetrics(t *testing.T) {
+	cur := []int32{0, 0, 0, 1, 1, 1}
+	same := []int32{0, 0, 0, 1, 1, 1}
+	r := Compute(cur, 2, nil, same)
+	if !r.HasPrev {
+		t.Fatal("HasPrev not set")
+	}
+	approx(t, "churn(identical)", r.Churn, 0)
+	approx(t, "nmi(identical)", r.PrevNMI, 1)
+
+	prev := []int32{0, 0, 0, 0, 0, 1} // users 3 and 4 moved
+	r = Compute(cur, 2, nil, prev)
+	approx(t, "churn", r.Churn, 2.0/6.0)
+	approx(t, "nmi", r.PrevNMI, eval.NMI(cur, prev))
+}
+
+func TestSizeDistribution(t *testing.T) {
+	// Sizes 4/2/1 across 4 slots (one empty).
+	assign := []int32{0, 0, 0, 0, 1, 1, 2}
+	r := Compute(assign, 4, nil, nil)
+	if r.Communities != 3 {
+		t.Fatalf("communities = %d", r.Communities)
+	}
+	if r.SizeMin != 1 || r.SizeP50 != 2 || r.SizeMax != 4 {
+		t.Fatalf("size stats %d/%d/%d", r.SizeMin, r.SizeP50, r.SizeMax)
+	}
+	approx(t, "imbalance", r.Imbalance, 4.0/(7.0/3.0))
+	wantH := 0.0
+	for _, s := range []float64{4, 2, 1} {
+		p := s / 7
+		wantH -= p * math.Log(p)
+	}
+	approx(t, "entropy", r.Entropy, wantH/math.Log(3))
+	if r.GraphEdges != 0 || r.Modularity != 0 {
+		t.Fatal("graph metrics leaked into a membership-only report")
+	}
+}
+
+func TestTailExponentHill(t *testing.T) {
+	// Sizes 1,2,4,8,16: p50 = 4, tail {4,8,16},
+	// α = 1 + 3/(ln1 + ln2 + ln4) = 1 + 3/ln8.
+	var assign []int32
+	for c, s := range []int{1, 2, 4, 8, 16} {
+		for i := 0; i < s; i++ {
+			assign = append(assign, int32(c))
+		}
+	}
+	r := Compute(assign, 5, nil, nil)
+	approx(t, "tailExponent", r.TailExponent, 1+3/math.Log(8))
+}
+
+func TestReportJSONSafe(t *testing.T) {
+	// Degenerate inputs must still marshal (no NaN/Inf in any field).
+	for _, r := range []*Report{
+		Compute(nil, 0, nil, nil),
+		Compute([]int32{0}, 1, nil, []int32{0}),
+		Compute([]int32{0, 0}, 1, []socialgraph.FriendLink{{U: 0, V: 1}}, nil),
+	} {
+		if _, err := json.Marshal(r); err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := Compute([]int32{0, 0, 0, 1, 1, 1}, 2, twoTriangles(), nil)
+	a.Algo, a.Generation = "cpd", 3
+	b := Compute([]int32{0, 0, 0, 1, 1, 1}, 2, twoTriangles(), []int32{0, 0, 1, 1, 1, 1})
+	b.Algo, b.Generation = "cpd", 4
+	out := Table([]*Report{a, b})
+	for _, want := range []string{"modularity", "gen 3/cpd", "gen 4/cpd", "0.357", "churn"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Table(nil), "no quality reports") {
+		t.Fatal("empty table")
+	}
+}

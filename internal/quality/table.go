@@ -1,0 +1,70 @@
+package quality
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table renders reports as a NetworKit-style comparison table — metric
+// rows × one column per report (generations of one model, or different
+// algorithms side by side). Reports render in the order given.
+func Table(reports []*Report) string {
+	if len(reports) == 0 {
+		return "no quality reports\n"
+	}
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	head := func(r *Report) string {
+		if r.Generation > 0 || r.Algo == "" {
+			return fmt.Sprintf("gen %d/%s", r.Generation, orDash(r.Algo))
+		}
+		return r.Algo
+	}
+	row := func(label string, cell func(*Report) string) {
+		fmt.Fprintf(w, "%s\t", label)
+		for _, r := range reports {
+			fmt.Fprintf(w, "%s\t", cell(r))
+		}
+		fmt.Fprintln(w)
+	}
+	row("metric", head)
+	row("users", func(r *Report) string { return fmt.Sprintf("%d", r.Users) })
+	row("communities", func(r *Report) string { return fmt.Sprintf("%d", r.Communities) })
+	row("size min/p50/max", func(r *Report) string {
+		return fmt.Sprintf("%d/%d/%d", r.SizeMin, r.SizeP50, r.SizeMax)
+	})
+	row("imbalance", f3(func(r *Report) float64 { return r.Imbalance }))
+	row("size entropy", f3(func(r *Report) float64 { return r.Entropy }))
+	row("tail exponent", f3(func(r *Report) float64 { return r.TailExponent }))
+	row("edges", func(r *Report) string { return fmt.Sprintf("%d", r.GraphEdges) })
+	row("modularity", f3(func(r *Report) float64 { return r.Modularity }))
+	row("coverage", f3(func(r *Report) float64 { return r.Coverage }))
+	row("avg conductance", f3(func(r *Report) float64 { return r.AvgConductance }))
+	row("churn", func(r *Report) string {
+		if !r.HasPrev {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", r.Churn)
+	})
+	row("NMI vs prev", func(r *Report) string {
+		if !r.HasPrev {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", r.PrevNMI)
+	})
+	row("cost", func(r *Report) string { return fmt.Sprintf("%.1fms", float64(r.CostMicros)/1000) })
+	w.Flush()
+	return b.String()
+}
+
+func f3(get func(*Report) float64) func(*Report) string {
+	return func(r *Report) string { return fmt.Sprintf("%.3f", get(r)) }
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

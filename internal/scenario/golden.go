@@ -75,9 +75,14 @@ func CompareGolden(got, want *Metrics) error {
 	intCheck("friendLinks", got.FriendLinks, want.FriendLinks)
 	intCheck("diffLinks", got.DiffLinks, want.DiffLinks)
 	intCheck("vocab", got.Vocab, want.Vocab)
+	intCheck("sizeP50", got.SizeP50, want.SizeP50)
 	floatCheck("nmi", got.NMI, want.NMI)
 	floatCheck("diffusionAUC", got.DiffusionAUC, want.DiffusionAUC)
 	floatCheck("rankAgreement", got.RankAgreement, want.RankAgreement)
+	floatCheck("modularity", got.Modularity, want.Modularity)
+	floatCheck("coverage", got.Coverage, want.Coverage)
+	floatCheck("avgConductance", got.AvgConductance, want.AvgConductance)
+	floatCheck("plpNMI", got.PLPNMI, want.PLPNMI)
 	if len(drifts) > 0 {
 		return fmt.Errorf("scenario %s drifted from golden metrics (re-pin with -update after a deliberate change): %s",
 			got.Preset, strings.Join(drifts, "; "))

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"net/url"
+	"repro/internal/hist"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,10 +30,12 @@ const (
 	OpDiffusion
 	OpFoldIn
 	OpIngest
+	OpQuality
+	OpMetrics
 	numOps
 )
 
-var opNames = [numOps]string{"rank", "membership", "diffusion", "foldin", "ingest"}
+var opNames = [numOps]string{"rank", "membership", "diffusion", "foldin", "ingest", "quality", "metrics"}
 
 func (k OpKind) String() string { return opNames[k] }
 
@@ -44,6 +46,9 @@ type Mix [numOps]float64
 // membership lookups, some diffusion probes, a trickle of fold-ins, no
 // writes (add "ingest=N" to the mix for read-under-write runs; ingest
 // targets need a stream updater or a cpd-serve started with -ingest).
+// The observability endpoints join on request ("quality=N,metrics=N"):
+// they model a dashboard or Prometheus scraper riding the same server,
+// latency-counted like every other op.
 func DefaultMix() Mix { return Mix{OpRank: 4, OpMembership: 3, OpDiffusion: 2, OpFoldIn: 1} }
 
 // ParseMix parses "rank=4,membership=3,diffusion=2,foldin=1". Omitted ops
@@ -156,6 +161,12 @@ func (t EngineTarget) Do(req *Request) error {
 			return fmt.Errorf("scenario: ingest op without an Updater on the EngineTarget")
 		}
 		_, err = t.Updater.Ingest(req.Events)
+	case OpQuality:
+		_, err = t.Engine.QualityIn(name)
+	case OpMetrics:
+		// The serialization work is the cost being measured; the bytes
+		// themselves are a scrape's business, not the load generator's.
+		t.Engine.WriteMetrics(io.Discard)
 	}
 	return err
 }
@@ -235,6 +246,14 @@ func (t HTTPTarget) Do(req *Request) error {
 			return err
 		}
 		resp, err = client.Post(t.Base+"/api/ingest", "application/json", &body)
+	case OpQuality:
+		qualityURL := t.Base + "/api/quality"
+		if snap != "" {
+			qualityURL += "?" + snap[1:]
+		}
+		resp, err = client.Get(qualityURL)
+	case OpMetrics:
+		resp, err = client.Get(t.Base + "/metrics")
 	}
 	if err != nil {
 		return err
@@ -395,82 +414,10 @@ func genRequest(r *rng.RNG, o *LoadOptions) *Request {
 
 // --- latency accounting -------------------------------------------------
 
-// latencies are accumulated in log-spaced histogram buckets: bucket i
-// covers [histBase·histGrowth^i, histBase·histGrowth^(i+1)), spanning
-// 250ns to beyond 30 minutes in 240 buckets with ~9% resolution —
-// accurate enough for p50/p95/p99 without per-request allocation.
-const (
-	histBase    = 250 * time.Nanosecond
-	histGrowth  = 1.09
-	histBuckets = 240
-)
-
-type opHist struct {
-	count, errs uint64
-	totalNS     uint64
-	maxNS       uint64
-	buckets     [histBuckets]uint64
-}
-
-func histIndex(d time.Duration) int {
-	if d <= histBase {
-		return 0
-	}
-	i := int(math.Log(float64(d)/float64(histBase)) / math.Log(histGrowth))
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	return i
-}
-
-func (h *opHist) observe(d time.Duration, err error) {
-	h.count++
-	if err != nil {
-		h.errs++
-	}
-	ns := uint64(d.Nanoseconds())
-	h.totalNS += ns
-	if ns > h.maxNS {
-		h.maxNS = ns
-	}
-	h.buckets[histIndex(d)]++
-}
-
-func (h *opHist) merge(o *opHist) {
-	h.count += o.count
-	h.errs += o.errs
-	h.totalNS += o.totalNS
-	if o.maxNS > h.maxNS {
-		h.maxNS = o.maxNS
-	}
-	for i := range h.buckets {
-		h.buckets[i] += o.buckets[i]
-	}
-}
-
-// quantile returns the q-quantile as the geometric midpoint of the bucket
-// holding the q·count-th observation; the tracked exact maximum caps it.
-func (h *opHist) quantile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(h.count)))
-	if target < 1 {
-		target = 1
-	}
-	var cum uint64
-	for i, c := range h.buckets {
-		cum += c
-		if cum >= target {
-			mid := float64(histBase) * math.Pow(histGrowth, float64(i)) * math.Sqrt(histGrowth)
-			if mid > float64(h.maxNS) {
-				mid = float64(h.maxNS)
-			}
-			return time.Duration(mid)
-		}
-	}
-	return time.Duration(h.maxNS)
-}
+// Latencies accumulate in internal/hist's log-bucketed histogram — the
+// same geometry the serving engine's endpoint counters and the streaming
+// publisher use, so a load run's percentiles are directly comparable to
+// what /api/stats and /metrics report from the server side.
 
 // OpStats is one op kind's latency summary.
 type OpStats struct {
@@ -563,32 +510,32 @@ func RunLoad(target Target, opts LoadOptions) (*Report, error) {
 }
 
 type workerStats struct {
-	hists [numOps]opHist
+	hists [numOps]hist.Hist
 }
 
 func assemble(workers []workerStats, elapsed time.Duration) *Report {
-	var merged [numOps]opHist
+	var merged [numOps]hist.Hist
 	for w := range workers {
 		for k := range merged {
-			merged[k].merge(&workers[w].hists[k])
+			merged[k].Merge(&workers[w].hists[k])
 		}
 	}
 	rep := &Report{Elapsed: elapsed, Ops: make(map[string]OpStats, numOps)}
 	for k := OpKind(0); k < numOps; k++ {
 		h := &merged[k]
-		if h.count == 0 {
+		if h.Count == 0 {
 			continue
 		}
-		rep.Requests += h.count
-		rep.Errors += h.errs
+		rep.Requests += h.Count
+		rep.Errors += h.Errs
 		rep.Ops[k.String()] = OpStats{
-			Count:  h.count,
-			Errors: h.errs,
-			Mean:   time.Duration(h.totalNS / h.count),
-			P50:    h.quantile(0.50),
-			P95:    h.quantile(0.95),
-			P99:    h.quantile(0.99),
-			Max:    time.Duration(h.maxNS),
+			Count:  h.Count,
+			Errors: h.Errs,
+			Mean:   h.Mean(),
+			P50:    h.Quantile(0.50),
+			P95:    h.Quantile(0.95),
+			P99:    h.Quantile(0.99),
+			Max:    time.Duration(h.MaxNS),
 		}
 	}
 	if elapsed > 0 {
@@ -626,7 +573,7 @@ func runClosedLoop(target Target, o *LoadOptions) (*Report, error) {
 				req := genRequest(r, o)
 				t0 := time.Now()
 				err := target.Do(req)
-				ws.hists[req.Op].observe(time.Since(t0), err)
+				ws.hists[req.Op].Observe(time.Since(t0), err)
 			}
 		}(w)
 	}
@@ -659,7 +606,7 @@ func runOpenLoop(target Target, o *LoadOptions) (*Report, error) {
 			ws := &workers[w]
 			for j := range jobs {
 				err := target.Do(j.req)
-				ws.hists[j.req.Op].observe(time.Since(j.scheduled), err)
+				ws.hists[j.req.Op].Observe(time.Since(j.scheduled), err)
 			}
 		}(w)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/hist"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
@@ -159,27 +160,27 @@ func TestGenRequestDeterministicAndInRange(t *testing.T) {
 }
 
 func TestHistogramQuantiles(t *testing.T) {
-	var h opHist
+	var h hist.Hist
 	// 100 observations: 1ms ... 100ms.
 	for i := 1; i <= 100; i++ {
-		h.observe(time.Duration(i)*time.Millisecond, nil)
+		h.Observe(time.Duration(i)*time.Millisecond, nil)
 	}
 	check := func(q float64, want time.Duration) {
-		got := h.quantile(q)
+		got := h.Quantile(q)
 		// Log-bucketed: accept the histogram's ~9% resolution.
 		lo, hi := time.Duration(float64(want)*0.85), time.Duration(float64(want)*1.15)
 		if got < lo || got > hi {
-			t.Errorf("quantile(%.2f) = %v, want within 15%% of %v", q, got, want)
+			t.Errorf("Quantile(%.2f) = %v, want within 15%% of %v", q, got, want)
 		}
 	}
 	check(0.50, 50*time.Millisecond)
 	check(0.95, 95*time.Millisecond)
 	check(0.99, 99*time.Millisecond)
-	if h.quantile(1) > time.Duration(h.maxNS) {
+	if h.Quantile(1) > time.Duration(h.MaxNS) {
 		t.Error("quantile exceeds tracked maximum")
 	}
-	var empty opHist
-	if empty.quantile(0.5) != 0 {
+	var empty hist.Hist
+	if empty.Quantile(0.5) != 0 {
 		t.Error("empty histogram quantile must be 0")
 	}
 }
@@ -200,7 +201,11 @@ func TestLoadAgainstEngineAndHTTP(t *testing.T) {
 	m := serve.SyntheticModel(60, 6, 8, 300, 17)
 	e := serve.New(m, nil, serve.Options{})
 	defer e.Close()
+	mix := DefaultMix()
+	mix[OpQuality] = 1
+	mix[OpMetrics] = 1
 	opts := LoadOptions{
+		Mix:   mix,
 		Space: SpaceFromModel(m), Requests: 400, Concurrency: 4, Seed: 21,
 		FoldInSweeps: 5,
 	}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// TestModelBeatsPLPOnContent pins the quality/speed trade the PLP baseline
+// exists to expose: on a structure-blind graph (the noisy-graph preset,
+// whose friendship links carry almost no community signal) the joint
+// content+structure model must recover communities better than pure label
+// propagation — while PLP, which reads only the edge list, must win on
+// wall-clock by a wide margin.
+func TestModelBeatsPLPOnContent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	p, err := Lookup("noisy-graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainStart := time.Now()
+	model, _, err := core.Train(b.Graph, p.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainWall := time.Since(trainStart)
+
+	plpStart := time.Now()
+	res := baselines.PLP(model.NumUsers, b.Graph.Friends, baselines.PLPOptions{Seed: p.Synth.Seed})
+	plpWall := time.Since(plpStart)
+
+	modelNMI := nmiAgainstTruth(b, model)
+	plpNMI := eval.NMI(res.Labels, b.Truth.HomeCommunity[:model.NumUsers])
+	t.Logf("model NMI %.4f in %v vs PLP NMI %.4f in %v (%d communities, %d sweeps)",
+		modelNMI, trainWall.Round(time.Millisecond), plpNMI, plpWall.Round(time.Microsecond),
+		res.Communities, res.Sweeps)
+
+	if modelNMI <= plpNMI {
+		t.Errorf("joint model NMI %.4f does not beat PLP's %.4f on the structure-blind preset", modelNMI, plpNMI)
+	}
+	if plpWall >= trainWall {
+		t.Errorf("PLP took %v, not faster than the %v training run", plpWall, trainWall)
+	}
+}
+
+// TestPLPWarmStartClearsNMIFloor gates the cpd-train -init plp path
+// behind a scenario floor: training resumed from a PLP-seeded model must
+// recover the planted communities at least as well as the preset's MinNMI
+// demands of a random initialization.
+func TestPLPWarmStartClearsNMIFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	p, err := Lookup("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := baselines.PLPGraph(b.Graph, baselines.PLPOptions{Seed: p.Train.Seed})
+	m0 := baselines.WarmStartModel(b.Graph, p.Train, res.Labels)
+	m, _, err := core.TrainResumed(b.Graph, m0, p.Train.EMIters, core.ResumeOptions{
+		Workers: p.Train.Workers,
+		Seed:    p.Train.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi := nmiAgainstTruth(b, m); nmi < p.MinNMI {
+		t.Errorf("PLP-warm-started NMI %.4f below the %s floor %.2f", nmi, p.Name, p.MinNMI)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"reflect"
 	"strings"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/quality"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -39,6 +41,20 @@ type Metrics struct {
 	// the model's exact K×|Z| scan. With full posting lists this must
 	// be 1.0 — any deficit is an index regression.
 	RankAgreement float64 `json:"rankAgreement"`
+
+	// Structural quality of the trained partition over the friendship
+	// graph (internal/quality): golden-pinned so a sampler change that
+	// degrades community structure fails the suite even when NMI drifts
+	// inside its tolerance.
+	Modularity     float64 `json:"modularity"`
+	Coverage       float64 `json:"coverage"`
+	AvgConductance float64 `json:"avgConductance"`
+	SizeP50        int     `json:"sizeP50"`
+
+	// PLPNMI scores the parallel label-propagation baseline's partition
+	// against the same planted truth — the comparison row. The trained
+	// model is expected to beat it on content-driven presets.
+	PLPNMI float64 `json:"plpNMI"`
 }
 
 // RunOptions tunes one regression run.
@@ -122,6 +138,25 @@ func Run(p Preset, opts RunOptions) (*Metrics, error) {
 	m.RankAgreement = rankAgreement(engine, loaded)
 	if m.RankAgreement < 1 {
 		fail("rank index agrees with the full scan on only %.0f%% of probe queries", 100*m.RankAgreement)
+	}
+
+	// Structural quality over the friendship graph, recorded on the engine
+	// so the HTTP pass below exercises /api/quality against real history —
+	// plus the PLP baseline as the comparison row, scored against the same
+	// planted truth the model is.
+	qr := quality.FromModel(loaded, b.Graph.Friends, nil)
+	qr.Generation = 1
+	m.Modularity = qr.Modularity
+	m.Coverage = qr.Coverage
+	m.AvgConductance = qr.AvgConductance
+	m.SizeP50 = qr.SizeP50
+	engine.RecordQuality(serve.DefaultSnapshot, qr)
+	if len(b.Graph.Friends) > 0 {
+		res := baselines.PLP(loaded.NumUsers, b.Graph.Friends, baselines.PLPOptions{Seed: p.Synth.Seed})
+		m.PLPNMI = eval.NMI(res.Labels, b.Truth.HomeCommunity[:loaded.NumUsers])
+		br := quality.Compute(res.Labels, res.Communities, b.Graph.Friends, nil)
+		br.Algo = "plp"
+		engine.RecordQualityBaseline(serve.DefaultSnapshot, br)
 	}
 	if err := checkFoldInDeterminism(engine, b); err != nil {
 		fail("%v", err)
@@ -396,6 +431,8 @@ func checkHTTPSurface(e *serve.Engine, b *Bundle) error {
 		fmt.Sprintf("/api/rank?q=%s&k=3", b.Vocab.Word(1)),
 		"/api/diffusion?u=0&v=1&topic=0",
 		"/api/stats",
+		"/api/quality",
+		"/metrics",
 		"/healthz",
 	}
 	for _, p := range paths {

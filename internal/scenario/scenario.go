@@ -166,6 +166,12 @@ var presets = []Preset{
 		0.05, 0.55, 112, func(c *synth.Config) {
 			c.SizeExponent = 3.0
 		}),
+	preset("noisy-graph",
+		"structure-blind: friendship links near community-agnostic, only content separates communities — where the joint model beats pure label propagation",
+		0.15, 0.55, 114, func(c *synth.Config) {
+			c.FriendIntraDeg = 3
+			c.FriendInterDeg = 8
+		}),
 	largeScale(),
 }
 

@@ -45,6 +45,12 @@ type StreamPreset struct {
 	// holds for pure fold-in).
 	GibbsEvery int
 
+	// QualityEvery > 0 scores every N-th published generation with the
+	// structural quality metrics (internal/quality), PLP baseline
+	// included; the run asserts reports accumulated with drift tracked
+	// between consecutive scored generations.
+	QualityEvery int
+
 	// MinNMI floors the full-population NMI (base + streamed users'
 	// top communities vs. the planted truth) after all events land.
 	MinNMI float64
@@ -69,8 +75,10 @@ func StreamPresets() []StreamPreset {
 	}
 	return []StreamPreset{
 		mk("steady-drip",
-			"one event at a time, publish every 8: the always-on trickle; pins replay-equals-batch",
-			"uniform", nil),
+			"one event at a time, publish every 8: the always-on trickle; pins replay-equals-batch and quality scoring",
+			"uniform", func(sp *StreamPreset) {
+				sp.QualityEvery = 4
+			}),
 		mk("burst",
 			"whole-population burst in big batches, one publish window: the backfill shape",
 			"power-law", func(sp *StreamPreset) {
@@ -113,6 +121,7 @@ type StreamMetrics struct {
 
 	Publishes   uint64 `json:"publishes"`
 	GibbsPasses uint64 `json:"gibbsPasses"`
+	QualityRuns uint64 `json:"qualityRuns"`
 	// IncrementalPublishes counts the publishes that took the O(changed)
 	// path (patched model and indexes) rather than a full rebuild; the
 	// run verifies these serve bit-identically to a shadow updater forced
@@ -325,6 +334,8 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 			BaseGraph:    baseG,
 			Workers:      2,
 			FullRebuild:  fullRebuild,
+			Quality:      p.QualityEvery,
+			QualityPLP:   p.QualityEvery > 0,
 		})
 		if err != nil {
 			j.Close()
@@ -474,8 +485,29 @@ func RunStream(p StreamPreset, opts RunOptions) (*StreamMetrics, error) {
 	st := u.Status()
 	m.Publishes, m.GibbsPasses = st.Publishes, st.GibbsPasses
 	m.IncrementalPublishes = st.IncrementalPublishes
+	m.QualityRuns = st.QualityRuns
 	if p.GibbsEvery > 0 && st.GibbsPasses == 0 {
 		fail("delta-Gibbs never ran despite GibbsEvery=%d over %d publishes", p.GibbsEvery, st.Publishes)
+	}
+	if p.QualityEvery > 0 {
+		if st.QualityRuns == 0 {
+			fail("quality scoring never ran despite QualityEvery=%d over %d publishes", p.QualityEvery, st.Publishes)
+		}
+		history, baseline := engine.QualityHistory(serve.DefaultSnapshot)
+		if len(history) == 0 {
+			fail("quality ran %d times but the engine recorded no history", st.QualityRuns)
+		}
+		for i, r := range history {
+			if i > 0 && !r.HasPrev {
+				fail("quality report for generation %d lost drift tracking against its predecessor", r.Generation)
+			}
+			if r.GraphEdges == 0 {
+				fail("quality report for generation %d scored zero friendship edges", r.Generation)
+			}
+		}
+		if baseline == nil || baseline.Algo != "plp" {
+			fail("quality PLP baseline row missing from the engine history")
+		}
 	}
 	if st.PendingEvents != 0 {
 		fail("%d events still pending after the final publish", st.PendingEvents)

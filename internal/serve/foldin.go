@@ -66,7 +66,7 @@ func (e *Engine) FoldIn(req *FoldInRequest) (*FoldInResult, error) {
 // FoldInNamed is FoldIn against a named snapshot.
 func (e *Engine) FoldInNamed(name string, req *FoldInRequest) (res *FoldInResult, err error) {
 	start := time.Now()
-	defer func() { e.lat[epFoldIn].observe(time.Since(start), err) }()
+	defer func() { e.lat[epFoldIn].Observe(time.Since(start), err) }()
 	s, release, err := e.AcquireNamed(name)
 	if err != nil {
 		return nil, err
@@ -91,7 +91,7 @@ func (e *Engine) foldWorker() {
 		res, err := foldIn(job.snap, job.req)
 		// Per-request accounting, so the foldin stats (count, errors,
 		// latency) mean the same thing for batch and single requests.
-		e.lat[epFoldIn].observe(time.Since(start), err)
+		e.lat[epFoldIn].Observe(time.Since(start), err)
 		job.out[job.idx], job.errs[job.idx] = res, err
 		job.wg.Done()
 	}

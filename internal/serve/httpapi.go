@@ -27,7 +27,9 @@ import (
 //	POST /api/foldin                            fold-in one FoldInRequest
 //	POST /api/reload                            hot-swap via reload (if non-nil)
 //	GET  /api/snapshots                         per-snapshot accounting
-//	GET  /api/stats                             latency counters + RSS + snapshots
+//	GET  /api/stats                             latency histograms + RSS + quality summary
+//	GET  /api/quality                           per-generation quality history + PLP baseline
+//	GET  /metrics                               Prometheus text exposition
 //	GET  /healthz                               liveness + model version
 //
 // Every query endpoint accepts an optional ?snapshot=NAME parameter
@@ -158,7 +160,23 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 		writeJSON(w, e.SnapshotsInfo())
 	})
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		writeJSON(w, e.StatsReport())
+		e.lat[epStats].Observe(time.Since(start), nil)
+	})
+	mux.HandleFunc("/api/quality", func(w http.ResponseWriter, r *http.Request) {
+		p, err := e.QualityIn(snapParam(r))
+		if err != nil {
+			writeQueryErr(w, err)
+			return
+		}
+		writeJSON(w, p)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.WriteMetrics(w)
+		e.lat[epMetrics].Observe(time.Since(start), nil)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Process liveness must not depend on any particular snapshot

@@ -23,8 +23,12 @@
 //     on a community membership and profile, by a short seeded Gibbs pass
 //     against the frozen Φ/Θ/Π — batched through a persistent worker pool
 //     in the spirit of core.Engine's segment workers;
-//   - every endpoint keeps latency counters (Stats), and StatsReport adds
-//     process RSS plus per-snapshot mapped/heap byte accounting.
+//   - every endpoint keeps a log-bucketed latency histogram (Stats,
+//     p50/p95/p99 included), StatsReport adds process RSS plus
+//     per-snapshot mapped/heap byte accounting, the engine stores a
+//     bounded per-snapshot history of structural quality reports
+//     (internal/quality) served on /api/quality, and WriteMetrics
+//     exports the whole surface in Prometheus text format (/metrics).
 //
 // internal/lens builds its browser UI on this engine; cmd/cpd-serve
 // exposes it as a headless JSON API.
@@ -42,7 +46,9 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/hist"
 	"repro/internal/mathx"
+	"repro/internal/quality"
 	"repro/internal/store"
 )
 
@@ -78,6 +84,10 @@ type Options struct {
 	// MemberTopK is the "top communities per user" convention used for
 	// member lists (default 5, the paper's choice).
 	MemberTopK int
+
+	// QualityHistory bounds the per-snapshot ring of structural quality
+	// reports kept for /api/quality (default 32 generations).
+	QualityHistory int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +105,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MemberTopK == 0 {
 		o.MemberTopK = 5
+	}
+	if o.QualityHistory == 0 {
+		o.QualityHistory = 32
 	}
 	return o
 }
@@ -297,7 +310,7 @@ func (s *Snapshot) Openness(c int) int { return s.openness[c] }
 // Mapped reports whether the snapshot's matrices alias a file mapping.
 func (s *Snapshot) Mapped() bool { return s.mapped }
 
-// Endpoint identifiers for the latency counters.
+// Endpoint identifiers for the latency histograms.
 const (
 	epCommunities = iota
 	epCommunity
@@ -306,38 +319,29 @@ const (
 	epDiffusion
 	epFoldIn
 	epReload
+	epStats
+	epQuality
+	epMetrics
 	epCount
 )
 
 var endpointNames = [epCount]string{
 	"communities", "community", "membership", "rank", "diffusion", "foldin", "reload",
+	"stats", "quality", "metrics",
 }
 
-// EndpointStats is one endpoint's cumulative latency accounting.
+// EndpointStats is one endpoint's latency digest: the cumulative counters
+// plus p50/p95/p99 from the shared log-bucketed histogram (internal/hist)
+// — the same geometry the load generator and /metrics report, so the
+// numbers line up across all three surfaces.
 type EndpointStats struct {
 	Count       uint64 `json:"count"`
 	Errors      uint64 `json:"errors"`
 	TotalMicros uint64 `json:"totalMicros"`
 	MaxMicros   uint64 `json:"maxMicros"`
-}
-
-type latencyCounter struct {
-	count, errs, totalNS, maxNS atomic.Uint64
-}
-
-func (l *latencyCounter) observe(d time.Duration, err error) {
-	ns := uint64(d.Nanoseconds())
-	l.count.Add(1)
-	l.totalNS.Add(ns)
-	if err != nil {
-		l.errs.Add(1)
-	}
-	for {
-		cur := l.maxNS.Load()
-		if ns <= cur || l.maxNS.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
+	P50Micros   uint64 `json:"p50Micros"`
+	P95Micros   uint64 `json:"p95Micros"`
+	P99Micros   uint64 `json:"p99Micros"`
 }
 
 // slot is one named snapshot holder.
@@ -362,11 +366,21 @@ type Engine struct {
 	// swapMu serializes writers (Reload/Swap/Drop); readers never take it.
 	swapMu sync.Mutex
 
-	lat [epCount]latencyCounter
+	lat [epCount]hist.Atomic
 
 	// ingestStats, when set (SetIngestStats), contributes the streaming
 	// freshness/lag section of StatsReport.
 	ingestStats atomic.Value // of func() any
+
+	// qualityMu guards the bounded per-snapshot quality report history
+	// and the per-snapshot baseline comparison row.
+	qualityMu       sync.Mutex
+	qualityHist     map[string][]*quality.Report
+	qualityBaseline map[string]*quality.Report
+
+	// collectorsMu guards extra /metrics contributors (AddMetricsCollector).
+	collectorsMu sync.Mutex
+	collectors   []func(io.Writer)
 
 	foldJobs  chan foldJob
 	closeOnce sync.Once
@@ -375,7 +389,12 @@ type Engine struct {
 // NewMulti builds an engine with no snapshots; load them with Swap,
 // SwapMapped or Reload under chosen names.
 func NewMulti(opts Options) *Engine {
-	e := &Engine{opts: opts.withDefaults(), slots: make(map[string]*slot)}
+	e := &Engine{
+		opts:            opts.withDefaults(),
+		slots:           make(map[string]*slot),
+		qualityHist:     make(map[string][]*quality.Report),
+		qualityBaseline: make(map[string]*quality.Report),
+	}
 	e.foldJobs = make(chan foldJob)
 	for i := 0; i < e.opts.FoldInWorkers; i++ {
 		go e.foldWorker()
@@ -580,7 +599,7 @@ func (e *Engine) Reload(modelPath, vocabPath string) (version uint64, err error)
 // ReloadNamed is Reload into a named slot (created if absent).
 func (e *Engine) ReloadNamed(name, modelPath, vocabPath string) (version uint64, err error) {
 	start := time.Now()
-	defer func() { e.lat[epReload].observe(time.Since(start), err) }()
+	defer func() { e.lat[epReload].Observe(time.Since(start), err) }()
 	var vocab *corpus.Vocabulary
 	if s, release, err := e.AcquireNamed(name); err == nil {
 		vocab = s.Vocab
@@ -601,7 +620,7 @@ func (e *Engine) ReloadNamed(name, modelPath, vocabPath string) (version uint64,
 // vocabulary file is not re-read per slot.
 func (e *Engine) LoadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) (version uint64, err error) {
 	start := time.Now()
-	defer func() { e.lat[epReload].observe(time.Since(start), err) }()
+	defer func() { e.lat[epReload].Observe(time.Since(start), err) }()
 	return e.loadSnapshot(name, modelPath, vocab)
 }
 
@@ -622,17 +641,19 @@ func (e *Engine) loadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) 
 	return e.SwapNamed(name, m, vocab), nil
 }
 
-// Stats returns a copy of the per-endpoint latency counters, keyed by
-// endpoint name.
+// Stats returns the per-endpoint latency digests, keyed by endpoint name.
 func (e *Engine) Stats() map[string]EndpointStats {
 	out := make(map[string]EndpointStats, epCount)
 	for i := 0; i < epCount; i++ {
-		l := &e.lat[i]
+		h := e.lat[i].Snapshot()
 		out[endpointNames[i]] = EndpointStats{
-			Count:       l.count.Load(),
-			Errors:      l.errs.Load(),
-			TotalMicros: l.totalNS.Load() / 1e3,
-			MaxMicros:   l.maxNS.Load() / 1e3,
+			Count:       h.Count,
+			Errors:      h.Errs,
+			TotalMicros: h.TotalNS / 1e3,
+			MaxMicros:   h.MaxNS / 1e3,
+			P50Micros:   uint64(h.Quantile(0.50).Microseconds()),
+			P95Micros:   uint64(h.Quantile(0.95).Microseconds()),
+			P99Micros:   uint64(h.Quantile(0.99).Microseconds()),
 		}
 	}
 	return out
@@ -687,6 +708,9 @@ type StatsReport struct {
 	// ProcessRSSBytes is the process's resident set size (0 where the
 	// platform offers no cheap reading).
 	ProcessRSSBytes int64 `json:"processRSSBytes"`
+	// Quality is the latest structural quality report per snapshot slot
+	// (the /api/quality history's head), present once any were recorded.
+	Quality map[string]*quality.Report `json:"quality,omitempty"`
 	// Ingest is the streaming updater's status (generation, pending-event
 	// lag, last publish), present only on servers running live ingest.
 	Ingest any `json:"ingest,omitempty"`
@@ -706,6 +730,7 @@ func (e *Engine) StatsReport() *StatsReport {
 		Endpoints:       e.Stats(),
 		Snapshots:       e.SnapshotsInfo(),
 		ProcessRSSBytes: ProcessRSS(),
+		Quality:         e.latestQuality(),
 	}
 	if fn, ok := e.ingestStats.Load().(func() any); ok && fn != nil {
 		r.Ingest = fn()
@@ -955,7 +980,7 @@ func (s *Snapshot) RankText(query string, k int) (*RankResult, error) {
 func (e *Engine) onSnapshot(ep int, name string, fn func(*Snapshot) error) error {
 	start := time.Now()
 	var err error
-	defer func() { e.lat[ep].observe(time.Since(start), err) }()
+	defer func() { e.lat[ep].Observe(time.Since(start), err) }()
 	s, release, aerr := e.AcquireNamed(name)
 	if aerr != nil {
 		err = aerr

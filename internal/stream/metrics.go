@@ -1,0 +1,44 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics emits the updater's ingest/publish state in Prometheus
+// text exposition format — the collector cmd/cpd-serve registers on the
+// engine via AddMetricsCollector so /metrics covers the write path too.
+// It reads only the statusMu-guarded caches (refreshed after every
+// mutation), so a scrape never waits on a long-running publish or
+// delta-Gibbs pass.
+func (u *Updater) WriteMetrics(w io.Writer) {
+	u.statusMu.Lock()
+	st := u.statusCache
+	pub := u.pubHistCache
+	lag := u.lagHistCache
+	u.statusMu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	igauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	igauge("cpd_ingest_generation", "Last published snapshot generation.", int64(st.Generation))
+	igauge("cpd_ingest_users", "Users in the extended model (base + streamed).", int64(st.Users))
+	igauge("cpd_ingest_pending_events", "Events applied in memory but not yet servable.", int64(st.PendingEvents))
+	igauge("cpd_ingest_dirty_users", "Users awaiting a re-fold at the next publish.", int64(st.DirtyUsers))
+	igauge("cpd_ingest_journal_bytes", "On-disk size of the event journal.", st.JournalBytes)
+	counter("cpd_ingest_applied_events_total", "Events applied since the process started.", st.AppliedEvents)
+	counter("cpd_publishes_total", "Snapshots published.", st.Publishes)
+	counter("cpd_publish_full_rebuilds_total", "Publishes that rebuilt from scratch.", st.FullRebuilds)
+	counter("cpd_publish_incremental_total", "Publishes that took the O(changed) path.", st.IncrementalPublishes)
+	counter("cpd_gibbs_passes_total", "Delta-Gibbs refinement passes run.", st.GibbsPasses)
+	counter("cpd_quality_runs_total", "Publishes scored by the quality layer.", st.QualityRuns)
+
+	fmt.Fprint(w, "# HELP cpd_publish_latency_seconds Publish wall latency (journal sync through promote).\n# TYPE cpd_publish_latency_seconds histogram\n")
+	pub.WriteProm(w, "cpd_publish_latency_seconds", "")
+	fmt.Fprint(w, "# HELP cpd_publish_lag_seconds Event append to servable generation.\n# TYPE cpd_publish_lag_seconds histogram\n")
+	lag.WriteProm(w, "cpd_publish_lag_seconds", "")
+}

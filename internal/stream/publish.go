@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hist"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/store"
@@ -40,13 +41,14 @@ import (
 // surfaced on /api/ingest/status and /api/stats as
 // status.lastPublishPhases.
 type PublishPhases struct {
-	SyncMicros    int64 `json:"syncMicros"`    // journal fsync
-	FoldMicros    int64 `json:"foldMicros"`    // dirty-user fold-in
-	GibbsMicros   int64 `json:"gibbsMicros"`   // delta-Gibbs pass (0 when none ran)
-	ModelMicros   int64 `json:"modelMicros"`   // extended-model assembly
-	SaveMicros    int64 `json:"saveMicros"`    // v2 snapshot write (0 without Dir)
-	IndexMicros   int64 `json:"indexMicros"`   // serving-snapshot (index) build
-	PromoteMicros int64 `json:"promoteMicros"` // engine swap
+	SyncMicros    int64 `json:"syncMicros"`              // journal fsync
+	FoldMicros    int64 `json:"foldMicros"`              // dirty-user fold-in
+	GibbsMicros   int64 `json:"gibbsMicros"`             // delta-Gibbs pass (0 when none ran)
+	ModelMicros   int64 `json:"modelMicros"`             // extended-model assembly
+	SaveMicros    int64 `json:"saveMicros"`              // v2 snapshot write (0 without Dir)
+	IndexMicros   int64 `json:"indexMicros"`             // serving-snapshot (index) build
+	PromoteMicros int64 `json:"promoteMicros"`           // engine swap
+	QualityMicros int64 `json:"qualityMicros,omitempty"` // structural quality scoring (0 when skipped)
 	TotalMicros   int64 `json:"totalMicros"`
 	// Full marks a from-scratch publish; incremental otherwise.
 	Full bool `json:"full"`
@@ -63,69 +65,9 @@ type lagSample struct {
 
 // --- latency histogram ---------------------------------------------------
 
-// Publish latency and lag accumulate in log-spaced buckets: bucket i
-// covers [latHistBase·latHistGrowth^i, ·^(i+1)), spanning 50µs to beyond
-// an hour in 144 buckets with ~13% resolution — enough for p50/p95/p99
-// without per-publish allocation.
-const (
-	latHistBase    = 50 * time.Microsecond
-	latHistGrowth  = 1.13
-	latHistBuckets = 144
-)
-
-type latHist struct {
-	count   uint64
-	totalNS uint64
-	maxNS   uint64
-	buckets [latHistBuckets]uint64
-}
-
-func latHistIndex(d time.Duration) int {
-	if d <= latHistBase {
-		return 0
-	}
-	i := int(math.Log(float64(d)/float64(latHistBase)) / math.Log(latHistGrowth))
-	if i >= latHistBuckets {
-		i = latHistBuckets - 1
-	}
-	return i
-}
-
-func (h *latHist) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.count++
-	h.totalNS += uint64(d)
-	if uint64(d) > h.maxNS {
-		h.maxNS = uint64(d)
-	}
-	h.buckets[latHistIndex(d)]++
-}
-
-// quantile returns the q-quantile as the geometric midpoint of the bucket
-// holding the q·count-th observation; the tracked exact maximum caps it.
-func (h *latHist) quantile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(h.count)))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i, c := range h.buckets {
-		cum += c
-		if cum >= target {
-			mid := float64(latHistBase) * math.Pow(latHistGrowth, float64(i)) * math.Sqrt(latHistGrowth)
-			if mid > float64(h.maxNS) {
-				mid = float64(h.maxNS)
-			}
-			return time.Duration(mid)
-		}
-	}
-	return time.Duration(h.maxNS)
-}
+// Publish latency and lag accumulate in the shared log-bucketed histogram
+// (internal/hist) — the same geometry the serving endpoints and the load
+// generator digest, so p50/p95/p99 line up across every surface.
 
 // LatencySummary is a histogram digest in milliseconds, JSON-shaped for
 // the status endpoints.
@@ -138,20 +80,20 @@ type LatencySummary struct {
 	MaxMs float64 `json:"maxMs"`
 }
 
-func (h *latHist) summary() *LatencySummary {
-	if h.count == 0 {
+func histSummary(h *hist.Hist) *LatencySummary {
+	if h.Count == 0 {
 		return nil
 	}
 	ms := func(d time.Duration) float64 {
 		return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
 	}
 	return &LatencySummary{
-		Count: h.count,
-		AvgMs: ms(time.Duration(h.totalNS / h.count)),
-		P50Ms: ms(h.quantile(0.50)),
-		P95Ms: ms(h.quantile(0.95)),
-		P99Ms: ms(h.quantile(0.99)),
-		MaxMs: ms(time.Duration(h.maxNS)),
+		Count: h.Count,
+		AvgMs: ms(h.Mean()),
+		P50Ms: ms(h.Quantile(0.50)),
+		P95Ms: ms(h.Quantile(0.95)),
+		P99Ms: ms(h.Quantile(0.99)),
+		MaxMs: ms(time.Duration(h.MaxNS)),
 	}
 }
 
@@ -174,7 +116,7 @@ func (u *Updater) drainLagLocked(now time.Time, covered uint64) {
 	kept := u.lagPending[:0]
 	for _, s := range u.lagPending {
 		if s.off <= covered {
-			u.lagHist.observe(now.Sub(s.at))
+			u.lagHist.Observe(now.Sub(s.at), nil)
 		} else {
 			kept = append(kept, s)
 		}
@@ -335,7 +277,7 @@ func (u *Updater) publishLocked() (*PublishInfo, error) {
 	now := time.Now()
 	ph.TotalMicros = now.Sub(start).Microseconds()
 	u.lastPhases = ph
-	u.pubHist.observe(now.Sub(start))
+	u.pubHist.Observe(now.Sub(start), nil)
 	u.drainLagLocked(now, u.pendingTo)
 	u.published = true
 	u.lastModel = model
@@ -356,6 +298,14 @@ func (u *Updater) publishLocked() (*PublishInfo, error) {
 	u.publishes++
 	u.lastPublish = now
 	u.lastPublishMs = now.Sub(start).Milliseconds()
+	// Quality scoring runs after the promote on purpose: the new
+	// generation is already servable, so a slow metric pass delays the
+	// NEXT publish, never this one's visibility. TotalMicros above
+	// excludes it for the same reason; the cost shows up separately as
+	// QualityMicros and cpd_quality_cost_seconds.
+	if u.opts.Quality > 0 && u.publishes%uint64(u.opts.Quality) == 0 {
+		u.qualityLocked(model, info)
+	}
 	return info, nil
 }
 

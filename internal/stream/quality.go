@@ -1,0 +1,70 @@
+package stream
+
+// Quality scoring on the publish path (Options.Quality): every scored
+// publish computes the structural metrics of internal/quality over the
+// just-promoted model's hard partition and the merged base+stream
+// friendship edges, records the report into the serving engine's bounded
+// per-slot history (/api/quality, /metrics), and keeps the scored
+// assignments around as the drift baseline for the next scored
+// generation. Optionally (Options.QualityPLP) the parallel
+// label-propagation baseline runs on the same edges, giving the
+// comparison row the profiling model is judged against.
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/socialgraph"
+)
+
+// qualityLocked scores the model just promoted as generation
+// info.Generation. Called with u.mu held, after the promote — a slow
+// scoring pass delays the next publish, never this generation's
+// visibility.
+func (u *Updater) qualityLocked(model *core.Model, info *PublishInfo) {
+	assign := quality.Assignments(model)
+	edges := u.qualityEdgesLocked()
+	r := quality.Compute(assign, model.Cfg.NumCommunities, edges, u.prevQualityAssign)
+	r.Algo = "cpd"
+	r.Generation = info.Generation
+	r.Version = info.Version
+	r.UnixMilli = time.Now().UnixMilli()
+	u.opts.Engine.RecordQuality(u.opts.Snapshot, r)
+	u.prevQualityAssign = assign
+	u.lastQuality = r
+	u.qualityRuns++
+	u.lastPhases.QualityMicros = r.CostMicros
+
+	if u.opts.QualityPLP && len(edges) > 0 {
+		start := time.Now()
+		res := baselines.PLP(model.NumUsers, edges, baselines.PLPOptions{Seed: u.opts.FoldSeed})
+		b := quality.Compute(res.Labels, res.Communities, edges, nil)
+		b.Algo = "plp"
+		b.Generation = info.Generation
+		b.Version = info.Version
+		b.UnixMilli = time.Now().UnixMilli()
+		// The baseline's cost is dominated by running PLP itself, not by
+		// scoring its labels; report the whole detour.
+		b.CostMicros = time.Since(start).Microseconds()
+		u.opts.Engine.RecordQualityBaseline(u.opts.Snapshot, b)
+	}
+}
+
+// qualityEdgesLocked is the friendship edge set quality is scored on: the
+// base training graph's edges (when the updater has them) plus every
+// streamed add-edge event. Without a base graph the streamed edges alone
+// are scored; with neither, reports are membership-shape only.
+func (u *Updater) qualityEdgesLocked() []socialgraph.FriendLink {
+	var base []socialgraph.FriendLink
+	if u.opts.BaseGraph != nil {
+		base = u.opts.BaseGraph.Friends
+	}
+	if len(u.edges) == 0 {
+		return base
+	}
+	out := make([]socialgraph.FriendLink, 0, len(base)+len(u.edges))
+	out = append(out, base...)
+	return append(out, u.edges...)
+}

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestQualityScoringOnPublish wires Options.Quality through a real
+// ingest→publish→ingest→publish cycle and checks the reports land in the
+// engine's history with drift fields, the PLP comparison row is recorded,
+// and the /metrics collector exposes the run.
+func TestQualityScoringOnPublish(t *testing.T) {
+	g, m := testBase(t)
+	engine, _, u := newTestUpdater(t, g, m, func(o *Options) {
+		o.Quality = 1
+		o.QualityPLP = true
+		o.BaseGraph = g
+	})
+	if _, err := u.Ingest(streamFixture(g, m)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Ingest([]Event{
+		{Type: EvAddDoc, User: 1, Time: 200, Words: g.Docs[4].Words},
+		{Type: EvAddEdge, User: 1, Target: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	history, baseline := engine.QualityHistory(serve.DefaultSnapshot)
+	if len(history) != 2 {
+		t.Fatalf("expected 2 quality reports, got %d", len(history))
+	}
+	first, second := history[0], history[1]
+	if first.Algo != "cpd" || first.Generation != 1 || second.Generation != 2 {
+		t.Fatalf("report identity wrong: %+v / %+v", first, second)
+	}
+	if first.HasPrev {
+		t.Fatal("first scored generation cannot have a drift baseline")
+	}
+	if !second.HasPrev {
+		t.Fatal("second scored generation lost its drift baseline")
+	}
+	if second.Churn < 0 || second.Churn > 1 || second.PrevNMI < 0 || second.PrevNMI > 1.000001 {
+		t.Fatalf("drift out of range: churn=%v nmi=%v", second.Churn, second.PrevNMI)
+	}
+	// The base graph has edges, so the reports must be graph-scored.
+	if first.GraphEdges == 0 || first.Modularity == 0 && first.Coverage == 0 {
+		t.Fatalf("graph metrics missing: %+v", first)
+	}
+	if baseline == nil || baseline.Algo != "plp" {
+		t.Fatalf("PLP baseline row missing: %+v", baseline)
+	}
+	if baseline.GraphEdges != second.GraphEdges {
+		t.Fatalf("baseline scored %d edges, model %d — must be the same graph",
+			baseline.GraphEdges, second.GraphEdges)
+	}
+
+	st := u.Status()
+	if st.QualityRuns != 2 || st.LastQuality == nil || st.LastQuality.Generation != 2 {
+		t.Fatalf("status quality fields wrong: runs=%d last=%+v", st.QualityRuns, st.LastQuality)
+	}
+	if st.LastPublishPhases == nil || st.LastPublishPhases.QualityMicros <= 0 {
+		t.Fatalf("publish phases missing quality cost: %+v", st.LastPublishPhases)
+	}
+
+	var sb strings.Builder
+	u.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"cpd_quality_runs_total 2",
+		"cpd_publishes_total 2",
+		"cpd_publish_latency_seconds_bucket",
+		`cpd_publish_lag_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("updater metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestQualityDisabledByDefault: without the knob no publish is scored and
+// /api/quality falls back to the one-off membership report.
+func TestQualityDisabledByDefault(t *testing.T) {
+	g, m := testBase(t)
+	engine, _, u := newTestUpdater(t, g, m, nil)
+	if _, err := u.Ingest(streamFixture(g, m)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	history, baseline := engine.QualityHistory(serve.DefaultSnapshot)
+	if len(history) != 0 || baseline != nil {
+		t.Fatalf("quality recorded with the knob off: %d reports", len(history))
+	}
+	p, err := engine.QualityIn(serve.DefaultSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.History) != 1 || p.History[0].Users != m.NumUsers+2 {
+		t.Fatalf("fallback report wrong: %+v", p.History)
+	}
+}

@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/hist"
+	"repro/internal/quality"
 	"repro/internal/serve"
 	"repro/internal/socialgraph"
 	"repro/internal/sparse"
@@ -83,6 +85,19 @@ type Options struct {
 	// CompactBytes triggers checkpoint+compaction from Run once the
 	// journal file exceeds this size (default 4 MiB; negative disables).
 	CompactBytes int64
+
+	// Quality, when > 0, scores every Quality-th publish with the
+	// structural metrics of internal/quality (modularity, coverage,
+	// conductance, size distribution, drift vs the previous scored
+	// generation) and records the report into the engine's bounded
+	// history (/api/quality, /metrics). 0 disables — the knob exists
+	// because scoring is O(users + edges) on the publish path.
+	Quality int
+	// QualityPLP additionally runs the parallel label-propagation
+	// baseline on the merged base+stream friendship edges each time
+	// quality is scored, recording it as the comparison row. Needs edges
+	// (BaseGraph and/or streamed add-edge events) to say anything.
+	QualityPLP bool
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +169,10 @@ type Status struct {
 	LastPublishPhases    *PublishPhases  `json:"lastPublishPhases,omitempty"`
 	PublishLatency       *LatencySummary `json:"publishLatency,omitempty"`
 	PublishLag           *LatencySummary `json:"publishLag,omitempty"`
+	// QualityRuns counts publishes scored by the quality layer
+	// (Options.Quality); LastQuality is the most recent report.
+	QualityRuns uint64          `json:"qualityRuns,omitempty"`
+	LastQuality *quality.Report `json:"lastQuality,omitempty"`
 	// LastError is the most recent publish/checkpoint failure the Run
 	// loop retried past ("" when healthy).
 	LastError string `json:"lastError,omitempty"`
@@ -241,14 +260,24 @@ type Updater struct {
 	fullRebuilds         uint64
 	incrementalPublishes uint64
 	lastPhases           PublishPhases
-	pubHist              latHist     // publish wall latency
-	lagHist              latHist     // event append -> servable generation
+	pubHist              hist.Hist   // publish wall latency
+	lagHist              hist.Hist   // event append -> servable generation
 	lagPending           []lagSample // applied batches awaiting a publish
 
-	// statusMu guards statusCache, a copy refreshed after every mutation
-	// so Status() never has to wait on a long-running publish.
-	statusMu    sync.Mutex
-	statusCache Status
+	// Quality scoring state (Options.Quality): the previous scored
+	// generation's hard assignments (drift baseline), the latest report,
+	// and how many publishes were scored.
+	prevQualityAssign []int32
+	lastQuality       *quality.Report
+	qualityRuns       uint64
+
+	// statusMu guards statusCache (and the histogram copies WriteMetrics
+	// reads), refreshed after every mutation so Status() and the /metrics
+	// collector never have to wait on a long-running publish.
+	statusMu     sync.Mutex
+	statusCache  Status
+	pubHistCache hist.Hist
+	lagHistCache hist.Hist
 
 	notify chan struct{} // pending >= window, consumed by Run
 }
@@ -544,11 +573,15 @@ func (u *Updater) Status() Status {
 	return u.statusCache
 }
 
-// refreshStatusLocked recomputes the status cache; callers hold u.mu.
+// refreshStatusLocked recomputes the status cache; callers hold u.mu. The
+// raw publish/lag histograms are copied alongside so WriteMetrics (the
+// /metrics collector) never has to wait on a long-running publish either.
 func (u *Updater) refreshStatusLocked() {
 	st := u.statusLocked()
 	u.statusMu.Lock()
 	u.statusCache = st
+	u.pubHistCache = u.pubHist
+	u.lagHistCache = u.lagHist
 	u.statusMu.Unlock()
 }
 
@@ -587,8 +620,10 @@ func (u *Updater) statusLocked() Status {
 		ph := u.lastPhases
 		st.LastPublishPhases = &ph
 	}
-	st.PublishLatency = u.pubHist.summary()
-	st.PublishLag = u.lagHist.summary()
+	st.PublishLatency = histSummary(&u.pubHist)
+	st.PublishLag = histSummary(&u.lagHist)
+	st.QualityRuns = u.qualityRuns
+	st.LastQuality = u.lastQuality
 	st.LastError = u.lastError
 	return st
 }

@@ -15,9 +15,12 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/quality"
 	"repro/internal/scenario"
 	"repro/internal/serve"
+	"repro/internal/socialgraph"
 	"repro/internal/store"
 )
 
@@ -180,6 +183,40 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 			mm.Close()
 		}
 	}))
+}
+
+// BenchmarkQualityMetrics measures what the quality observability layer
+// costs: scoring one published generation with the full structural report
+// (quality.FromModel — modularity, coverage, conductance, size
+// distribution, drift vs the previous generation) on the serving-scale
+// model over a 10-edges-per-user friendship graph, and the parallel
+// label-propagation baseline partition of the same graph. The score cost
+// bounds the publish-path overhead of -quality-every 1; PLP is the
+// comparison row's cost.
+func BenchmarkQualityMetrics(b *testing.B) {
+	m := serveBenchModel(b)
+	friends := make([]socialgraph.FriendLink, 0, m.NumUsers*10)
+	for u := 0; u < m.NumUsers; u++ {
+		for k := 0; k < 10; k++ {
+			v := (u*7 + k*131 + 1) % m.NumUsers
+			if v != u {
+				friends = append(friends, socialgraph.FriendLink{U: int32(u), V: int32(v)})
+			}
+		}
+	}
+	prev := quality.Assignments(m)
+	b.Run("score", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			quality.FromModel(m, friends, prev)
+		}
+	})
+	b.Run("plp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			baselines.PLP(m.NumUsers, friends, baselines.PLPOptions{Seed: 7})
+		}
+	})
 }
 
 // BenchmarkLoadGenMixed pushes the default mixed query workload through
