@@ -27,9 +27,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -144,14 +146,20 @@ func printLocalQuality(model *core.Model, graph *socialgraph.Graph) {
 	fmt.Print(quality.Table(reports))
 }
 
+// lensClient caps remote fetches: a stalled or half-dead server must
+// fail the CLI with a timeout, not hang it forever (http.DefaultClient
+// has no timeout at all).
+var lensClient = &http.Client{Timeout: 30 * time.Second}
+
 // printRemoteQuality renders a running server's /api/quality history.
 func printRemoteQuality(base string) error {
-	resp, err := http.Get(base + "/api/quality")
+	resp, err := lensClient.Get(base + "/api/quality")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) // drain so the connection is reusable
 		return fmt.Errorf("%s/api/quality answered status %d", base, resp.StatusCode)
 	}
 	var payload serve.QualityPayload

@@ -2,7 +2,8 @@
 // CPD model and reports throughput plus latency percentiles — the repo's
 // traffic baseline tool. It drives either a model snapshot in-process
 // (the serving engine's ceiling, no network or JSON cost) or a live
-// cpd-serve / cpd-lens endpoint over HTTP.
+// HTTP endpoint — a single cpd-serve / cpd-lens process, or a cpd-router
+// front, which speaks the identical API over a whole replica fleet.
 //
 // Usage:
 //
@@ -12,6 +13,9 @@
 //	# Against a live endpoint, open loop at 2000 qps for 30 seconds.
 //	cpd-loadgen -url http://localhost:8080 -model model.snap \
 //	    -rate 2000 -duration 30s -mix rank=4,membership=3,diffusion=2,foldin=1
+//
+//	# Against a router fronting N replicas: same flags, router address.
+//	cpd-loadgen -url http://localhost:9090 -model model.snap -duration 30s
 //
 //	# Reads plus observability traffic: a dashboard polling /api/quality
 //	# and a Prometheus scraper on /metrics ride the same mix.

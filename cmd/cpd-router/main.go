@@ -1,0 +1,92 @@
+// Command cpd-router is the distributed serving front: a stateless tier
+// over N cpd-serve replicas that all pull the same publisher's snapshot
+// generations. Membership and fold-in requests route to the replica
+// owning the user (rendezvous hash, stable across fleet changes); rank
+// and diffusion scatter to the fleet and gather with a partial top-K
+// merge that is bit-identical to a single node answering from the same
+// generation; community browsing proxies to the freshest replica. The
+// query surface is cpd-serve's own JSON API, so every client — curl,
+// cpd-lens -remote, cpd-loadgen -url — points at the router unchanged.
+//
+// Usage:
+//
+//	cpd-router -replica a=http://10.0.0.1:8080 -replica b=http://10.0.0.2:8080 -addr :9090
+//
+//	curl localhost:9090/api/user?id=42        # owner-routed
+//	curl localhost:9090/api/rank?w=17&k=5     # scatter-gather merge
+//	curl localhost:9090/api/stats             # per-replica health/generation/lag
+//	curl localhost:9090/metrics               # cpd_router_* exposition
+//
+//	cpd-loadgen -url http://localhost:9090    # load-test through the router
+//
+// The router polls each replica's /api/generation to track health and
+// generation lag; replicas that trail the fleet beyond -max-lag are
+// marked lagging on /api/stats and /metrics but keep serving (stale
+// answers beat no answers). A replica that dies mid-scatter degrades
+// redundancy, not availability.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/serve"
+)
+
+// replicaFlags collects repeated -replica name=url values.
+type replicaFlags []router.Replica
+
+func (f *replicaFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, r := range *f {
+		parts[i] = r.Name + "=" + r.Base
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *replicaFlags) Set(v string) error {
+	name, base, ok := strings.Cut(v, "=")
+	if !ok || name == "" || base == "" {
+		return fmt.Errorf("replica spec %q is not name=url", v)
+	}
+	*f = append(*f, router.Replica{Name: name, Base: base})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpd-router: ")
+	var replicas replicaFlags
+	flag.Var(&replicas, "replica", "backend replica, name=url; repeat per replica (required; the name is the stable rendezvous identity)")
+	var (
+		addr    = flag.String("addr", ":9090", "listen address")
+		poll    = flag.Duration("poll-interval", time.Second, "replica health/generation poll period")
+		timeout = flag.Duration("timeout", 10*time.Second, "backend request timeout")
+		maxLag  = flag.Uint64("max-lag", 1, "generations a replica may trail the fleet before it is marked lagging")
+	)
+	flag.Parse()
+	if len(replicas) == 0 {
+		log.Fatal("at least one -replica name=url is required")
+	}
+	rt, err := router.New(replicas, router.Options{
+		Client:       &http.Client{Timeout: *timeout},
+		PollInterval: *poll,
+		MaxLag:       *maxLag,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.Run(ctx)
+	fmt.Printf("cpd-router listening on %s (%d replicas)\n", *addr, len(replicas))
+	if err := serve.RunHTTP(*addr, rt.Handler()); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

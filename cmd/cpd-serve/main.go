@@ -22,6 +22,11 @@
 //	# Live ingest: journal to events.wal, publish every 256 events or 2s.
 //	cpd-serve -model model.v2.snap -ingest events.wal -ingest-dir snapshots/
 //
+//	# Replica mode: no local model, pull generations from a publisher —
+//	# a shared snapshot directory or a publisher's /api/generations URL.
+//	cpd-serve -fetch /shared/snapshots -mmap
+//	cpd-serve -fetch http://publisher:8080 -fetch-dir /var/cache/cpd -mmap
+//
 //	curl localhost:8080/api/communities
 //	curl 'localhost:8080/api/rank?q=deep+learning&k=5&snapshot=eu'
 //	curl 'localhost:8080/api/user?id=42'
@@ -47,6 +52,13 @@
 // SIGINT/SIGTERM the server drains gracefully: ingest closes (503), the
 // journal is flushed, a final snapshot generation is published, and only
 // then does the HTTP listener shut down.
+//
+// With -fetch, the process is a serving replica: it polls a snapshot
+// source (directory or publisher URL), CRC-verifies each new generation,
+// warms it and hot-swaps it in — the pull half of snapshot distribution
+// behind cmd/cpd-router. A publisher started with -ingest serves its
+// generations to such replicas on /api/generations (manifest) and
+// /api/generations/file. -model is optional in replica mode.
 //
 // -quality-every N scores every N-th published generation with the
 // structural metrics of internal/quality (modularity, coverage,
@@ -131,10 +143,16 @@ func main() {
 		fullRebuild  = flag.Bool("ingest-full-rebuild", false, "pin every publish to the full rebuild path (differential baseline / escape hatch; default is the O(changed) incremental publish)")
 		qualityEvery = flag.Int("quality-every", 0, "score every N-th published generation with structural quality metrics (0 = off)")
 		qualityPLP   = flag.Bool("quality-plp", false, "also score the parallel label-propagation baseline as the /api/quality comparison row")
+
+		fetchSource   = flag.String("fetch", "", "replica mode: snapshot source to poll — a directory or a publisher base URL")
+		fetchDir      = flag.String("fetch-dir", "", "local cache for generations fetched over HTTP (required for URL sources)")
+		fetchSlot     = flag.String("fetch-snapshot", serve.DefaultSnapshot, "snapshot slot fetched generations are promoted into")
+		fetchInterval = flag.Duration("fetch-interval", 2*time.Second, "snapshot source poll period")
+		fetchKeep     = flag.Int("fetch-keep", 2, "fetched generations retained in the local cache")
 	)
 	flag.Parse()
-	if len(models) == 0 {
-		log.Fatal("-model is required")
+	if len(models) == 0 && *fetchSource == "" {
+		log.Fatal("-model is required (or -fetch for replica mode)")
 	}
 	engine := serve.NewMulti(serve.Options{
 		PostingsPerWord: *postings,
@@ -174,6 +192,35 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.APIHandler(engine, reload))
+
+	// Replica mode: pull published generations from the snapshot source,
+	// verify, warm and hot-swap them; health rides the standard surfaces
+	// (/api/stats "replica" section, cpd_replica_* gauges on /metrics).
+	if *fetchSource != "" {
+		fetcher, err := serve.NewFetcher(engine, serve.FetchOptions{
+			Source:   *fetchSource,
+			Dir:      *fetchDir,
+			Snapshot: *fetchSlot,
+			Vocab:    vocab,
+			Interval: *fetchInterval,
+			Keep:     *fetchKeep,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine.SetReplicaStats(func() any { return fetcher.Status() })
+		engine.AddMetricsCollector(fetcher.WriteMetrics)
+		// Fetch synchronously once so the replica comes up serving the
+		// current generation; an empty source just means "wait for one".
+		if gen, err := fetcher.Poll(); err != nil {
+			log.Printf("initial fetch: %v (will keep polling)", err)
+		} else if gen > 0 {
+			log.Printf("fetched generation %d from %s", gen, *fetchSource)
+		}
+		fctx, fcancel := context.WithCancel(context.Background())
+		defer fcancel()
+		go fetcher.Run(fctx)
+	}
 
 	// Streaming write path: journal + updater + ingest endpoints.
 	var updater *stream.Updater
@@ -239,6 +286,11 @@ func main() {
 		}
 		mux.Handle("/api/ingest", updater.Handler())
 		mux.Handle("/api/ingest/status", updater.Handler())
+		// Any publisher is a snapshot origin: replicas started with
+		// -fetch <this server's URL> pull generations from here.
+		snaps := stream.SnapshotServer(dir)
+		mux.Handle("/api/generations", snaps)
+		mux.Handle("/api/generations/file", snaps)
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		go func() {

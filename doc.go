@@ -24,13 +24,21 @@
 // sweeps); and a publisher that promotes v2 snapshot generations into
 // the serving engine's hot-swap slots (cmd/cpd-serve -ingest, with the
 // cpd-stream backfill CLI and cpd-train -resume on the same core path).
-// A workload harness (internal/scenario) adds named seeded scenario
-// presets across degree/membership/vocabulary/diffusion regimes —
-// including streaming ingest regimes with replay-equals-batch and
-// freshness invariants — an end-to-end regression runner with golden
-// metric files, and the cpd-loadgen traffic generator that reports QPS
-// and latency percentiles (reads and ingest writes) against a served
-// model.
+// A distributed serving tier (internal/router + cmd/cpd-router) fronts
+// N cpd-serve replicas: membership and fold-in route to the owning
+// replica by rendezvous user-hash, rank and diffusion scatter-gather
+// with an exact partial top-K merge, and replicas pull generation
+// snapshots from the publisher (serve.Fetcher: CRC-verified, warmed,
+// atomically swapped) with per-replica health/generation/lag on the
+// router's stats and metrics. A workload harness (internal/scenario)
+// adds named seeded scenario presets across
+// degree/membership/vocabulary/diffusion regimes — including streaming
+// ingest regimes with replay-equals-batch and freshness invariants, and
+// a multi-replica preset pinning routed-vs-single-node bit-equality
+// across a live generation rollout — an end-to-end regression runner
+// with golden metric files, and the cpd-loadgen traffic generator that
+// reports QPS and latency percentiles (reads and ingest writes) against
+// a served model or a router front.
 //
 // See README.md for a quickstart, the package map, and how to run the
 // experiments. The root package holds the per-table/per-figure benchmarks

@@ -1,0 +1,389 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Handler exposes the routed query surface. Paths and parameters mirror
+// serve.APIHandler exactly, so any cpd-serve client — cpd-loadgen
+// included — can point at a router base URL unchanged:
+//
+//	GET  /api/user?id=42&k=5      owner-routed membership
+//	POST /api/foldin              owner-routed fold-in (?user=K overrides the seed-derived key)
+//	GET  /api/rank?w=17,204&k=10  scatter-gather, partial top-K merge
+//	GET  /api/diffusion?...       scatter-gather, freshest answer
+//	GET  /api/communities         freshest-replica proxy
+//	GET  /api/community?id=3      freshest-replica proxy
+//	GET  /api/quality             freshest-replica proxy
+//	GET  /api/generation          fleet generation view
+//	GET  /api/stats               per-replica health/generation/lag + endpoint latency
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 liveness + fleet summary
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/user", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad or missing user id", http.StatusBadRequest)
+			return
+		}
+		rt.routeToOwner(w, r, uint64(id), nil)
+	})
+	mux.HandleFunc("/api/foldin", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a FoldInRequest", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Fold-in requests carry no user id (the user is by definition
+		// unseen), so the routing key is the caller's ?user= hint when
+		// given, else the request seed — deterministic either way, so
+		// retries of the same request land on the same replica's warm
+		// cache.
+		var key uint64
+		if u := r.URL.Query().Get("user"); u != "" {
+			id, err := strconv.ParseInt(u, 10, 64)
+			if err != nil {
+				http.Error(w, "bad user routing hint", http.StatusBadRequest)
+				return
+			}
+			key = uint64(id)
+		} else {
+			var req struct {
+				Seed uint64 `json:"seed"`
+			}
+			if err := json.Unmarshal(body, &req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			key = req.Seed
+		}
+		rt.routeToOwner(w, r, key, body)
+	})
+	mux.HandleFunc("/api/rank", rt.rankHandler)
+	mux.HandleFunc("/api/diffusion", rt.diffusionHandler)
+	for _, path := range []string{"/api/communities", "/api/community", "/api/quality"} {
+		mux.HandleFunc(path, rt.proxyFreshest)
+	}
+	mux.HandleFunc("/api/generation", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, serve.GenerationReport{Generation: rt.maxGeneration()})
+	})
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, rt.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rt.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := rt.Stats()
+		writeJSON(w, map[string]any{
+			"status":     "ok",
+			"replicas":   len(st.Replicas),
+			"healthy":    st.Healthy,
+			"generation": st.Generation,
+		})
+	})
+	return mux
+}
+
+// attempt sends one backend request; body non-nil replays a buffered
+// POST body. It returns the backend response with its body UNREAD.
+func (rt *Router) attempt(r *replica, req *http.Request, body []byte) (*http.Response, error) {
+	url := r.base + req.URL.Path
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, url, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	r.requests.Add(1)
+	resp, err := rt.opts.Client.Do(out)
+	if err != nil {
+		r.fail(err)
+		return nil, err
+	}
+	r.ok()
+	return resp, nil
+}
+
+// routeToOwner forwards the request down key's rendezvous preference
+// chain: healthy replicas first in owner order, then — only if every
+// healthy attempt failed at transport level — the unhealthy ones get a
+// recovery try. The first replica that answers HTTP at all wins; its
+// response (any status) is relayed verbatim.
+func (rt *Router) routeToOwner(w http.ResponseWriter, req *http.Request, key uint64, body []byte) {
+	start := time.Now()
+	var reqErr error
+	defer func() { rt.lat[opRoute].Observe(time.Since(start), reqErr) }()
+	chain := rt.owners(key)
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range chain {
+			if (pass == 0) != r.healthy.Load() {
+				continue
+			}
+			resp, err := rt.attempt(r, req, body)
+			if err != nil {
+				continue
+			}
+			relay(w, resp)
+			return
+		}
+	}
+	reqErr = fmt.Errorf("no replica reachable")
+	http.Error(w, "router: no replica reachable for key", http.StatusBadGateway)
+}
+
+// relay copies a backend response to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// proxyFreshest relays to the replica serving the newest generation,
+// preferring healthy ones and failing over down the freshness order.
+func (rt *Router) proxyFreshest(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	var reqErr error
+	defer func() { rt.lat[opProxy].Observe(time.Since(start), reqErr) }()
+	order := append([]*replica(nil), rt.replicas...)
+	sort.SliceStable(order, func(i, j int) bool {
+		hi, hj := order[i].healthy.Load(), order[j].healthy.Load()
+		if hi != hj {
+			return hi
+		}
+		return order[i].generation.Load() > order[j].generation.Load()
+	})
+	for _, r := range order {
+		resp, err := rt.attempt(r, req, nil)
+		if err != nil {
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	reqErr = fmt.Errorf("no replica reachable")
+	http.Error(w, "router: no replica reachable", http.StatusBadGateway)
+}
+
+// gathered is one replica's scatter response.
+type gathered struct {
+	r      *replica
+	status int
+	body   []byte
+}
+
+// scatter fans the request out to the healthy replicas (all of them when
+// none are marked healthy — a cold or fully-degraded fleet must still
+// try) and gathers whatever answers. Transport failures mark the replica
+// unhealthy and drop out; the gather proceeds with the rest — losing a
+// replica mid-scatter degrades redundancy, not availability.
+func (rt *Router) scatter(req *http.Request) []gathered {
+	targets := make([]*replica, 0, len(rt.replicas))
+	for _, r := range rt.replicas {
+		if r.healthy.Load() {
+			targets = append(targets, r)
+		}
+	}
+	if len(targets) == 0 {
+		targets = rt.replicas
+	}
+	results := make([]gathered, len(targets))
+	var wg sync.WaitGroup
+	for i, r := range targets {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			resp, err := rt.attempt(r, req, nil)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			results[i] = gathered{r: r, status: resp.StatusCode, body: body}
+		}(i, r)
+	}
+	wg.Wait()
+	out := results[:0]
+	for _, g := range results {
+		if g.r != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// respondDegraded relays the most useful non-success the gather
+// produced: the first HTTP error any replica returned (they agree on
+// semantic errors like a bad word id), else 502.
+func respondDegraded(w http.ResponseWriter, results []gathered, reqErr *error) {
+	for _, g := range results {
+		if g.status != 0 {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(g.status)
+			w.Write(g.body)
+			return
+		}
+	}
+	*reqErr = fmt.Errorf("no replica answered")
+	http.Error(w, "router: no replica answered the scatter", http.StatusBadGateway)
+}
+
+func (rt *Router) rankHandler(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	var reqErr error
+	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
+	results := rt.scatter(req)
+	var answers []*serve.RankResult
+	for _, g := range results {
+		if g.status != http.StatusOK {
+			continue
+		}
+		var res serve.RankResult
+		if err := json.Unmarshal(g.body, &res); err != nil {
+			continue
+		}
+		g.r.generation.Store(res.Generation)
+		answers = append(answers, &res)
+	}
+	if len(answers) == 0 {
+		respondDegraded(w, results, &reqErr)
+		return
+	}
+	k := intParam(req, "k", 10)
+	writeJSON(w, mergeRank(answers, k))
+}
+
+func (rt *Router) diffusionHandler(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	var reqErr error
+	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
+	results := rt.scatter(req)
+	var best *serve.DiffusionResult
+	for _, g := range results {
+		if g.status != http.StatusOK {
+			continue
+		}
+		var res serve.DiffusionResult
+		if err := json.Unmarshal(g.body, &res); err != nil {
+			continue
+		}
+		g.r.generation.Store(res.Generation)
+		// Freshest generation wins; within one generation every replica's
+		// answer is bit-identical, so any representative will do.
+		if best == nil || res.Generation > best.Generation {
+			r := res
+			best = &r
+		}
+	}
+	if best == nil {
+		respondDegraded(w, results, &reqErr)
+		return
+	}
+	best.Version = 0 // process-local backend counter; meaningless here
+	writeJSON(w, best)
+}
+
+// mergeRank is the partial top-K merge: entries from the freshest
+// generation represented among the answers, deduplicated per community
+// keeping the best score, ordered score-descending with community id
+// ascending on ties — exactly the order mathx.TopKIndices produces on a
+// single node, so a merge over replicas serving the same generation is
+// bit-identical to that single node's answer. Answers from older
+// generations are dropped, never mixed: a torn merge across generations
+// could rank communities by incomparable scores.
+func mergeRank(answers []*serve.RankResult, k int) *serve.RankResult {
+	var maxGen uint64
+	for _, a := range answers {
+		if a.Generation > maxGen {
+			maxGen = a.Generation
+		}
+	}
+	best := map[int]serve.RankEntry{}
+	for _, a := range answers {
+		if a.Generation != maxGen {
+			continue
+		}
+		for _, e := range a.Entries {
+			if cur, ok := best[e.Community]; !ok || e.Score > cur.Score {
+				best[e.Community] = e
+			}
+		}
+	}
+	merged := &serve.RankResult{Generation: maxGen}
+	for _, e := range best {
+		merged.Entries = append(merged.Entries, e)
+	}
+	sort.Slice(merged.Entries, func(i, j int) bool {
+		a, b := merged.Entries[i], merged.Entries[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Community < b.Community
+	})
+	if k > 0 && len(merged.Entries) > k {
+		merged.Entries = merged.Entries[:k]
+	}
+	return merged
+}
+
+func (rt *Router) getJSON(r *replica, path string, v any) error {
+	resp, err := rt.opts.Client.Get(r.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s%s answered status %d", r.base, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if s := r.URL.Query().Get(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

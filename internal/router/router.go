@@ -1,0 +1,251 @@
+// Package router is the distributed serving tier: a stateless front over
+// N cpd-serve replicas that all pull the same publisher's generation
+// snapshots (serve.Fetcher). It lifts the in-process user-shard boundary
+// (serve's sharded user index) across processes — the step the paper's
+// profiling queries need at the network scales the source corpora have,
+// where one process cannot hold the whole fleet's page-cache working set.
+//
+// Routing policy per endpoint class:
+//
+//   - Membership (/api/user) and fold-in (/api/foldin) route to the
+//     OWNING replica by rendezvous user-hash, with failover down the
+//     preference list. Every replica serves the full snapshot, so any of
+//     them answers identically; ownership concentrates each user's Pi
+//     rows (and fold-in locality) on one replica's page cache.
+//   - Rank (/api/rank) and diffusion (/api/diffusion) SCATTER to all
+//     replicas and gather: responses are grouped by the publisher
+//     generation they answered from, the freshest group wins, and rank
+//     entries go through a partial top-K merge that reproduces the
+//     single-node ordering bit-for-bit (score descending, community
+//     ascending on ties — exactly mathx.TopKIndices' tie rule).
+//   - Community browsing and quality (/api/communities, /api/community,
+//     /api/quality) proxy to the freshest healthy replica, failing over.
+//
+// Rendezvous (highest-random-weight) hashing keeps routing stable across
+// replica-count changes: removing a replica remaps only the users it
+// owned; adding one steals ~1/N of each survivor — no global reshuffle.
+//
+// The router tracks per-replica health and generation (a background poll
+// of /api/generation plus inline observation of every scatter response)
+// and degrades gracefully: replicas that lag the fleet maximum are
+// marked lagging but keep serving — a scatter that loses its freshest
+// replica mid-flight falls back to the stale group rather than failing.
+// Per-replica health/generation/lag surface on /api/stats and /metrics.
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Replica names one backend cpd-serve process.
+type Replica struct {
+	// Name is the stable identity rendezvous hashing keys on — keep it
+	// constant across restarts and address changes or the user mapping
+	// reshuffles.
+	Name string
+	// Base is the replica's HTTP base URL (e.g. http://10.0.0.3:8080).
+	Base string
+}
+
+// Options configures a Router.
+type Options struct {
+	// Client performs all backend requests (default: 10s timeout).
+	Client *http.Client
+	// PollInterval is the health/generation poll period (default 1s).
+	PollInterval time.Duration
+	// MaxLag is how many generations a replica may trail the fleet
+	// maximum before it is marked lagging on stats/metrics (default 1;
+	// lagging replicas keep serving — stale answers beat no answers).
+	MaxLag uint64
+}
+
+// endpoint classes the router accounts latency for.
+const (
+	opRoute   = iota // owner-routed: membership, fold-in
+	opScatter        // scatter-gather: rank, diffusion
+	opProxy          // freshest-replica proxy: communities, quality
+	opCount
+)
+
+var opNames = [opCount]string{"route", "scatter", "proxy"}
+
+// replica is the router's per-backend state.
+type replica struct {
+	name string
+	base string
+
+	healthy    atomic.Bool
+	generation atomic.Uint64
+	requests   atomic.Uint64
+	errors     atomic.Uint64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (r *replica) fail(err error) {
+	r.errors.Add(1)
+	r.healthy.Store(false)
+	r.mu.Lock()
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+func (r *replica) ok() {
+	r.healthy.Store(true)
+}
+
+// Router scatter-gathers over a fixed replica set.
+type Router struct {
+	opts     Options
+	replicas []*replica
+	lat      [opCount]hist.Atomic
+}
+
+// New builds a router over the given replicas. Replica names must be
+// unique and non-empty (they are the rendezvous identities).
+func New(replicas []Replica, opts Options) (*Router, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas")
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = time.Second
+	}
+	if opts.MaxLag == 0 {
+		opts.MaxLag = 1
+	}
+	rt := &Router{opts: opts}
+	seen := map[string]bool{}
+	for _, r := range replicas {
+		if r.Name == "" || r.Base == "" {
+			return nil, fmt.Errorf("router: replica needs a name and a base URL: %+v", r)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("router: duplicate replica name %q", r.Name)
+		}
+		seen[r.Name] = true
+		rep := &replica{name: r.Name, base: strings.TrimRight(r.Base, "/")}
+		rep.healthy.Store(true) // optimistic until a request says otherwise
+		rt.replicas = append(rt.replicas, rep)
+	}
+	sort.Slice(rt.replicas, func(i, j int) bool { return rt.replicas[i].name < rt.replicas[j].name })
+	return rt, nil
+}
+
+// Run polls replica health and generation until the context is
+// cancelled. The router serves without it (inline observations keep the
+// state fresh under traffic), but the poll detects recovered replicas
+// and generation rollouts on an idle fleet.
+func (rt *Router) Run(ctx context.Context) {
+	t := time.NewTicker(rt.opts.PollInterval)
+	defer t.Stop()
+	for {
+		rt.PollReplicas()
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// PollReplicas refreshes every replica's health and generation once,
+// concurrently. Exported so harnesses can force a refresh instead of
+// waiting out the poll interval.
+func (rt *Router) PollReplicas() {
+	var wg sync.WaitGroup
+	for _, r := range rt.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			var rep struct {
+				Generation uint64 `json:"generation"`
+			}
+			if err := rt.getJSON(r, "/api/generation", &rep); err != nil {
+				r.fail(err)
+				return
+			}
+			r.ok()
+			r.generation.Store(rep.Generation)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// maxGeneration is the fleet-wide newest generation observed.
+func (rt *Router) maxGeneration() uint64 {
+	var max uint64
+	for _, r := range rt.replicas {
+		if g := r.generation.Load(); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// rendezvousScore is FNV-1a over the replica name and the key's eight
+// little-endian bytes — deterministic across processes and releases,
+// which is what makes the ownership mapping stable fleet-wide.
+func rendezvousScore(name string, key uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= key & 0xFF
+		h *= prime64
+		key >>= 8
+	}
+	return h
+}
+
+// owners returns the replicas in preference order for key: descending
+// rendezvous score, name-ascending on the (astronomically unlikely)
+// score tie. The first entry is the owner; the rest are the failover
+// chain — which is exactly the owner order of the fleet without the
+// preceding entries, so failover agrees with what a smaller fleet would
+// have chosen (the property the stability test pins).
+func (rt *Router) owners(key uint64) []*replica {
+	type scored struct {
+		r *replica
+		s uint64
+	}
+	xs := make([]scored, len(rt.replicas))
+	for i, r := range rt.replicas {
+		xs[i] = scored{r, rendezvousScore(r.name, key)}
+	}
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].s != xs[j].s {
+			return xs[i].s > xs[j].s
+		}
+		return xs[i].r.name < xs[j].r.name
+	})
+	out := make([]*replica, len(xs))
+	for i, x := range xs {
+		out[i] = x.r
+	}
+	return out
+}
+
+// Owner returns the name of the replica owning key — the unit the
+// hash-stability test (and operators debugging placement) talk about.
+func (rt *Router) Owner(key uint64) string {
+	return rt.owners(key)[0].name
+}

@@ -1,0 +1,121 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// ReplicaStatus is one backend's health as the router sees it.
+type ReplicaStatus struct {
+	Name       string `json:"name"`
+	Base       string `json:"base"`
+	Healthy    bool   `json:"healthy"`
+	Generation uint64 `json:"generation"`
+	// Lag is how many generations this replica trails the fleet maximum;
+	// Lagging marks lag beyond Options.MaxLag. A lagging replica keeps
+	// serving (stale answers beat no answers) but operators should look.
+	Lag       uint64 `json:"lag"`
+	Lagging   bool   `json:"lagging"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Stats is the router's /api/stats payload.
+type Stats struct {
+	// Generation is the fleet-wide newest generation observed.
+	Generation uint64 `json:"generation"`
+	// Healthy counts replicas currently marked healthy.
+	Healthy  int             `json:"healthy"`
+	Replicas []ReplicaStatus `json:"replicas"`
+	// Endpoints digests latency per routing class (route/scatter/proxy),
+	// in the same shape as a single replica's per-endpoint stats.
+	Endpoints map[string]serve.EndpointStats `json:"endpoints"`
+}
+
+// Stats snapshots the router's view of the fleet.
+func (rt *Router) Stats() Stats {
+	max := rt.maxGeneration()
+	st := Stats{
+		Generation: max,
+		Endpoints:  make(map[string]serve.EndpointStats, opCount),
+	}
+	for _, r := range rt.replicas {
+		gen := r.generation.Load()
+		r.mu.Lock()
+		lastErr := r.lastErr
+		r.mu.Unlock()
+		rs := ReplicaStatus{
+			Name:       r.name,
+			Base:       r.base,
+			Healthy:    r.healthy.Load(),
+			Generation: gen,
+			Lag:        max - gen,
+			Requests:   r.requests.Load(),
+			Errors:     r.errors.Load(),
+			LastError:  lastErr,
+		}
+		rs.Lagging = rs.Lag > rt.opts.MaxLag
+		if rs.Healthy {
+			st.Healthy++
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	for i := 0; i < opCount; i++ {
+		h := rt.lat[i].Snapshot()
+		st.Endpoints[opNames[i]] = serve.EndpointStats{
+			Count:       h.Count,
+			Errors:      h.Errs,
+			TotalMicros: h.TotalNS / 1e3,
+			MaxMicros:   h.MaxNS / 1e3,
+			P50Micros:   uint64(h.Quantile(0.50).Microseconds()),
+			P95Micros:   uint64(h.Quantile(0.95).Microseconds()),
+			P99Micros:   uint64(h.Quantile(0.99).Microseconds()),
+		}
+	}
+	return st
+}
+
+// WriteMetrics emits the router's Prometheus exposition: per-replica
+// up/generation/lag/request/error gauges plus per-class latency
+// histograms in the shared internal/hist geometry.
+func (rt *Router) WriteMetrics(w io.Writer) {
+	st := rt.Stats()
+	gauges := []struct {
+		name, help string
+		get        func(ReplicaStatus) float64
+	}{
+		{"cpd_router_replica_up", "Replica health as the router sees it (1 healthy).", func(r ReplicaStatus) float64 {
+			if r.Healthy {
+				return 1
+			}
+			return 0
+		}},
+		{"cpd_router_replica_generation", "Publisher generation the replica serves.", func(r ReplicaStatus) float64 {
+			return float64(r.Generation)
+		}},
+		{"cpd_router_replica_lag", "Generations the replica trails the fleet maximum.", func(r ReplicaStatus) float64 {
+			return float64(r.Lag)
+		}},
+		{"cpd_router_replica_requests_total", "Backend requests the router sent this replica.", func(r ReplicaStatus) float64 {
+			return float64(r.Requests)
+		}},
+		{"cpd_router_replica_errors_total", "Backend transport failures for this replica.", func(r ReplicaStatus) float64 {
+			return float64(r.Errors)
+		}},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, r := range st.Replicas {
+			fmt.Fprintf(w, "%s{replica=%q} %s\n", g.name, r.Name, strconv.FormatFloat(g.get(r), 'g', -1, 64))
+		}
+	}
+	fmt.Fprintf(w, "# HELP cpd_router_generation Fleet-wide newest generation observed.\n# TYPE cpd_router_generation gauge\ncpd_router_generation %d\n", st.Generation)
+	for i := 0; i < opCount; i++ {
+		h := rt.lat[i].Snapshot()
+		h.WriteProm(w, "cpd_router_latency_seconds", "class="+strconv.Quote(opNames[i]))
+	}
+}

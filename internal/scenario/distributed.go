@@ -1,0 +1,430 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// DistPreset names one distributed-serving regime: a base population, a
+// replica count, and how the event stream is split into the generations
+// the fleet rolls through. The run drives the full pipeline — train →
+// publish → distribute → route → query — and pins the distribution
+// invariant: results served THROUGH the router over N replicas are
+// bit-identical to a single-node engine answering from the same
+// generation snapshot.
+type DistPreset struct {
+	Name        string
+	Description string
+
+	// Base is the underlying population preset; BaseFraction of its users
+	// train the frozen base model, the rest arrive as stream events split
+	// across the run's generations.
+	Base         Preset
+	BaseFraction float64
+
+	// Replicas is the serving fleet size behind the router.
+	Replicas int
+}
+
+// DistPresets returns the distributed-serving regimes the suite runs.
+func DistPresets() []DistPreset {
+	bp, err := Lookup("uniform")
+	if err != nil {
+		panic(err)
+	}
+	return []DistPreset{
+		{
+			Name: "tri-replica",
+			Description: "three user-sharded replicas behind a scatter-gather router, " +
+				"bit-equality vs a single node across a live generation rollout",
+			Base:         bp,
+			BaseFraction: 0.75,
+			Replicas:     3,
+		},
+	}
+}
+
+// LookupDist resolves a distributed preset by name.
+func LookupDist(name string) (DistPreset, error) {
+	for _, p := range DistPresets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range DistPresets() {
+		names = append(names, p.Name)
+	}
+	return DistPreset{}, fmt.Errorf("scenario: unknown distributed preset %q (have %v)", name, names)
+}
+
+// DistMetrics is one distributed run's measurement.
+type DistMetrics struct {
+	Preset   string `json:"preset"`
+	Replicas int    `json:"replicas"`
+	// Generations is the final fleet generation (the rollout count).
+	Generations uint64 `json:"generations"`
+	// EqualityChecks counts routed-vs-single-node comparisons that ran
+	// (memberships, rankings, diffusions and fold-ins, per generation).
+	EqualityChecks int `json:"equalityChecks"`
+	// ReadQueries/ReadErrors account the read hammer that runs through the
+	// router DURING the generation rollout; the invariant is zero errors.
+	ReadQueries uint64 `json:"readQueries"`
+	ReadErrors  uint64 `json:"readErrors"`
+}
+
+// distReplica bundles one fleet member's moving parts.
+type distReplica struct {
+	engine  *serve.Engine
+	fetcher *serve.Fetcher
+	srv     *httptest.Server
+}
+
+// RunDistributed executes one distributed preset end to end:
+//
+//  1. train the base model and publish generation 1 through a real
+//     stream.Updater into a snapshot directory;
+//  2. start Replicas serve engines, each pulling that directory through
+//     serve.Fetcher (CRC-verified, warmed, atomically swapped);
+//  3. front them with internal/router and verify every routed endpoint
+//     answers bit-identically to a single-node engine that loaded the
+//     same generation file;
+//  4. roll the fleet to generation 2 while a read hammer runs through
+//     the router — zero read errors tolerated across the rollout;
+//  5. re-verify bit-equality on the new generation and that the router
+//     marks the whole fleet healthy and unlagged.
+func RunDistributed(p DistPreset, opts RunOptions) (*DistMetrics, error) {
+	if p.Replicas < 2 {
+		return nil, fmt.Errorf("scenario %s: a distributed run needs at least 2 replicas", p.Name)
+	}
+	b, err := Build(p.Base)
+	if err != nil {
+		return nil, err
+	}
+	g := b.Graph
+	baseUsers := int(float64(g.NumUsers) * p.BaseFraction)
+	if baseUsers < 2 || baseUsers >= g.NumUsers {
+		return nil, fmt.Errorf("scenario %s: base fraction %.2f leaves no streamed users", p.Name, p.BaseFraction)
+	}
+	baseG, docMap, held := prefixGraph(g, baseUsers, nil)
+	baseModel, _, err := core.Train(baseG, p.Base.Train)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: base training failed: %w", p.Name, err)
+	}
+	evs, _ := buildStreamEvents(g, baseUsers, docMap, held)
+	half := len(evs) / 2
+
+	scratch, err := os.MkdirTemp(opts.Dir, "cpd-dist-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	snapDir := filepath.Join(scratch, "snapshots")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// The publisher: a real updater journaling into snapDir, exactly what
+	// a cpd-serve -ingest process runs.
+	pubEngine := serve.New(baseModel, b.Vocab, serve.Options{})
+	defer pubEngine.Close()
+	j, err := stream.OpenJournal(filepath.Join(scratch, "events.wal"), stream.JournalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	u, err := stream.NewUpdater(j, stream.Options{
+		Engine:       pubEngine,
+		Base:         baseModel,
+		Vocab:        b.Vocab,
+		WindowEvents: len(evs) + 16, // publish manually, per generation
+		FoldSweeps:   10,
+		FoldSeed:     p.Base.Synth.Seed,
+		BaseGraph:    baseG,
+		Workers:      2,
+		Dir:          snapDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer u.Close()
+
+	if _, err := u.Ingest(evs[:half]); err != nil {
+		return nil, fmt.Errorf("scenario %s: generation-1 ingest failed: %w", p.Name, err)
+	}
+	if _, err := u.Publish(); err != nil {
+		return nil, fmt.Errorf("scenario %s: generation-1 publish failed: %w", p.Name, err)
+	}
+
+	// The fleet: every replica pulls the snapshot dir through its own
+	// fetcher and serves the standard JSON API.
+	var reps []*distReplica
+	var routerReps []router.Replica
+	defer func() {
+		for _, r := range reps {
+			r.srv.Close()
+			r.engine.Close()
+		}
+	}()
+	for i := 0; i < p.Replicas; i++ {
+		e := serve.NewMulti(serve.Options{Mmap: true})
+		f, err := serve.NewFetcher(e, serve.FetchOptions{
+			Source: snapDir, Vocab: b.Vocab, Interval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.SetReplicaStats(func() any { return f.Status() })
+		if _, err := f.Poll(); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("scenario %s: replica %d initial fetch failed: %w", p.Name, i, err)
+		}
+		srv := httptest.NewServer(serve.APIHandler(e, nil))
+		reps = append(reps, &distReplica{engine: e, fetcher: f, srv: srv})
+		routerReps = append(routerReps, router.Replica{Name: fmt.Sprintf("replica-%d", i), Base: srv.URL})
+	}
+
+	rt, err := router.New(routerReps, router.Options{MaxLag: 1})
+	if err != nil {
+		return nil, err
+	}
+	rt.PollReplicas()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	m := &DistMetrics{Preset: p.Name, Replicas: p.Replicas}
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Single-node reference for a generation: a fresh engine loading the
+	// very same file the replicas fetched.
+	reference := func(gen uint64) (*serve.Engine, error) {
+		ref := serve.NewMulti(serve.Options{Mmap: true})
+		if _, err := ref.LoadGeneration(serve.DefaultSnapshot, store.GenPath(snapDir, gen), b.Vocab, gen); err != nil {
+			ref.Close()
+			return nil, err
+		}
+		return ref, nil
+	}
+
+	checkGeneration := func(gen uint64, users int) {
+		ref, err := reference(gen)
+		if err != nil {
+			fail("generation %d: reference engine failed to load: %v", gen, err)
+			return
+		}
+		defer ref.Close()
+		get := func(path string, into any) bool {
+			resp, err := http.Get(front.URL + path)
+			if err != nil {
+				fail("generation %d: GET %s: %v", gen, path, err)
+				return false
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("generation %d: GET %s answered %d", gen, path, resp.StatusCode)
+				return false
+			}
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				fail("generation %d: GET %s decode: %v", gen, path, err)
+				return false
+			}
+			return true
+		}
+		// Memberships: every user, owner-routed.
+		for id := 0; id < users; id++ {
+			var got serve.MembershipResult
+			if !get(fmt.Sprintf("/api/user?id=%d&k=5", id), &got) {
+				return
+			}
+			want, err := ref.Membership(id, 5)
+			if err != nil {
+				fail("generation %d: reference membership(%d): %v", gen, id, err)
+				return
+			}
+			got.Version, want.Version = 0, 0
+			if !reflect.DeepEqual(&got, want) {
+				fail("generation %d: membership(%d) diverges: routed %+v vs single-node %+v", gen, id, got, want)
+				return
+			}
+			m.EqualityChecks++
+		}
+		// Rankings: scattered, merged — the merge must reproduce the
+		// single node bit-for-bit.
+		step := baseModel.NumWords / 16
+		if step < 1 {
+			step = 1
+		}
+		for w := 0; w < baseModel.NumWords; w += step {
+			var got serve.RankResult
+			if !get(fmt.Sprintf("/api/rank?w=%d&k=5", w), &got) {
+				return
+			}
+			want, err := ref.Rank([]int32{int32(w)}, 5)
+			if err != nil {
+				fail("generation %d: reference rank(%d): %v", gen, w, err)
+				return
+			}
+			got.Version, want.Version = 0, 0
+			if !reflect.DeepEqual(&got, want) {
+				fail("generation %d: rank(%d) diverges: routed %+v vs single-node %+v", gen, w, got, want)
+				return
+			}
+			m.EqualityChecks++
+		}
+		// Diffusion and fold-in spot checks.
+		var gd serve.DiffusionResult
+		if !get("/api/diffusion?u=0&v=1&topic=0&bucket=-1", &gd) {
+			return
+		}
+		wd, err := ref.Diffusion(0, 1, 0, -1)
+		if err != nil {
+			fail("generation %d: reference diffusion: %v", gen, err)
+			return
+		}
+		gd.Version, wd.Version = 0, 0
+		if !reflect.DeepEqual(gd, *wd) {
+			fail("generation %d: diffusion diverges: routed %+v vs single-node %+v", gen, gd, *wd)
+			return
+		}
+		m.EqualityChecks++
+		fi := &serve.FoldInRequest{Docs: [][]int32{{0, 1, 2}, {3, 4}}, Seed: 99, Sweeps: 8}
+		body, _ := json.Marshal(fi)
+		resp, err := http.Post(front.URL+"/api/foldin", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			fail("generation %d: routed fold-in: %v", gen, err)
+			return
+		}
+		var gf serve.FoldInResult
+		derr := json.NewDecoder(resp.Body).Decode(&gf)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			fail("generation %d: routed fold-in status %d decode %v", gen, resp.StatusCode, derr)
+			return
+		}
+		wf, err := ref.FoldIn(fi)
+		if err != nil {
+			fail("generation %d: reference fold-in: %v", gen, err)
+			return
+		}
+		gf.Version, wf.Version = 0, 0
+		if !reflect.DeepEqual(gf, *wf) {
+			fail("generation %d: fold-in diverges across the fleet", gen)
+			return
+		}
+		m.EqualityChecks++
+	}
+
+	// Generation 1, fleet at rest.
+	checkGeneration(1, baseModel.NumUsers)
+
+	// The rollout: fetchers polling live, a read hammer flowing through
+	// the router, generation 2 published under it.
+	ctx, cancel := context.WithCancel(context.Background())
+	var fwg sync.WaitGroup
+	for _, r := range reps {
+		fwg.Add(1)
+		go func(f *serve.Fetcher) {
+			defer fwg.Done()
+			f.Run(ctx)
+		}(r.fetcher)
+	}
+	stopReads := make(chan struct{})
+	var rwg sync.WaitGroup
+	var reads, readErrs atomic.Uint64
+	target := HTTPTarget{Base: front.URL, Client: front.Client()}
+	for w := 0; w < 2; w++ {
+		rwg.Add(1)
+		go func(w int) {
+			defer rwg.Done()
+			i := 0
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				reads.Add(2)
+				if err := target.Do(&Request{Op: OpMembership, U: (i + w) % baseUsers, K: 5}); err != nil {
+					readErrs.Add(1)
+				}
+				if err := target.Do(&Request{Op: OpRank, Words: []int32{int32(i % baseModel.NumWords)}, K: 5}); err != nil {
+					readErrs.Add(1)
+				}
+				i++
+			}
+		}(w)
+	}
+
+	rolloutErr := func() error {
+		if _, err := u.Ingest(evs[half:]); err != nil {
+			return fmt.Errorf("scenario %s: generation-2 ingest failed: %w", p.Name, err)
+		}
+		if _, err := u.Publish(); err != nil {
+			return fmt.Errorf("scenario %s: generation-2 publish failed: %w", p.Name, err)
+		}
+		// Wait for every replica to pull the new generation.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, r := range reps {
+			for r.fetcher.Generation() < 2 {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("scenario %s: fleet did not reach generation 2 in time", p.Name)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return nil
+	}()
+	close(stopReads)
+	rwg.Wait()
+	cancel()
+	fwg.Wait()
+	m.ReadQueries, m.ReadErrors = reads.Load(), readErrs.Load()
+	if rolloutErr != nil {
+		return m, rolloutErr
+	}
+	if m.ReadErrors > 0 {
+		fail("%d of %d routed reads failed during the generation rollout", m.ReadErrors, m.ReadQueries)
+	}
+
+	// Generation 2: fleet healthy, unlagged, and still bit-identical.
+	rt.PollReplicas()
+	st := rt.Stats()
+	m.Generations = st.Generation
+	if st.Generation != 2 {
+		fail("fleet generation %d after rollout, want 2", st.Generation)
+	}
+	if st.Healthy != p.Replicas {
+		fail("%d of %d replicas healthy after rollout", st.Healthy, p.Replicas)
+	}
+	for _, r := range st.Replicas {
+		if r.Lag != 0 || r.Lagging {
+			fail("replica %s lags the fleet after rollout: %+v", r.Name, r)
+		}
+	}
+	checkGeneration(2, u.Model().NumUsers)
+
+	if len(problems) > 0 {
+		return m, fmt.Errorf("scenario %s: %s", p.Name, strings.Join(problems, "; "))
+	}
+	return m, nil
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDistPresetRegistry(t *testing.T) {
+	ps := DistPresets()
+	if len(ps) == 0 {
+		t.Fatal("no distributed presets")
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" || p.Description == "" || p.Base.Name == "" || p.Replicas < 2 {
+			t.Fatalf("preset %+v incomplete", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate distributed preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := LookupDist(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("LookupDist(%q) = %+v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := LookupDist("nope"); err == nil {
+		t.Fatal("LookupDist accepted an unknown name")
+	}
+}
+
+// TestDistributedScenario drives every distributed preset end to end:
+// train → publish → fetcher distribution → router → queries, with
+// bit-equality against a single-node engine on both sides of a live
+// generation rollout and zero routed read errors during it.
+func TestDistributedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed scenarios train models; skipped in -short")
+	}
+	for _, p := range DistPresets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			m, err := RunDistributed(p, RunOptions{Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d replicas, %d generations, %d equality checks, %d routed reads (%d errors) in %v",
+				p.Name, m.Replicas, m.Generations, m.EqualityChecks, m.ReadQueries, m.ReadErrors,
+				time.Since(start).Round(time.Millisecond))
+			if m.EqualityChecks == 0 {
+				t.Fatal("no bit-equality checks ran")
+			}
+			if m.ReadQueries == 0 {
+				t.Fatal("the rollout read hammer never ran")
+			}
+			if m.Generations != 2 {
+				t.Fatalf("fleet ended on generation %d, want 2", m.Generations)
+			}
+		})
+	}
+}

@@ -259,11 +259,15 @@ func (t HTTPTarget) Do(req *Request) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
-	}
+	// Drain for connection reuse, but report the status first: an error
+	// response often carries a short (or truncated) body, and surfacing
+	// the drain hiccup instead of the 503 behind it buries the signal.
+	_, derr := io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("scenario: %s answered status %d", req.Op, resp.StatusCode)
+	}
+	if derr != nil {
+		return derr
 	}
 	return nil
 }

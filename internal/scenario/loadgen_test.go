@@ -2,8 +2,10 @@ package scenario
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -229,5 +231,26 @@ func TestLoadAgainstEngineAndHTTP(t *testing.T) {
 	}
 	if rep.Requests != 400 {
 		t.Fatalf("HTTP target completed %d requests", rep.Requests)
+	}
+}
+
+// A failing endpoint often truncates its error body; the target must
+// report the HTTP status, not the body-drain hiccup that the truncation
+// causes on the client side.
+func TestHTTPTargetReportsStatusBeforeDrainError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Promise a long body, deliver a stub: the client's drain hits an
+		// unexpected EOF after reading the 503 status.
+		w.Header().Set("Content-Length", "4096")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("overloaded"))
+	}))
+	defer srv.Close()
+	err := HTTPTarget{Base: srv.URL, Client: srv.Client()}.Do(&Request{Op: OpMembership, U: 1, K: 3})
+	if err == nil {
+		t.Fatal("truncated 503 reported as success")
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("error %q does not name the 503 status", err)
 	}
 }

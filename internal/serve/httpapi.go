@@ -27,6 +27,7 @@ import (
 //	POST /api/foldin                            fold-in one FoldInRequest
 //	POST /api/reload                            hot-swap via reload (if non-nil)
 //	GET  /api/snapshots                         per-snapshot accounting
+//	GET  /api/generation                        publisher generation served (replica freshness)
 //	GET  /api/stats                             latency histograms + RSS + quality summary
 //	GET  /api/quality                           per-generation quality history + PLP baseline
 //	GET  /metrics                               Prometheus text exposition
@@ -159,6 +160,34 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 	mux.HandleFunc("/api/snapshots", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, e.SnapshotsInfo())
 	})
+	mux.HandleFunc("/api/generation", func(w http.ResponseWriter, r *http.Request) {
+		// Generation reporting for the distribution tier: the router polls
+		// this to track per-replica freshness and lag. Like /healthz, an
+		// empty replica (no snapshot promoted yet) is a valid state — it
+		// answers generation 0 rather than erroring, so a cold replica can
+		// join a fleet before its first fetch completes.
+		name := r.URL.Query().Get("snapshot")
+		explicit := name != ""
+		if !explicit {
+			name = DefaultSnapshot
+		}
+		s, release, err := e.AcquireNamed(name)
+		if err != nil && !explicit {
+			if names := e.Names(); len(names) > 0 {
+				s, release, err = e.AcquireNamed(names[0])
+			}
+		}
+		if err != nil {
+			if explicit {
+				writeQueryErr(w, err)
+				return
+			}
+			writeJSON(w, GenerationReport{})
+			return
+		}
+		defer release()
+		writeJSON(w, GenerationReport{Snapshot: s.Name, Generation: s.Generation, Version: s.Version})
+	})
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		writeJSON(w, e.StatsReport())
@@ -206,15 +235,25 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 		}
 		defer release()
 		writeJSON(w, map[string]any{
-			"status":   "ok",
-			"snapshot": s.Name,
-			"version":  s.Version,
-			"users":    s.Model.NumUsers,
-			"words":    s.Model.NumWords,
-			"mapped":   s.Mapped(),
+			"status":     "ok",
+			"snapshot":   s.Name,
+			"version":    s.Version,
+			"generation": s.Generation,
+			"users":      s.Model.NumUsers,
+			"words":      s.Model.NumWords,
+			"mapped":     s.Mapped(),
 		})
 	})
 	return mux
+}
+
+// GenerationReport is the /api/generation payload: which publisher
+// generation the replica currently serves. A replica with no snapshot
+// yet reports the zero value.
+type GenerationReport struct {
+	Snapshot   string `json:"snapshot,omitempty"`
+	Generation uint64 `json:"generation"`
+	Version    uint64 `json:"version,omitempty"`
 }
 
 // snapParam resolves the optional ?snapshot= parameter.

@@ -1,0 +1,314 @@
+package serve
+
+// Replica-side snapshot distribution: a Fetcher pulls generation-numbered
+// v2 snapshots from a publisher — either its snapshot directory (shared
+// filesystem) or its HTTP snapshot endpoint (internal/stream's
+// SnapshotServer) — and promotes them into an Engine slot. Distribution
+// is pull-by-generation: each poll discovers the newest generation, and
+// only a strictly newer one triggers a fetch. Before a fetched file goes
+// live it is (1) fully CRC-verified — the section table AND every payload,
+// the O(model) pass the mapped opener skips by design — and (2) warmed
+// with a sequential read, so the page cache is hot before the first query
+// touches the mapping. Promotion is the engine's usual atomic swap;
+// in-flight queries finish on the snapshot they started with, exactly as
+// for a local reload.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// FetchOptions configures a Fetcher.
+type FetchOptions struct {
+	// Source is where generations come from: a snapshot directory path,
+	// or an http(s) base URL of a server mounting stream.SnapshotServer.
+	Source string
+	// Dir is the local cache directory for downloaded files. Required
+	// for an HTTP source; ignored for a directory source (files are
+	// verified and mapped in place).
+	Dir string
+	// Snapshot is the engine slot promoted into (default "default").
+	Snapshot string
+	// Vocab, when non-nil, enables free-text queries on the promoted
+	// snapshots (the vocabulary does not travel with generation files).
+	Vocab *corpus.Vocabulary
+	// Interval is the poll period for Run (default 2s).
+	Interval time.Duration
+	// Client is the HTTP client for URL sources (default: 30s timeout).
+	Client *http.Client
+	// Keep bounds the local cache for HTTP sources: after a promote,
+	// downloaded files older than the newest Keep generations are
+	// removed (default 2; the file backing the live mapping stays valid
+	// even once unlinked).
+	Keep int
+}
+
+// FetchStatus is a Fetcher's observable state (the "replica" section of
+// /api/stats on a fetching server).
+type FetchStatus struct {
+	Source     string `json:"source"`
+	Snapshot   string `json:"snapshot"`
+	Generation uint64 `json:"generation"`
+	// Fetches counts promoted generations; Failures failed poll or
+	// fetch attempts (the generation is re-attempted next poll).
+	Fetches   uint64 `json:"fetches"`
+	Failures  uint64 `json:"failures"`
+	LastPoll  string `json:"lastPoll,omitempty"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Fetcher keeps one engine slot tracking a publisher's newest generation.
+type Fetcher struct {
+	e    *Engine
+	opts FetchOptions
+	http bool
+
+	mu       sync.Mutex
+	gen      uint64
+	fetches  uint64
+	failures uint64
+	lastPoll time.Time
+	lastErr  string
+}
+
+// NewFetcher validates the options and returns a Fetcher. No fetch
+// happens yet; call Poll (or Run) to start tracking.
+func NewFetcher(e *Engine, opts FetchOptions) (*Fetcher, error) {
+	if opts.Source == "" {
+		return nil, fmt.Errorf("serve: fetcher needs a source")
+	}
+	isHTTP := strings.HasPrefix(opts.Source, "http://") || strings.HasPrefix(opts.Source, "https://")
+	if isHTTP {
+		opts.Source = strings.TrimRight(opts.Source, "/")
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("serve: an HTTP snapshot source needs a local cache dir")
+		}
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Snapshot == "" {
+		opts.Snapshot = DefaultSnapshot
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.Keep <= 0 {
+		opts.Keep = 2
+	}
+	return &Fetcher{e: e, opts: opts, http: isHTTP}, nil
+}
+
+// Generation returns the newest generation this fetcher has promoted.
+func (f *Fetcher) Generation() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+
+// Status snapshots the fetcher's counters.
+func (f *Fetcher) Status() FetchStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FetchStatus{
+		Source:     f.opts.Source,
+		Snapshot:   f.opts.Snapshot,
+		Generation: f.gen,
+		Fetches:    f.fetches,
+		Failures:   f.failures,
+		LastError:  f.lastErr,
+	}
+	if !f.lastPoll.IsZero() {
+		st.LastPoll = f.lastPoll.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+// WriteMetrics emits the fetcher's gauges in Prometheus text exposition
+// format — registered on the engine via AddMetricsCollector.
+func (f *Fetcher) WriteMetrics(w io.Writer) {
+	st := f.Status()
+	gauge(w, "cpd_replica_generation", "Publisher generation this replica serves.", "", float64(st.Generation))
+	gauge(w, "cpd_replica_fetches_total", "Generations fetched, verified and promoted.", "", float64(st.Fetches))
+	gauge(w, "cpd_replica_fetch_failures_total", "Failed fetch or verify attempts.", "", float64(st.Failures))
+}
+
+// Poll runs one discover→fetch→verify→warm→promote cycle. It returns
+// the promoted generation (0 if the replica is already current) and
+// records failures for Status; a failed attempt leaves the serving state
+// untouched and is retried on the next poll.
+func (f *Fetcher) Poll() (uint64, error) {
+	gen, err := f.poll()
+	f.mu.Lock()
+	f.lastPoll = time.Now()
+	if err != nil {
+		f.failures++
+		f.lastErr = err.Error()
+	} else {
+		f.lastErr = ""
+		if gen > 0 {
+			f.gen = gen
+			f.fetches++
+		}
+	}
+	f.mu.Unlock()
+	return gen, err
+}
+
+// Run polls until the context is cancelled.
+func (f *Fetcher) Run(ctx context.Context) {
+	t := time.NewTicker(f.opts.Interval)
+	defer t.Stop()
+	for {
+		f.Poll() // errors are surfaced via Status/metrics; keep polling
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (f *Fetcher) poll() (uint64, error) {
+	latest, err := f.discover()
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	have := f.gen
+	f.mu.Unlock()
+	if latest == 0 || latest <= have {
+		return 0, nil // nothing published yet, or already current
+	}
+	path, err := f.materialize(latest)
+	if err != nil {
+		return 0, err
+	}
+	if err := store.VerifyV2File(path); err != nil {
+		return 0, fmt.Errorf("verifying generation %d: %w", latest, err)
+	}
+	if err := warmFile(path); err != nil {
+		return 0, fmt.Errorf("warming generation %d: %w", latest, err)
+	}
+	if _, err := f.e.LoadGeneration(f.opts.Snapshot, path, f.opts.Vocab, latest); err != nil {
+		return 0, fmt.Errorf("promoting generation %d: %w", latest, err)
+	}
+	if f.http {
+		f.pruneCache(latest)
+	}
+	return latest, nil
+}
+
+// discover finds the newest generation the source offers.
+func (f *Fetcher) discover() (uint64, error) {
+	if !f.http {
+		files, err := store.ScanGenerations(f.opts.Source)
+		if err != nil || len(files) == 0 {
+			return 0, err
+		}
+		return files[len(files)-1].Generation, nil
+	}
+	resp, err := f.opts.Client.Get(f.opts.Source + "/api/generations")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("%s/api/generations answered status %d", f.opts.Source, resp.StatusCode)
+	}
+	var man struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		return 0, err
+	}
+	return man.Generation, nil
+}
+
+// materialize returns a local path holding generation gen: the publisher
+// file itself for a directory source, a downloaded copy (atomic rename)
+// for an HTTP source. An already-downloaded copy is reused — its CRCs
+// are re-verified by the caller either way.
+func (f *Fetcher) materialize(gen uint64) (string, error) {
+	if !f.http {
+		return store.GenPath(f.opts.Source, gen), nil
+	}
+	path := store.GenPath(f.opts.Dir, gen)
+	if _, err := os.Stat(path); err == nil {
+		return path, nil
+	}
+	resp, err := f.opts.Client.Get(fmt.Sprintf("%s/api/generations/file?gen=%d", f.opts.Source, gen))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("fetching generation %d: status %d", gen, resp.StatusCode)
+	}
+	tmp, err := os.CreateTemp(f.opts.Dir, ".fetch-*")
+	if err != nil {
+		return "", err
+	}
+	_, err = io.Copy(tmp, resp.Body)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// pruneCache drops downloaded generations older than the newest Keep.
+// Gaps don't matter: retention lists the directory (the same discipline
+// as the publisher's own pruning).
+func (f *Fetcher) pruneCache(latest uint64) {
+	if latest <= uint64(f.opts.Keep) {
+		return
+	}
+	cut := latest - uint64(f.opts.Keep)
+	files, err := store.ScanGenerations(f.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, gf := range files {
+		if gf.Generation <= cut {
+			os.Remove(filepath.Join(f.opts.Dir, gf.Name))
+		}
+	}
+}
+
+// warmFile reads the file once, sequentially, populating the page cache
+// so the first queries against the freshly mapped snapshot don't pay
+// cold-read latency mid-request.
+func warmFile(path string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	buf := make([]byte, 1<<20)
+	_, err = io.CopyBuffer(io.Discard, fh, buf)
+	return err
+}

@@ -133,6 +133,12 @@ type Snapshot struct {
 	// snapshots); results carry it so callers can attribute answers to a
 	// model generation.
 	Version uint64
+	// Generation is the publisher's generation number the snapshot was
+	// built from (0 = not generation-tracked). Unlike Version — which is
+	// process-local — generations are assigned by the publisher and so
+	// compare across replicas; the distribution tier (serve.Fetcher,
+	// internal/router) keys freshness on it. Set it before Promote.
+	Generation uint64
 
 	opts     Options
 	openness []int
@@ -369,8 +375,10 @@ type Engine struct {
 	lat [epCount]hist.Atomic
 
 	// ingestStats, when set (SetIngestStats), contributes the streaming
-	// freshness/lag section of StatsReport.
-	ingestStats atomic.Value // of func() any
+	// freshness/lag section of StatsReport; replicaStats
+	// (SetReplicaStats) the snapshot fetcher's.
+	ingestStats  atomic.Value // of func() any
+	replicaStats atomic.Value // of func() any
 
 	// qualityMu guards the bounded per-snapshot quality report history
 	// and the per-snapshot baseline comparison row.
@@ -627,9 +635,26 @@ func (e *Engine) LoadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) 
 // loadSnapshot loads a model file (mapped when Options.Mmap and the file
 // is v2; copied otherwise) and publishes it under name.
 func (e *Engine) loadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) (uint64, error) {
+	return e.loadGeneration(name, modelPath, vocab, 0)
+}
+
+// LoadGeneration is LoadSnapshot for a generation-numbered snapshot
+// file: the promoted snapshot (and every result it answers) carries gen,
+// so freshness compares across replicas serving the same publisher. The
+// replica fetcher promotes through this after verifying the file.
+func (e *Engine) LoadGeneration(name, modelPath string, vocab *corpus.Vocabulary, gen uint64) (version uint64, err error) {
+	start := time.Now()
+	defer func() { e.lat[epReload].Observe(time.Since(start), err) }()
+	return e.loadGeneration(name, modelPath, vocab, gen)
+}
+
+func (e *Engine) loadGeneration(name, modelPath string, vocab *corpus.Vocabulary, gen uint64) (uint64, error) {
 	if e.opts.Mmap {
 		if mm, err := store.Open(modelPath); err == nil {
-			return e.SwapMapped(name, mm, vocab), nil
+			s := newSnapshot(mm.Model, vocab, name, 0, e.opts)
+			s.Generation = gen
+			s.AttachMapped(mm)
+			return e.publish(s), nil
 		}
 		// Not a v2 snapshot (or not mappable): fall through to the
 		// copying loader, which sniffs every format.
@@ -638,7 +663,9 @@ func (e *Engine) loadSnapshot(name, modelPath string, vocab *corpus.Vocabulary) 
 	if err != nil {
 		return 0, err
 	}
-	return e.SwapNamed(name, m, vocab), nil
+	s := newSnapshot(m, vocab, name, 0, e.opts)
+	s.Generation = gen
+	return e.publish(s), nil
 }
 
 // Stats returns the per-endpoint latency digests, keyed by endpoint name.
@@ -661,10 +688,14 @@ func (e *Engine) Stats() map[string]EndpointStats {
 
 // SnapshotStats is one snapshot's resource accounting.
 type SnapshotStats struct {
-	Name    string `json:"name"`
-	Version uint64 `json:"version"`
-	Users   int    `json:"users"`
-	Words   int    `json:"words"`
+	Name string `json:"name"`
+	// Version is the engine's process-local swap counter; Generation the
+	// publisher-assigned generation (0 when not generation-tracked),
+	// comparable across replicas.
+	Version    uint64 `json:"version"`
+	Generation uint64 `json:"generation,omitempty"`
+	Users      int    `json:"users"`
+	Words      int    `json:"words"`
 	// Mapped reports a real file mapping; MappedBytes is its size (0 for
 	// heap snapshots), HeapBytes the estimated heap footprint (matrices
 	// if owned, plus caches and indexes).
@@ -687,6 +718,7 @@ func (e *Engine) SnapshotsInfo() []SnapshotStats {
 		out = append(out, SnapshotStats{
 			Name:        s.Name,
 			Version:     s.Version,
+			Generation:  s.Generation,
 			Users:       s.Model.NumUsers,
 			Words:       s.Model.NumWords,
 			Mapped:      s.mapped,
@@ -714,6 +746,10 @@ type StatsReport struct {
 	// Ingest is the streaming updater's status (generation, pending-event
 	// lag, last publish), present only on servers running live ingest.
 	Ingest any `json:"ingest,omitempty"`
+	// Replica is the snapshot fetcher's status (source, promoted
+	// generation, fetch/verify counters), present only on replicas that
+	// pull generations from a publisher (serve.Fetcher).
+	Replica any `json:"replica,omitempty"`
 }
 
 // SetIngestStats attaches a provider whose value is embedded as the
@@ -722,6 +758,13 @@ type StatsReport struct {
 // depending on internal/stream. nil detaches.
 func (e *Engine) SetIngestStats(fn func() any) {
 	e.ingestStats.Store(fn)
+}
+
+// SetReplicaStats attaches a provider whose value is embedded as the
+// "replica" section of every StatsReport — the fetcher counterpart of
+// SetIngestStats. nil detaches.
+func (e *Engine) SetReplicaStats(fn func() any) {
+	e.replicaStats.Store(fn)
 }
 
 // StatsReport assembles the full stats payload.
@@ -734,6 +777,9 @@ func (e *Engine) StatsReport() *StatsReport {
 	}
 	if fn, ok := e.ingestStats.Load().(func() any); ok && fn != nil {
 		r.Ingest = fn()
+	}
+	if fn, ok := e.replicaStats.Load().(func() any); ok && fn != nil {
+		r.Replica = fn()
 	}
 	return r
 }
@@ -783,6 +829,7 @@ type CommunityDetail struct {
 type MembershipResult struct {
 	User        int               `json:"user"`
 	Version     uint64            `json:"version"`
+	Generation  uint64            `json:"generation,omitempty"`
 	Communities []CommunityWeight `json:"communities"`
 }
 
@@ -796,17 +843,19 @@ type RankEntry struct {
 
 // RankResult is the answer to a profile-driven ranking query.
 type RankResult struct {
-	Version uint64      `json:"version"`
-	Entries []RankEntry `json:"entries"`
+	Version    uint64      `json:"version"`
+	Generation uint64      `json:"generation,omitempty"`
+	Entries    []RankEntry `json:"entries"`
 }
 
 // DiffusionResult is a per-topic diffusion probability answer (Eq. 5's
 // sigmoid without the individual-preference features, which need pairwise
 // graph context the serving layer does not hold).
 type DiffusionResult struct {
-	Version uint64  `json:"version"`
-	Logit   float64 `json:"logit"`
-	Prob    float64 `json:"prob"`
+	Version    uint64  `json:"version"`
+	Generation uint64  `json:"generation,omitempty"`
+	Logit      float64 `json:"logit"`
+	Prob       float64 `json:"prob"`
 }
 
 func (s *Snapshot) summary(c int) CommunitySummary {
@@ -894,7 +943,7 @@ func (s *Snapshot) Membership(u, k int) (*MembershipResult, error) {
 		k = s.opts.MemberTopK
 	}
 	row := m.Pi.Row(u)
-	res := &MembershipResult{User: u, Version: s.Version}
+	res := &MembershipResult{User: u, Version: s.Version, Generation: s.Generation}
 	if comms, ok := s.users.top(u, k); ok {
 		for _, c := range comms {
 			res.Communities = append(res.Communities, CommunityWeight{Community: int(c), Weight: row[c]})
@@ -918,7 +967,7 @@ func (s *Snapshot) Diffusion(u, v, z, b int) (*DiffusionResult, error) {
 		return nil, fmt.Errorf("serve: topic %d out of range [0, %d)", z, m.Cfg.NumTopics)
 	}
 	logit := m.DiffusionLogitTopic(u, v, z, b, nil)
-	return &DiffusionResult{Version: s.Version, Logit: logit, Prob: mathx.Sigmoid(logit)}, nil
+	return &DiffusionResult{Version: s.Version, Generation: s.Generation, Logit: logit, Prob: mathx.Sigmoid(logit)}, nil
 }
 
 // Rank answers an Eq. 19 profile-driven ranking query (a bag of word ids)
@@ -939,7 +988,7 @@ func (s *Snapshot) Rank(query []int32, k int) (*RankResult, error) {
 	}
 	scores := make([]float64, C)
 	s.index.Accumulate(scores, query)
-	res := &RankResult{Version: s.Version}
+	res := &RankResult{Version: s.Version, Generation: s.Generation}
 	for _, c := range mathx.TopKIndices(scores, k) {
 		res.Entries = append(res.Entries, RankEntry{
 			Community: c,

@@ -1,0 +1,125 @@
+package store
+
+// Generation-numbered snapshot files: the on-disk contract between the
+// streaming publisher (internal/stream writes gen-%08d.v2.snap into its
+// snapshot dir), the replica fetcher (internal/serve polls that dir — or
+// its HTTP mirror — and promotes new generations), and retention
+// (pruning keeps the newest K generation files). The naming and the
+// directory-scan live here so every tier parses the same convention.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// genFormat names one published generation. The zero-padded width keeps
+// lexical and numeric order identical, so directory listings read in
+// publish order.
+const genFormat = "gen-%08d.v2.snap"
+
+// GenPath returns the snapshot path for one generation under dir.
+func GenPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(genFormat, gen))
+}
+
+// ParseGenName extracts the generation from a snapshot file name
+// (base name, not a path). It reports false for anything that is not a
+// generation file.
+func ParseGenName(name string) (uint64, bool) {
+	var gen uint64
+	var tail string
+	n, err := fmt.Sscanf(name, "gen-%d.v2.snap%s", &gen, &tail)
+	if err == nil && n != 1 || tail != "" {
+		return 0, false
+	}
+	if n != 1 || gen == 0 {
+		return 0, false
+	}
+	// Round-trip: rejects unpadded or over-long digit runs so one file
+	// never aliases two generations.
+	if fmt.Sprintf(genFormat, gen) != name {
+		return 0, false
+	}
+	return gen, true
+}
+
+// GenFile is one generation snapshot present in a directory — the unit
+// of the publisher's manifest and the fetcher's poll.
+type GenFile struct {
+	Generation uint64 `json:"generation"`
+	Name       string `json:"name"`
+	Size       int64  `json:"size"`
+}
+
+// ScanGenerations lists the generation snapshots in dir, ascending by
+// generation. Non-generation files are ignored; a missing directory is
+// an empty listing, not an error (the publisher creates it lazily).
+func ScanGenerations(dir string) ([]GenFile, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	var out []GenFile
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		gen, ok := ParseGenName(ent.Name())
+		if !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue // raced with a prune; the file is gone
+		}
+		out = append(out, GenFile{Generation: gen, Name: ent.Name(), Size: info.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Generation < out[j].Generation })
+	return out, nil
+}
+
+// VerifyV2File checks the full integrity of a v2 snapshot: the section
+// table CRC (as every reader does) and then every payload CRC — the
+// O(model) pass Open deliberately skips. This is the check a replica
+// runs after fetching a generation file and before mapping it, so a
+// torn download or bit-rotted byte is caught once at distribution time
+// rather than surfacing as a wrong answer in some query later.
+func VerifyV2File(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < v2HeaderLen {
+		return fmt.Errorf("store: %s: file shorter than a v2 header", path)
+	}
+	if string(data[:len(magicV2)]) != magicV2 {
+		return fmt.Errorf("store: %s: not a v2 CPD snapshot", path)
+	}
+	count := binary.LittleEndian.Uint64(data[8:])
+	if count == 0 || count > maxV2Entries {
+		return fmt.Errorf("store: %s: v2 snapshot claims %d sections", path, count)
+	}
+	tableEnd := uint64(v2HeaderLen) + count*v2EntryLen
+	if tableEnd > uint64(len(data)) {
+		return fmt.Errorf("store: %s: v2 section table truncated", path)
+	}
+	entries, err := parseV2Table(data[:v2HeaderLen], data[v2HeaderLen:tableEnd], uint64(len(data)))
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	for _, ent := range entries {
+		payload := data[ent.off : ent.off+ent.size]
+		if got := crc32.ChecksumIEEE(payload); got != ent.crc {
+			return fmt.Errorf("store: %s: section %q payload checksum mismatch (%08x, stored %08x)",
+				path, ent.tag, got, ent.crc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package stream
+
+// The publisher half of snapshot distribution: a generation manifest
+// (what generations exist, newest first-class) plus an HTTP handler that
+// serves the manifest and the generation files themselves. Replicas
+// (serve.Fetcher) poll either the snapshot directory directly — shared
+// filesystem deployments — or these endpoints when the only path to the
+// publisher is the network. The files are immutable once written
+// (publishes create, pruning unlinks; nothing rewrites), so serving them
+// over HTTP needs no coordination with the publish loop.
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/store"
+)
+
+// Manifest lists the generation snapshots a publisher currently offers.
+type Manifest struct {
+	// Generation is the newest complete generation on disk (0 when none
+	// has been published yet).
+	Generation uint64 `json:"generation"`
+	// Files are the retained generation snapshots, ascending.
+	Files []store.GenFile `json:"files"`
+}
+
+// DirManifest builds the manifest for a snapshot directory.
+func DirManifest(dir string) (Manifest, error) {
+	files, err := store.ScanGenerations(dir)
+	if err != nil {
+		return Manifest{}, err
+	}
+	m := Manifest{Files: files}
+	if n := len(files); n > 0 {
+		m.Generation = files[n-1].Generation
+	}
+	return m, nil
+}
+
+// Manifest reports the updater's published generations (the programmatic
+// face of the snapshot endpoints; empty when the updater has no Dir).
+func (u *Updater) Manifest() (Manifest, error) {
+	if u.opts.Dir == "" {
+		return Manifest{}, nil
+	}
+	return DirManifest(u.opts.Dir)
+}
+
+// SnapshotServer serves a publisher's snapshot directory to replicas:
+//
+//	GET /api/generations             the Manifest (JSON)
+//	GET /api/generations/file?gen=N  one generation file's bytes
+//
+// The file path is reconstructed from the parsed generation number, never
+// from client-supplied names, so the handler cannot be walked out of dir.
+// cmd/cpd-serve mounts this next to the query API whenever it publishes
+// snapshots, making any publisher a snapshot origin for its replicas.
+func SnapshotServer(dir string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/generations", func(w http.ResponseWriter, r *http.Request) {
+		m, err := DirManifest(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, m)
+	})
+	mux.HandleFunc("/api/generations/file", func(w http.ResponseWriter, r *http.Request) {
+		gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+		if err != nil || gen == 0 {
+			http.Error(w, "bad or missing gen parameter", http.StatusBadRequest)
+			return
+		}
+		// ServeFile handles ranges, content-length and 404 for pruned
+		// generations; the octet-stream type stops any sniffing.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, store.GenPath(dir, gen))
+	})
+	return mux
+}

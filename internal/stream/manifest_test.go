@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestSnapshotServer(t *testing.T) {
+	dir := t.TempDir()
+	want := map[uint64][]byte{
+		2: []byte("generation two"),
+		5: []byte("generation five (post-gap)"),
+	}
+	for gen, body := range want {
+		if err := os.WriteFile(store.GenPath(dir, gen), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(SnapshotServer(dir))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/generations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if man.Generation != 5 || len(man.Files) != 2 || man.Files[0].Generation != 2 {
+		t.Fatalf("manifest = %+v, want newest generation 5 over files [2 5]", man)
+	}
+	if man.Files[1].Size != int64(len(want[5])) {
+		t.Fatalf("manifest size %d, want %d", man.Files[1].Size, len(want[5]))
+	}
+
+	for gen, body := range want {
+		resp, err := http.Get(srv.URL + "/api/generations/file?gen=" + strconv.FormatUint(gen, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(got) != string(body) {
+			t.Fatalf("file gen=%d: status %d body %q", gen, resp.StatusCode, got)
+		}
+	}
+
+	// Pruned / never-published generations are 404, malformed and
+	// traversal-shaped requests 400 — never a path walk.
+	for query, wantStatus := range map[string]int{
+		"gen=3":             http.StatusNotFound,
+		"gen=0":             http.StatusBadRequest,
+		"gen=":              http.StatusBadRequest,
+		"gen=../events.wal": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(srv.URL + "/api/generations/file?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("file?%s: status %d, want %d", query, resp.StatusCode, wantStatus)
+		}
+	}
+}

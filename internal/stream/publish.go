@@ -221,7 +221,7 @@ func (u *Updater) publishLocked() (*PublishInfo, error) {
 		Incremental: !full,
 	}
 	if u.opts.Dir != "" {
-		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", u.generation))
+		path := store.GenPath(u.opts.Dir, u.generation)
 		if u.opts.FullRebuild {
 			err = store.SaveV2(path, model)
 			u.manifest = nil
@@ -265,12 +265,14 @@ func (u *Updater) publishLocked() (*PublishInfo, error) {
 			snap := u.buildServeSnapshotLocked(mm.Model, full)
 			ph.IndexMicros = lap()
 			snap.AttachMapped(mm)
+			snap.Generation = u.generation
 			info.Version = u.opts.Engine.Promote(snap)
 			ph.PromoteMicros = lap()
 		}
 	} else {
 		snap := u.buildServeSnapshotLocked(model, full)
 		ph.IndexMicros = lap()
+		snap.Generation = u.generation
 		info.Version = u.opts.Engine.Promote(snap)
 		ph.PromoteMicros = lap()
 	}
@@ -407,16 +409,24 @@ func mergeIDs(a, b []int32) []int32 {
 }
 
 // pruneSnapshotsLocked deletes published snapshot files older than the
-// last KeepSnapshots generations.
+// last KeepSnapshots generations. Retention works off a directory
+// listing rather than counting generations down from the cut: a gap in
+// the gen-%08d sequence (a failed publish rolled the generation back, or
+// a file was removed externally) must not shadow everything older than
+// it — counting down and stopping at the first missing file did exactly
+// that, leaving stale snapshots on disk forever.
 func (u *Updater) pruneSnapshotsLocked() {
 	if u.opts.Dir == "" || u.generation <= uint64(u.opts.KeepSnapshots) {
 		return
 	}
 	cut := u.generation - uint64(u.opts.KeepSnapshots)
-	for gen := cut; gen > 0; gen-- {
-		path := filepath.Join(u.opts.Dir, fmt.Sprintf("gen-%08d.v2.snap", gen))
-		if err := os.Remove(path); err != nil {
-			break // already pruned past here (or never written)
+	files, err := store.ScanGenerations(u.opts.Dir)
+	if err != nil {
+		return // transient listing failure; retried next publish
+	}
+	for _, f := range files {
+		if f.Generation <= cut {
+			os.Remove(filepath.Join(u.opts.Dir, f.Name))
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/socialgraph"
+	"repro/internal/store"
 )
 
 // randomEvents builds a deterministic randomized event stream with user
@@ -267,5 +268,47 @@ func TestIncrementalPublishMmapMatches(t *testing.T) {
 	}
 	if lastInfo == nil || !lastInfo.Incremental {
 		t.Fatalf("mapped publishes never went incremental: %+v", lastInfo)
+	}
+}
+
+// TestPruneSurvivesGenerationGap is the retention regression test: a gap
+// in the gen-%08d sequence (here: one file removed externally, as a
+// failed publish rolling the generation back also leaves) must not
+// shield older snapshots from pruning. The pre-fix implementation
+// counted down from the cut and stopped at the first missing file,
+// leaking everything older than the gap forever.
+func TestPruneSurvivesGenerationGap(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 10; gen++ {
+		if gen == 5 {
+			continue // the planted gap
+		}
+		if err := os.WriteFile(store.GenPath(dir, gen), []byte("snap"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := &Updater{opts: Options{Dir: dir, KeepSnapshots: 3}}
+	u.generation = 10
+	u.pruneSnapshotsLocked()
+
+	files, err := store.ScanGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for _, f := range files {
+		got = append(got, f.Generation)
+	}
+	if want := []uint64{8, 9, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after pruning with a gap at 5: generations on disk = %v, want %v", got, want)
+	}
+
+	// Below the keep threshold nothing is pruned (and nothing panics on
+	// the generation-underflow edge).
+	low := &Updater{opts: Options{Dir: dir, KeepSnapshots: 3}}
+	low.generation = 2
+	low.pruneSnapshotsLocked()
+	if files, _ := store.ScanGenerations(dir); len(files) != 3 {
+		t.Fatalf("pruning below the keep threshold removed files: %v", files)
 	}
 }

@@ -1,0 +1,64 @@
+package repro
+
+// Benchmark for the distributed serving tier (internal/router): the
+// scatter-gather rank path over an in-process fleet of replicas, each
+// serving the serving-scale synthetic model through the real JSON API.
+// Compared against BenchmarkServeRank's single-engine numbers, the delta
+// is the router's whole overhead: fan-out, JSON decode, and the partial
+// top-K merge.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/serve"
+)
+
+func BenchmarkRouterScatterGather(b *testing.B) {
+	m := serveBenchModel(b)
+	const replicas = 3
+	var reps []router.Replica
+	for i := 0; i < replicas; i++ {
+		e := serve.New(m, nil, serve.Options{})
+		defer e.Close()
+		srv := httptest.NewServer(serve.APIHandler(e, nil))
+		defer srv.Close()
+		reps = append(reps, router.Replica{Name: fmt.Sprintf("r%d", i), Base: srv.URL})
+	}
+	rt, err := router.New(reps, router.Options{Client: &http.Client{Timeout: 10 * time.Second}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := front.Client()
+
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("%s/api/rank?w=%d,%d&k=10", front.URL, i*701%50000, i*337%50000)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp, err := client.Get(queries[i%len(queries)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res serve.RankResult
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || len(res.Entries) == 0 {
+				b.Fatalf("status %d, %d entries", resp.StatusCode, len(res.Entries))
+			}
+			i++
+		}
+	})
+}
