@@ -175,6 +175,38 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkEStep compares the E-step samplers at large K (the regime the
+// alias + Metropolis–Hastings sampler targets — sub-linear in |Z| and |C|
+// per draw, where the exact sampler scans every candidate). One op is one
+// full sweep over the same graph, so the exact/alias ns/op ratio IS the
+// per-token speedup; tokens/s makes the throughput comparison explicit.
+func BenchmarkEStep(b *testing.B) {
+	g, _ := synth.Generate(synth.TwitterLike(300, 99))
+	var tokens int
+	for i := range g.Docs {
+		tokens += len(g.Docs[i].Words)
+	}
+	const k = 128 // large-K regime: |C| = |Z| = 128
+	for _, sampler := range []string{core.SamplerExact, core.SamplerAlias} {
+		b.Run(sampler, func(b *testing.B) {
+			eng, err := core.NewEngine(g, core.Config{
+				NumCommunities: k, NumTopics: k, Workers: 2,
+				Rho: 1.0 / k, Seed: 42, Sampler: sampler,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			eng.Sweep() // warm-up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Sweep()
+			}
+			b.ReportMetric(float64(tokens)*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
+		})
+	}
+}
+
 // BenchmarkCPDTrainSerial measures one full serial training run (the unit
 // of every grid cell in Figs. 3/4/8/9).
 func BenchmarkCPDTrainSerial(b *testing.B) {

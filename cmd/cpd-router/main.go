@@ -74,8 +74,14 @@ func main() {
 	if len(replicas) == 0 {
 		log.Fatal("at least one -replica name=url is required")
 	}
+	// A scatter multiplies every rank/diffusion request by the fleet size,
+	// all aimed at a handful of hosts — http.DefaultTransport's 2 idle
+	// conns per host would churn TCP setup under any real concurrency.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = 256
+	transport.MaxIdleConnsPerHost = 64
 	rt, err := router.New(replicas, router.Options{
-		Client:       &http.Client{Timeout: *timeout},
+		Client:       &http.Client{Timeout: *timeout, Transport: transport},
 		PollInterval: *poll,
 		MaxLag:       *maxLag,
 	})

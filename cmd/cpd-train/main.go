@@ -19,9 +19,17 @@
 // model supports it (attribute-augmented and no-joint-modeling variants
 // initialize differently).
 //
+// With -sampler alias, the E-step runs the alias-table +
+// Metropolis–Hastings samplers instead of the exact full-conditional
+// scan — sub-linear in |C| and |Z| per draw, the right choice for large
+// community/topic counts (see internal/core's package documentation for
+// the guarantees each sampler makes). A resumed model keeps the sampler
+// it was trained with.
+//
 // Usage:
 //
 //	cpd-train -graph twitter.graph -communities 50 -topics 25 -iters 30 -out model.snap
+//	cpd-train -graph twitter.graph -communities 200 -topics 100 -sampler alias -out model.snap
 //	cpd-train -graph twitter.graph -format v2 -out model.v2.snap
 //	cpd-train -graph twitter.graph -format json -out model.json
 //	cpd-train -graph twitter.graph -resume model.v2.snap -iters 10 -out model2.v2.snap
@@ -53,8 +61,9 @@ func main() {
 		rho         = flag.Float64("rho", 0, "membership prior (0 = paper default 50/|C|)")
 		out         = flag.String("out", "", "model output file (required)")
 		format      = flag.String("format", "binary", "model output format: binary (v1) | v2 (mmap-ready) | json")
-		resume      = flag.String("resume", "", "continue training from this saved model snapshot (ignores -communities/-topics/-rho)")
+		resume      = flag.String("resume", "", "continue training from this saved model snapshot (ignores -communities/-topics/-rho/-sampler)")
 		initMode    = flag.String("init", "random", "sampler initialization: random | plp (warm-start from parallel label propagation)")
+		sampler     = flag.String("sampler", "exact", "E-step sampler: exact (full conditional scan) | alias (alias-table + Metropolis-Hastings, sub-linear at large |C|/|Z|)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *out == "" {
@@ -92,6 +101,7 @@ func main() {
 			Workers:        *workers,
 			Seed:           *seed,
 			Rho:            *rho,
+			Sampler:        *sampler,
 		}
 		res := baselines.PLPGraph(g, baselines.PLPOptions{Seed: *seed})
 		fmt.Printf("plp warm start: %d communities in %d sweeps (converged=%v)\n",
@@ -112,6 +122,7 @@ func main() {
 			Workers:        *workers,
 			Seed:           *seed,
 			Rho:            *rho,
+			Sampler:        *sampler,
 		})
 		if err != nil {
 			log.Fatal(err)

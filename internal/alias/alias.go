@@ -1,0 +1,157 @@
+// Package alias implements Vose's alias method for O(1) draws from a
+// fixed discrete distribution. The CPD E-step uses it as the proposal
+// substrate of the Metropolis–Hastings samplers (core's "alias" sampler,
+// LightLDA/WarpLDA lineage): a table is built once per sweep from the
+// sweep-start counters, draws during the sweep cost two uniforms each,
+// and the staleness of the table relative to the moving counters is
+// corrected by the MH acceptance step — which needs the proposal density,
+// so the table keeps its source weights and exposes them through Prob.
+package alias
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Table is an alias table over n weighted outcomes. Build with New; a
+// built table is safe for concurrent Draw/Prob use (every method is
+// read-only — the RNG passed to Draw carries all mutable state). Rebuild
+// refills it in place and must not race with readers.
+type Table struct {
+	n      int
+	prob   []float64 // per-column acceptance threshold in [0, 1]
+	alias  []int32   // per-column fallback outcome
+	weight []float64 // source weights (copied), kept for Prob
+	sum    float64
+	work   []int32 // build worklists (small grows up, large grows down)
+}
+
+// New builds an alias table from the given non-negative weights in O(n)
+// (Vose's two-worklist construction). It panics on an empty slice, a
+// negative or NaN weight, or a non-positive or infinite total — the
+// sampler feeds it count-plus-prior weights, which are always positive
+// and finite, so any of these is a programming error.
+//
+// The table is built in three allocations: the struct, one float64 block
+// (weights + acceptance thresholds), one int32 block (aliases + build
+// worklists) — the E-step builds one table per touched word per sweep,
+// so construction cost is on the sampler's hot path.
+func New(weights []float64) *Table {
+	n := len(weights)
+	if n == 0 {
+		panic("alias: New with no weights")
+	}
+	f := make([]float64, 2*n)
+	ints := make([]int32, 2*n)
+	t := &Table{
+		n:      n,
+		weight: f[:n:n],
+		prob:   f[n:],
+		alias:  ints[:n:n],
+		work:   ints[n:],
+	}
+	copy(t.weight, weights)
+	t.build()
+	return t
+}
+
+// Rebuild refills the table in place from a new weight vector of the same
+// length, with no allocations. It must not be called concurrently with
+// Draw/Prob on the same table — the sampler rebuilds its per-sweep tables
+// between sweeps, when no worker holds them. Panics like New on a length
+// mismatch or invalid weights.
+func (t *Table) Rebuild(weights []float64) {
+	if len(weights) != t.n {
+		panic("alias: Rebuild with mismatched length")
+	}
+	copy(t.weight, weights)
+	t.build()
+}
+
+// build fills prob/alias/sum from t.weight (Vose). The scaled weights
+// live directly in t.prob: the worklist loop finalises prob[s] exactly
+// when it consumes scaled[s], so the two arrays can share storage and the
+// build needs no scratch floats.
+func (t *Table) build() {
+	n := t.n
+	var sum float64
+	for _, w := range t.weight {
+		if w < 0 || math.IsNaN(w) {
+			panic("alias: negative or NaN weight")
+		}
+		sum += w
+	}
+	if sum <= 0 || math.IsInf(sum, 0) {
+		panic("alias: weights need a positive finite sum")
+	}
+	t.sum = sum
+
+	// Scale every weight so the mean column holds exactly 1: columns under
+	// the mean (small) borrow their slack from columns over it (large).
+	// The two worklists share one length-n block — each outcome is on at
+	// most one list at a time.
+	scaled := t.prob
+	work := t.work
+	nSmall, nLarge := 0, 0
+	scale := float64(n) / sum
+	for i, w := range t.weight {
+		scaled[i] = w * scale
+		if scaled[i] < 1 {
+			work[nSmall] = int32(i)
+			nSmall++
+		} else {
+			nLarge++
+			work[n-nLarge] = int32(i)
+		}
+	}
+	for nSmall > 0 && nLarge > 0 {
+		s := work[nSmall-1]
+		nSmall--
+		l := work[n-nLarge]
+		nLarge--
+		// prob[s] already holds scaled[s]: finalise by aliasing to l.
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			work[nSmall] = l
+			nSmall++
+		} else {
+			nLarge++
+			work[n-nLarge] = l
+		}
+	}
+	// Leftovers on either list hold (numerically) exactly 1: no alias.
+	for ; nLarge > 0; nLarge-- {
+		l := work[n-nLarge]
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for ; nSmall > 0; nSmall-- {
+		s := work[nSmall-1]
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+}
+
+// N returns the number of outcomes.
+func (t *Table) N() int { return t.n }
+
+// Sum returns the total source weight.
+func (t *Table) Sum() float64 { return t.sum }
+
+// Prob returns the probability of outcome i under the table's
+// distribution, weight_i / sum — the proposal density q(i) the MH
+// acceptance ratio needs, in O(1).
+func (t *Table) Prob(i int) float64 { return t.weight[i] / t.sum }
+
+// Draw samples one outcome: a uniform column, then the column's own
+// outcome or its alias. Exactly one Intn and one Float64 are consumed
+// per call, so draw sequences are deterministic per RNG stream.
+func (t *Table) Draw(r *rng.RNG) int {
+	i := r.Intn(t.n)
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

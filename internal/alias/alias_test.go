@@ -1,0 +1,214 @@
+package alias
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// normalize returns weights scaled to sum 1.
+func normalize(w []float64) []float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	p := make([]float64, len(w))
+	for i, v := range w {
+		p[i] = v / sum
+	}
+	return p
+}
+
+// empirical draws n samples and returns the relative frequencies.
+func empirical(t *Table, r *rng.RNG, n int) []float64 {
+	freq := make([]float64, t.N())
+	for i := 0; i < n; i++ {
+		freq[t.Draw(r)]++
+	}
+	for i := range freq {
+		freq[i] /= float64(n)
+	}
+	return freq
+}
+
+// TestTableDistributions property-tests the alias construction against
+// randomly generated weight vectors: the empirical draw distribution must
+// be close to the source distribution both in total-variation distance
+// and under a chi-square goodness-of-fit statistic.
+func TestTableDistributions(t *testing.T) {
+	r := rng.New(7)
+	const draws = 200000
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(60)
+		w := make([]float64, n)
+		for i := range w {
+			// Heavy-tailed weights, like count+prior sampler inputs: many
+			// tiny entries, a few dominant ones.
+			w[i] = math.Pow(r.Float64Open(), 4) * 100
+			if r.Intn(4) == 0 {
+				w[i] = 0 // zero-weight outcomes must never be drawn alone
+			}
+		}
+		w[r.Intn(n)] += 50 // ensure a positive sum and a dominant entry
+		tab := New(w)
+		p := normalize(w)
+
+		// Prob must reproduce the normalized weights exactly.
+		for i := range w {
+			if got := tab.Prob(i); math.Abs(got-p[i]) > 1e-15 {
+				t.Fatalf("trial %d: Prob(%d) = %g, want %g", trial, i, got, p[i])
+			}
+		}
+
+		freq := empirical(tab, r, draws)
+		// Total-variation distance: 0.5 * sum |p - q|. With 2e5 draws the
+		// expected TV is well under 1e-2 for n <= 62.
+		var tv float64
+		for i := range p {
+			tv += math.Abs(freq[i] - p[i])
+		}
+		tv /= 2
+		if tv > 0.012 {
+			t.Errorf("trial %d (n=%d): TV distance %g too large", trial, n, tv)
+		}
+
+		// Chi-square statistic over outcomes with enough expected mass.
+		// Under H0 it concentrates around its degrees of freedom; 3x dof is
+		// far beyond any plausible statistical fluctuation at this sample
+		// size and flags a construction bug rather than noise.
+		var chi2 float64
+		dof := 0
+		for i := range p {
+			exp := p[i] * draws
+			if exp < 5 {
+				continue
+			}
+			d := freq[i]*draws - exp
+			chi2 += d * d / exp
+			dof++
+		}
+		if dof > 0 && chi2 > 3*float64(dof)+30 {
+			t.Errorf("trial %d (n=%d): chi-square %g with %d dof", trial, n, chi2, dof)
+		}
+
+		// Zero-weight outcomes must never appear.
+		for i := range w {
+			if w[i] == 0 && freq[i] != 0 {
+				t.Errorf("trial %d: outcome %d has zero weight but frequency %g", trial, i, freq[i])
+			}
+		}
+	}
+}
+
+// TestTableDegenerate pins the single-outcome and delta-distribution
+// cases.
+func TestTableDegenerate(t *testing.T) {
+	r := rng.New(1)
+	one := New([]float64{3.5})
+	for i := 0; i < 100; i++ {
+		if one.Draw(r) != 0 {
+			t.Fatal("single-outcome table drew a nonexistent outcome")
+		}
+	}
+	delta := New([]float64{0, 0, 7, 0})
+	for i := 0; i < 1000; i++ {
+		if got := delta.Draw(r); got != 2 {
+			t.Fatalf("delta table drew %d, want 2", got)
+		}
+	}
+	if delta.Prob(2) != 1 || delta.Prob(0) != 0 {
+		t.Fatalf("delta table Prob wrong: %g / %g", delta.Prob(2), delta.Prob(0))
+	}
+}
+
+// TestTableDeterministic pins that identical weights and an identical RNG
+// stream give identical draw sequences — the property the sampler's
+// bit-reproducibility rests on.
+func TestTableDeterministic(t *testing.T) {
+	w := []float64{1, 2, 3, 4, 5, 0.5, 9}
+	a, b := New(w), New(w)
+	ra, rb := rng.New(42), rng.New(42)
+	for i := 0; i < 5000; i++ {
+		if x, y := a.Draw(ra), b.Draw(rb); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestTableRebuild pins that an in-place Rebuild is indistinguishable
+// from a fresh New: same prob/alias layout, same draw sequence, and the
+// old distribution leaves no trace.
+func TestTableRebuild(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(40)
+		w1 := make([]float64, n)
+		w2 := make([]float64, n)
+		for i := range w1 {
+			w1[i] = r.Float64() * 10
+			w2[i] = r.Float64() * 10
+		}
+		w1[0]++ // positive sums
+		w2[0]++
+		reused := New(w1)
+		reused.Rebuild(w2)
+		fresh := New(w2)
+		if reused.Sum() != fresh.Sum() {
+			t.Fatalf("trial %d: Rebuild sum %g != New sum %g", trial, reused.Sum(), fresh.Sum())
+		}
+		for i := 0; i < n; i++ {
+			if reused.Prob(i) != fresh.Prob(i) {
+				t.Fatalf("trial %d: Prob(%d) diverges after Rebuild", trial, i)
+			}
+		}
+		ra, rb := rng.New(uint64(trial)), rng.New(uint64(trial))
+		for i := 0; i < 2000; i++ {
+			if x, y := reused.Draw(ra), fresh.Draw(rb); x != y {
+				t.Fatalf("trial %d: draw %d diverged after Rebuild: %d vs %d", trial, i, x, y)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rebuild with mismatched length did not panic")
+		}
+	}()
+	New([]float64{1, 2}).Rebuild([]float64{1, 2, 3})
+}
+
+// TestTableSum checks Sum and that probabilities total 1.
+func TestTableSum(t *testing.T) {
+	w := []float64{2, 0, 1, 7}
+	tab := New(w)
+	if tab.Sum() != 10 {
+		t.Fatalf("Sum = %g, want 10", tab.Sum())
+	}
+	var tot float64
+	for i := range w {
+		tot += tab.Prob(i)
+	}
+	if math.Abs(tot-1) > 1e-12 {
+		t.Fatalf("Prob sums to %g", tot)
+	}
+}
+
+// TestTablePanics pins the documented construction panics.
+func TestTablePanics(t *testing.T) {
+	for _, tc := range [][]float64{
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", tc)
+				}
+			}()
+			New(tc)
+		}()
+	}
+}

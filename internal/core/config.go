@@ -1,13 +1,3 @@
-// Package core implements the paper's primary contribution: the joint
-// Community Profiling and Detection (CPD) model of Sect. 3 and its scalable
-// inference algorithm of Sect. 4 — collapsed Gibbs sampling over topic and
-// community assignments with Pólya-Gamma data augmentation for the two
-// sigmoid link likelihoods (friendship, Eq. 3; diffusion, Eq. 5),
-// interleaved with a variational-EM M-step that re-estimates the diffusion
-// profile η by assignment aggregation and the individual-preference weights
-// ν by logistic regression. A multi-threaded E-step reproduces Sect. 4.3's
-// parallelization: LDA-based user segmentation packed onto workers with 0-1
-// knapsack workload balancing.
 package core
 
 import (
@@ -15,11 +5,35 @@ import (
 	"runtime"
 )
 
+// Sampler names for Config.Sampler.
+const (
+	// SamplerExact draws every document topic and community from the full
+	// collapsed conditional (Eqs. 13–14) — O(|Z|) / O(|C|) per draw. The
+	// default, and the only sampler with the bit-identical-for-any-Workers
+	// guarantee extended to golden fixtures.
+	SamplerExact = "exact"
+	// SamplerAlias draws through alias-table proposals with
+	// Metropolis–Hastings correction against the exact conditional
+	// (LightLDA/WarpLDA lineage) — O(1) amortized per candidate instead of
+	// O(K). Still deterministic per (seed, graph, config) and still
+	// bit-identical for any Workers value, but its chains differ from the
+	// exact sampler's, so quality is gated by the scenario suite's NMI
+	// floors rather than golden equality. See internal/core/sampler_alias.go.
+	SamplerAlias = "alias"
+)
+
 // Config holds CPD hyperparameters, the paper's priors as defaults, and the
 // ablation switches used by the Sect. 6.2 model-design study.
 type Config struct {
 	NumCommunities int // |C|
 	NumTopics      int // |Z|
+
+	// Sampler selects the E-step sampling algorithm: "" or "exact" for the
+	// full-conditional Gibbs sampler, "alias" for the alias-table + MH
+	// sampler (see the Sampler* constants). The zero value is deliberately
+	// NOT rewritten by withDefaults, so snapshots of exact-sampler models
+	// serialize byte-identically to pre-Sampler releases.
+	Sampler string `json:"sampler,omitempty"`
 
 	// Dirichlet priors; zero values select the paper's defaults
 	// (Sect. 4.2): alpha = 50/|Z|, rho = 50/|C|, beta = 0.1.
@@ -208,8 +222,17 @@ func (c Config) validate() error {
 	if c.ModelAttributes && c.NoJointModeling {
 		return fmt.Errorf("core: ModelAttributes is incompatible with NoJointModeling")
 	}
+	switch c.Sampler {
+	case "", SamplerExact, SamplerAlias:
+	default:
+		return fmt.Errorf("core: unknown Sampler %q (want %q or %q)", c.Sampler, SamplerExact, SamplerAlias)
+	}
 	return nil
 }
+
+// aliasSampling reports whether the configuration selects the alias + MH
+// E-step samplers.
+func (c Config) aliasSampling() bool { return c.Sampler == SamplerAlias }
 
 // Diagnostics reports timing and balancing information the scalability
 // experiments (Figs. 10–11) consume.

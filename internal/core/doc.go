@@ -1,0 +1,39 @@
+// Package core implements the paper's primary contribution: the joint
+// Community Profiling and Detection (CPD) model of Sect. 3 and its scalable
+// inference algorithm of Sect. 4 — collapsed Gibbs sampling over topic and
+// community assignments with Pólya-Gamma data augmentation for the two
+// sigmoid link likelihoods (friendship, Eq. 3; diffusion, Eq. 5),
+// interleaved with a variational-EM M-step that re-estimates the diffusion
+// profile η by assignment aggregation and the individual-preference weights
+// ν by logistic regression. A multi-threaded E-step reproduces Sect. 4.3's
+// parallelization: LDA-based user segmentation packed onto workers with 0-1
+// knapsack workload balancing.
+//
+// # E-step samplers
+//
+// Config.Sampler selects how the E-step draws each document's topic and
+// community assignment; both samplers target the same collapsed
+// conditionals and share the engine's determinism contract (bit-identical
+// training for any Workers value, from the same seed).
+//
+//   - SamplerExact (the default, gibbs.go) evaluates the full conditional
+//     at every candidate: O(|Z|·(|doc| + links)) per topic draw,
+//     O(|C|·links) per community draw. It is the reference path — its
+//     training trajectories are pinned bit-for-bit by golden tests, and
+//     the zero value of Config.Sampler means exact so that configs
+//     serialize identically to pre-Sampler releases.
+//
+//   - SamplerAlias (sampler_alias.go) replaces the full scan with a few
+//     Metropolis–Hastings steps per draw: candidates come from O(1)
+//     alias-table draws (Vose tables over sweep-start counts, package
+//     internal/alias) or sparse-bucket draws over the user's own
+//     assignments, and each candidate is accepted or rejected against the
+//     exact conditional evaluated at just two points — link kernels
+//     included, so the stationary distribution is the exact conditional.
+//     Cost per draw is O(MH steps · (log support + |doc| terms)) instead
+//     of a |Z|- or |C|-linear scan, which is what makes large label
+//     spaces affordable (BenchmarkEStep: ~5x E-step throughput at
+//     |C| = |Z| = 128). Its chains consume randomness differently from
+//     the exact sampler's, so alias quality is gated by scenario NMI
+//     floors (internal/scenario) rather than golden equality.
+package core

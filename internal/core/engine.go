@@ -256,6 +256,9 @@ func (e *Engine) sweep(record bool) {
 	}
 	st.refreshCaches()
 	e.snap.capture(st)
+	if st.als != nil {
+		st.als.refresh(st, e.snap.zw)
+	}
 
 	t0 := time.Now()
 	for w := range e.jobs {
@@ -379,6 +382,13 @@ func (e *Engine) runSegment(seg *segment, sc *scratch) {
 			continue
 		}
 		for _, d := range st.g.UserDocs(int(u)) {
+			if st.als != nil {
+				st.sampleDocTopicAlias(d, sc)
+				if !st.cFrozen {
+					st.sampleDocCommunityAlias(d, sc)
+				}
+				continue
+			}
 			st.sampleDocTopic(d, sc)
 			if !st.cFrozen {
 				st.sampleDocCommunity(d, sc)

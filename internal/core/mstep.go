@@ -25,6 +25,7 @@ func (st *state) mStepEta() {
 		z := int(st.zload(l.I))
 		st.eta.Add(cI, cJ, z, 1)
 	}
+	st.etaDirty = true
 	cells := float64(C * Z)
 	for c := 0; c < C; c++ {
 		var total float64

@@ -170,6 +170,9 @@ func newStateFromModel(g *socialgraph.Graph, m *Model, cfg Config) *state {
 	st.sampleNegFriends()
 	st.refreshNuOffsets()
 	st.refreshCaches()
+	if cfg.aliasSampling() {
+		st.als = newAliasSampler(st)
+	}
 	return st
 }
 

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/alias"
+	"repro/internal/sparse"
+)
+
+// This file implements Config.Sampler = "alias": alias-table proposal
+// distributions with Metropolis–Hastings correction against the exact
+// collapsed conditionals (the LightLDA/WarpLDA sub-linear sampling recipe,
+// adapted to CPD's doc-level assignments and link kernels).
+//
+// The exact samplers in gibbs.go evaluate the full conditional at every
+// candidate — O(|Z|·(|doc| + links·support)) per topic draw and
+// O(|C|·links) per community draw. The alias sampler replaces the full
+// scan with a handful of MH steps: each step draws a candidate from a
+// cheap proposal (an O(1) alias-table draw from sweep-start counts, or a
+// sparse-bucket draw from the user's own token assignments) and accepts
+// or rejects it against the exact conditional evaluated at just the two
+// candidates — diffusion and friendship kernels included, so the
+// stationary distribution is the exact conditional, not an approximation
+// of it. Proposal tables are rebuilt once per sweep from the sweep-start
+// snapshot; their within-sweep staleness is exactly what the MH
+// acceptance ratio corrects (q is known in closed form from the table
+// weights).
+//
+// Determinism: the tables are built from sweep-start state (identical for
+// every segment-to-worker packing), draws consume only the per-segment
+// RNG stream, and every exact-conditional evaluation goes through the
+// same snapshot/overlay accessors the exact sampler uses — so alias
+// training, like exact training, is bit-identical for any Workers value.
+// Its chains differ from the exact sampler's (different RNG consumption),
+// which is why the alias path is gated by scenario NMI floors instead of
+// golden equality.
+
+// topicMHSteps / communityMHSteps are the MH proposal counts per draw.
+// Even steps use the "prior" proposal (community-topic table for topics,
+// membership sparse-bucket for communities), odd steps the "evidence"
+// proposal (word-topic tables for topics, topic-community table for
+// communities) — the LightLDA cycling that keeps both factors mixing.
+const (
+	topicMHSteps     = 4
+	communityMHSteps = 4
+)
+
+// aliasSampler holds the per-sweep proposal structures. One per state;
+// refreshed at every sweep start, read concurrently (and append-only via
+// atomics) by the workers during the sweep.
+type aliasSampler struct {
+	// cz[c] is an alias table over topics with weights n_cz + alpha: the
+	// doc-topic "prior" proposal given the document's current community.
+	cz []*alias.Table
+	// zc[z] is an alias table over communities with weights n_cz + alpha:
+	// the community "content" proposal given the document's current topic.
+	zc []*alias.Table
+	// word[w] is an alias table over topics with weights n_zw + beta,
+	// built lazily on first use (most sweeps touch a fraction of the
+	// vocabulary's tail). Entries are published via atomic pointers; every
+	// builder constructs an identical table from the same sweep-start
+	// counts, so racing builders are benign and the result is
+	// schedule-independent.
+	word []atomic.Pointer[alias.Table]
+	// zwSnap is the sweep-start topic-word counter array backing the lazy
+	// word tables (the engine's sweepSnapshot.zw). nil in direct/serial
+	// mode, where the live counters are read instead.
+	zwSnap []int64
+}
+
+func newAliasSampler(st *state) *aliasSampler {
+	return &aliasSampler{
+		cz:   make([]*alias.Table, st.cfg.NumCommunities),
+		zc:   make([]*alias.Table, st.cfg.NumTopics),
+		word: make([]atomic.Pointer[alias.Table], st.g.NumWords),
+	}
+}
+
+// refresh rebuilds the proposal tables from the current counters. Called
+// between sweeps (no worker running), when the live counters equal the
+// sweep-start snapshot; zwSnap carries the snapshot the lazy word tables
+// read during the sweep (nil selects live reads for the serial path).
+func (as *aliasSampler) refresh(st *state, zwSnap []int64) {
+	C, Z := st.cfg.NumCommunities, st.cfg.NumTopics
+	alpha := st.cfg.Alpha
+	wts := make([]float64, Z)
+	for c := 0; c < C; c++ {
+		for z := 0; z < Z; z++ {
+			wts[z] = float64(st.nCZ.at(c, z)) + alpha
+		}
+		if t := as.cz[c]; t != nil {
+			t.Rebuild(wts) // between sweeps no worker holds the table
+		} else {
+			as.cz[c] = alias.New(wts)
+		}
+	}
+	cwts := make([]float64, C)
+	for z := 0; z < Z; z++ {
+		for c := 0; c < C; c++ {
+			cwts[c] = float64(st.nCZ.at(c, z)) + alpha
+		}
+		if t := as.zc[z]; t != nil {
+			t.Rebuild(cwts)
+		} else {
+			as.zc[z] = alias.New(cwts)
+		}
+	}
+	for w := range as.word {
+		as.word[w].Store(nil)
+	}
+	as.zwSnap = zwSnap
+}
+
+// wordTable returns the sweep-start word-topic proposal table for word w,
+// building it on first use.
+func (as *aliasSampler) wordTable(st *state, w int) *alias.Table {
+	if t := as.word[w].Load(); t != nil {
+		return t
+	}
+	Z := st.cfg.NumTopics
+	beta := st.cfg.Beta
+	wts := make([]float64, Z)
+	if as.zwSnap != nil {
+		cols := st.nZW.cols
+		for z := 0; z < Z; z++ {
+			wts[z] = float64(as.zwSnap[z*cols+w]) + beta
+		}
+	} else {
+		for z := 0; z < Z; z++ {
+			wts[z] = float64(st.nZW.at(z, w)) + beta
+		}
+	}
+	t := alias.New(wts)
+	as.word[w].CompareAndSwap(nil, t)
+	return as.word[w].Load()
+}
+
+// wordMixRatio returns log q(zA) − log q(zB) under the word proposal for
+// the document whose grouped words are in sc: a uniform token is drawn,
+// then a topic from that word's table, so q(z) is the count-weighted
+// mixture of the tables' densities. Both densities come from one pass
+// over the distinct words, and the uniform 1/|doc| token factor cancels
+// in the ratio.
+func (as *aliasSampler) wordMixRatio(st *state, sc *scratch, zA, zB int) float64 {
+	var qa, qb float64
+	for k, w := range sc.wordIDs {
+		t := as.wordTable(st, int(w))
+		cnt := float64(sc.wordCnt[k])
+		qa += cnt * t.Prob(zA)
+		qb += cnt * t.Prob(zB)
+	}
+	return math.Log(qa) - math.Log(qb)
+}
+
+// mhAccept runs one Metropolis–Hastings accept test in log space:
+// accept log-ratio a = logp(prop) − logp(cur) + logq(cur) − logq(prop).
+func mhAccept(sc *scratch, a float64) bool {
+	return a >= 0 || math.Log(sc.r.Float64Open()) < a
+}
+
+// sampleDocTopicAlias is sampleDocTopic with the dense O(|Z|) candidate
+// scan replaced by topicMHSteps MH proposals. The exact conditional —
+// community-topic prior, word likelihood, and the diffusion kernels of
+// the links d diffuses — is evaluated at only the current and proposed
+// topics, through the same snapshot/overlay counter accessors as the
+// exact sampler.
+func (st *state) sampleDocTopicAlias(d int32, sc *scratch) {
+	doc := &st.g.Docs[d]
+	zOld := int(st.zload(d))
+	c := int(st.cload(d))
+	b := st.docBucket[d]
+
+	st.addCZ(sc, c, zOld, -1)
+	st.addCT(sc, c, -1)
+	for _, w := range doc.Words {
+		st.addZW(sc, zOld, int(w), -1)
+	}
+	st.addZT(sc, zOld, -int64(len(doc.Words)))
+	st.addTZ(sc, b, zOld, -1)
+	st.addTT(sc, b, -1)
+
+	beta := st.cfg.Beta
+	wBeta := float64(st.g.NumWords) * beta
+	alpha := st.cfg.Alpha
+	sc.groupWords(doc.Words)
+
+	// Build the sampled user's exact pi-hat once if any diffusion kernel
+	// will need it (same exclusion-aware vector the exact sampler builds).
+	diffuses := false
+	if !st.cfg.NoHeterogeneity {
+		for _, e := range st.g.DocDiffLinks(int(d)) {
+			if st.g.Diffs[e].I == d {
+				diffuses = true
+				break
+			}
+		}
+		if diffuses {
+			st.piHat(doc.User, d, &sc.piU, &sc.idxBufU, &sc.valBufU, sc)
+		}
+	}
+
+	// logPost evaluates Eq. 13's log conditional at a single candidate
+	// topic: O(|doc| + difflinks·support) instead of O(|Z|·...).
+	logPost := func(z int) float64 {
+		lw := math.Log(float64(st.cntCZ(sc, c, z)) + alpha)
+		for k, w := range sc.wordIDs {
+			base := float64(st.cntZW(sc, z, int(w))) + beta
+			for m := 0; m < sc.wordCnt[k]; m++ {
+				lw += math.Log(base + float64(m))
+			}
+		}
+		den := float64(st.cntZT(sc, z)) + wBeta
+		for j := 0; j < len(doc.Words); j++ {
+			lw -= math.Log(den + float64(j))
+		}
+		if diffuses {
+			for _, e := range st.g.DocDiffLinks(int(d)) {
+				l := st.g.Diffs[e]
+				if l.I != d {
+					continue
+				}
+				st.neighborPi(st.g.Docs[l.J].User, doc.User, d, &sc.piV, &sc.idxBufV, &sc.valBufV, sc)
+				x := st.aggs[z].Eval(st.etaSlice[z], st.thetaColM.Row(z), &sc.piU, &sc.piV) +
+					st.popTerm(sc, st.docBucket[l.I], z) + st.indivTerm(int(e))
+				lw += logPsi(x, st.delAt(sc, int(e)))
+			}
+		}
+		return lw
+	}
+
+	as := st.als
+	cur := zOld
+	curLP := math.Inf(1) // computed lazily on the first real proposal
+	for step := 0; step < topicMHSteps; step++ {
+		var prop int
+		var lqRatio float64 // log q(cur) − log q(prop)
+		if step&1 == 0 || len(doc.Words) == 0 {
+			t := as.cz[c]
+			prop = t.Draw(sc.r)
+			if prop == cur {
+				continue
+			}
+			lqRatio = math.Log(t.Prob(cur)) - math.Log(t.Prob(prop))
+		} else {
+			w := doc.Words[sc.r.Intn(len(doc.Words))]
+			prop = as.wordTable(st, int(w)).Draw(sc.r)
+			if prop == cur {
+				continue
+			}
+			lqRatio = as.wordMixRatio(st, sc, cur, prop)
+		}
+		if math.IsInf(curLP, 1) {
+			curLP = logPost(cur)
+		}
+		propLP := logPost(prop)
+		if mhAccept(sc, propLP-curLP+lqRatio) {
+			cur, curLP = prop, propLP
+		}
+	}
+
+	zNew := cur
+	st.zstore(d, int32(zNew))
+	st.addCZ(sc, c, zNew, 1)
+	st.addCT(sc, c, 1)
+	for _, w := range doc.Words {
+		st.addZW(sc, zNew, int(w), 1)
+	}
+	st.addZT(sc, zNew, int64(len(doc.Words)))
+	st.addTZ(sc, b, zNew, 1)
+	st.addTT(sc, b, 1)
+}
+
+// residualAt returns the sparse residual of a SmoothedVec-shaped support
+// (sorted idx, parallel val) at coordinate c, 0 when absent.
+func residualAt(idx []int32, val []float64, c int) float64 {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(idx[mid]) < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(idx) && int(idx[lo]) == c {
+		return val[lo]
+	}
+	return 0
+}
+
+// sampleDocCommunityAlias is sampleDocCommunity with the dense O(|C|)
+// candidate scan replaced by communityMHSteps MH proposals. The "prior"
+// proposal is the sparse-bucket draw from the user's own remaining token
+// assignments (q(c) ∝ n_u^{c,¬} + rho, sampled in O(1) without
+// materialising anything dense); the "content" proposal is the
+// sweep-start topic-community alias table. The exact conditional —
+// membership prior, community-topic term, friendship and diffusion
+// kernels — is evaluated at only the two candidates, each link costing
+// O(support) instead of O(|C|).
+func (st *state) sampleDocCommunityAlias(d int32, sc *scratch) {
+	doc := &st.g.Docs[d]
+	u := doc.User
+	cOld := int(st.cload(d))
+	z := int(st.zload(d))
+
+	st.addCZ(sc, cOld, z, -1)
+	st.addCT(sc, cOld, -1)
+
+	C := st.cfg.NumCommunities
+	rho := st.cfg.Rho
+	alpha := st.cfg.Alpha
+	zAlpha := float64(st.cfg.NumTopics) * alpha
+
+	st.piHat(u, d, &sc.piU, &sc.idxBufU, &sc.valBufU, sc)
+	denU := st.piHatDen(u)
+	invDenU := 1 / denU
+
+	// priorAt returns rho + n_u^{c,¬d} from the exclusion-aware pi-hat.
+	priorAt := func(cc int) float64 {
+		return rho + residualAt(sc.piU.Idx, sc.piU.Val, cc)*denU
+	}
+
+	// Predigest every link kernel once: the pi materialisation, dot
+	// product, bilinear aggregate, and augmentation lookups are all
+	// candidate-independent, so hoisting them out of the MH loop leaves
+	// each evaluation a residual lookup (or one support scan for
+	// heterogeneous diffusion) per link. See evalLinkAt.
+	fs := st.cfg.FriendScale
+	sc.links = sc.links[:0]
+	addFlat := func(other int32, aug float64, kind uint8) {
+		var pv *sparse.SmoothedVec
+		oth := other
+		if other == u {
+			pv, oth = &sc.piU, -1
+		} else {
+			st.piSnap(other, &sc.piV)
+			pv = &sc.piV
+		}
+		x0 := fs * (sc.piU.Dot(pv) + pv.Base*invDenU)
+		sc.links = append(sc.links, linkEval{x0: x0, aug: aug, other: oth, kind: kind})
+	}
+	if !st.cfg.NoFriendship {
+		for _, li := range st.userFriendLinks[u] {
+			f := st.g.Friends[li]
+			other := f.U
+			if other == u {
+				other = f.V
+			}
+			addFlat(other, st.lamAt(sc, int(li)), linkFriendPos)
+		}
+		for _, li := range st.userNegFriendLinks[u] {
+			f := st.negFriends[li]
+			other := f.U
+			if other == u {
+				other = f.V
+			}
+			addFlat(other, st.lamNegAt(sc, int(li)), linkFriendNeg)
+		}
+	}
+	if st.contentOn {
+		for _, e := range st.g.DocDiffLinks(int(d)) {
+			l := st.g.Diffs[e]
+			delta := st.delAt(sc, int(e))
+			otherU := st.g.Docs[l.J].User
+			if l.I != d {
+				otherU = st.g.Docs[l.I].User
+			}
+			if st.cfg.NoHeterogeneity {
+				addFlat(otherU, delta, linkDiffFlat)
+				continue
+			}
+			lz := st.zAt(sc, l.I, d) // link topic = diffusing document's topic
+			w := st.thetaColM.Row(int(lz))
+			m := st.etaSlice[lz]
+			agg := st.aggs[lz]
+			base := st.popTerm(sc, st.docBucket[l.I], int(lz)) + st.indivTerm(int(e))
+			var pv *sparse.SmoothedVec
+			oth := otherU
+			if otherU == u {
+				pv, oth = &sc.piU, -1
+			} else {
+				st.piSnap(otherU, &sc.piV)
+				pv = &sc.piV
+			}
+			kind := linkDiffRow
+			if l.I == d {
+				// d is the diffusing side: the candidate perturbs the row.
+				base += agg.Eval(m, w, &sc.piU, pv)
+			} else {
+				kind = linkDiffCol
+				base += agg.Eval(m, w, pv, &sc.piU)
+			}
+			sc.links = append(sc.links, linkEval{x0: base, aug: delta, other: oth, z: lz, kind: kind})
+		}
+	}
+
+	// logPost evaluates Eq. 14's log conditional at a single candidate.
+	logPost := func(cc int) float64 {
+		lp := math.Log(priorAt(cc))
+		if st.contentOn {
+			lp += math.Log(float64(st.cntCZ(sc, cc, z))+alpha) -
+				math.Log(float64(st.cntCT(sc, cc))+zAlpha)
+		}
+		for i := range sc.links {
+			lp += st.evalLinkAt(&sc.links[i], cc, invDenU, sc)
+		}
+		return lp
+	}
+
+	// Sparse-bucket prior proposal: the prior mass splits into C·rho of
+	// smoothing (uniform over communities) and one unit per remaining
+	// token of the user (uniform over tokens, taking the token's current
+	// assignment) — an O(1) draw from q(c) ∝ rho + n_u^{c,¬d} with no
+	// dense scan and no table build.
+	docs := st.g.UserDocs(int(u))
+	nTok := st.nDoc[u] + st.nAttr[u] - 1 // tokens excluding d
+	priorTotal := float64(C)*rho + float64(nTok)
+	drawPrior := func() int {
+		if nTok == 0 || sc.r.Float64()*priorTotal < float64(C)*rho {
+			return sc.r.Intn(C)
+		}
+		for {
+			j := sc.r.Intn(len(docs) + st.nAttr[u])
+			if j < len(docs) {
+				if docs[j] == d {
+					continue // excluded token: redraw
+				}
+				return int(st.cload(docs[j]))
+			}
+			return int(atomic.LoadInt32(&st.attrC[u][j-len(docs)]))
+		}
+	}
+
+	as := st.als
+	cur := cOld
+	curLP := math.Inf(1)
+	for step := 0; step < communityMHSteps; step++ {
+		var prop int
+		var lqRatio float64
+		if step&1 == 0 {
+			prop = drawPrior()
+			if prop == cur {
+				continue
+			}
+			lqRatio = math.Log(priorAt(cur)) - math.Log(priorAt(prop))
+		} else {
+			t := as.zc[z]
+			prop = t.Draw(sc.r)
+			if prop == cur {
+				continue
+			}
+			lqRatio = math.Log(t.Prob(cur)) - math.Log(t.Prob(prop))
+		}
+		if math.IsInf(curLP, 1) {
+			curLP = logPost(cur)
+		}
+		propLP := logPost(prop)
+		if mhAccept(sc, propLP-curLP+lqRatio) {
+			cur, curLP = prop, propLP
+		}
+	}
+
+	cNew := cur
+	st.cstore(d, int32(cNew))
+	st.addCZ(sc, cNew, z, 1)
+	st.addCT(sc, cNew, 1)
+}
+
+// linkEval is one predigested link kernel for the alias community
+// sampler. sampleDocCommunityAlias computes the candidate-independent
+// part of each kernel argument once per document draw (pi views, the dot
+// product or bilinear aggregate, the augmentation variable), so each MH
+// candidate evaluation is O(log support) for the friendship-shaped
+// kernels and O(support) for the heterogeneous diffusion perturbation.
+type linkEval struct {
+	x0    float64 // candidate-independent part of the kernel argument
+	aug   float64 // PG augmentation variable (lambda or delta)
+	other int32   // counterparty user; -1 when the view is piU itself
+	z     int32   // link topic (heterogeneous diffusion kinds only)
+	kind  uint8
+}
+
+const (
+	linkFriendPos uint8 = iota // positive friendship: logPsi
+	linkFriendNeg              // sampled non-friend: logPsiNeg
+	linkDiffFlat               // NoHeterogeneity diffusion: friendship-shaped
+	linkDiffRow                // heterogeneous, d diffusing: candidate on the row
+	linkDiffCol                // heterogeneous, d source: candidate on the column
+)
+
+// evalLinkAt evaluates one predigested link kernel at candidate
+// community cc. The counterparty's pi view is resolved from stable
+// storage (the sampled user's own exclusion-aware pi-hat in sc.piU, or
+// the sweep-start snapshot slices) — nothing is copied per evaluation.
+func (st *state) evalLinkAt(le *linkEval, cc int, invDenU float64, sc *scratch) float64 {
+	var base float64
+	var idx []int32
+	var val []float64
+	if le.other < 0 {
+		base, idx, val = sc.piU.Base, sc.piU.Idx, sc.piU.Val
+	} else {
+		base = st.cfg.Rho / st.piHatDen(le.other)
+		idx, val = st.piSnapIdx[le.other], st.piSnapVal[le.other]
+	}
+	switch le.kind {
+	case linkFriendPos, linkFriendNeg, linkDiffFlat:
+		// x(c) = x0 + fs·resid_v[c]/den_u, with x0 = fs·(π̂_u^T π̂_v + base_v/den_u).
+		x := le.x0 + st.cfg.FriendScale*invDenU*residualAt(idx, val, cc)
+		if le.kind == linkFriendNeg {
+			return logPsiNeg(x, le.aug)
+		}
+		return logPsi(x, le.aug)
+	case linkDiffRow:
+		// The candidate perturbs the row argument of the bilinear form:
+		// y[c] accumulated over the neighbour's support only.
+		z := int(le.z)
+		w := st.thetaColM.Row(z)
+		m := st.etaSlice[z]
+		y := base * st.aggs[z].G[cc]
+		for k, cp := range idx {
+			y += m.At(cc, int(cp)) * val[k] * w[cp]
+		}
+		return logPsi(le.x0+w[cc]*y*invDenU, le.aug)
+	default: // linkDiffCol: the candidate perturbs the column argument.
+		z := int(le.z)
+		w := st.thetaColM.Row(z)
+		m := st.etaSlice[z]
+		y := base * st.aggs[z].H[cc]
+		for k, cr := range idx {
+			y += m.Row(int(cr))[cc] * val[k] * w[cr]
+		}
+		return logPsi(le.x0+w[cc]*y*invDenU, le.aug)
+	}
+}

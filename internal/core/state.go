@@ -137,6 +137,7 @@ type state struct {
 	// buffer with per-topic Dense views, and theta transposed as a |Z| x
 	// |C| matrix, so the sampler and the serving paths share a layout.
 	etaFlat   []float64
+	etaDirty  bool                  // eta changed since etaFlat was last rebuilt
 	etaSlice  []*sparse.Dense       // [z] -> |C| x |C| view into etaFlat
 	aggs      []*sparse.BilinearAgg // [z]
 	thetaColM *sparse.Dense         // row z = theta-hat column z
@@ -144,6 +145,11 @@ type state struct {
 	piSnapVal [][]float64           // per-user snapshot residuals
 	cFrozen   bool                  // phase-2 of NoJointModeling: freeze C
 	contentOn bool                  // phase-1 of NoJointModeling disables content+diffusion
+
+	// als holds the alias + MH proposal tables when Config.Sampler selects
+	// the "alias" E-step (see sampler_alias.go); nil selects the exact
+	// samplers, leaving their code path — and RNG consumption — untouched.
+	als *aliasSampler
 
 	root *rng.RNG
 }
@@ -232,6 +238,9 @@ func newState(g *socialgraph.Graph, cfg Config) *state {
 	}
 	st.sampleNegFriends()
 	st.refreshCaches()
+	if cfg.aliasSampling() {
+		st.als = newAliasSampler(st)
+	}
 	return st
 }
 
@@ -286,19 +295,27 @@ func (st *state) refreshCaches() {
 		}
 		st.aggs = make([]*sparse.BilinearAgg, Z)
 		st.thetaColM = sparse.NewDense(Z, C)
+		st.etaDirty = true
 	}
 	alpha := st.cfg.Alpha
 	zAlpha := float64(Z) * alpha
+	// The eta slices change only when the M-step re-estimates eta; between
+	// consecutive E-step sweeps (RunEM bursts, pure-sweep benchmarks) the
+	// O(|Z| |C|^2) strided re-copy is skipped. The theta columns and the
+	// bilinear aggregates always rebuild — the counters move every sweep.
 	for z := 0; z < Z; z++ {
 		col := st.thetaColM.Row(z)
 		for c := 0; c < C; c++ {
 			col[c] = (float64(st.nCZ.at(c, z)) + alpha) / (float64(st.nCT.at(c)) + zAlpha)
 		}
 		slice := st.etaSlice[z]
-		st.eta.SliceKInto(z, slice)
-		slice.Scale(st.cfg.EtaScale)
+		if st.etaDirty {
+			st.eta.SliceKInto(z, slice)
+			slice.Scale(st.cfg.EtaScale)
+		}
 		st.aggs[z] = sparse.NewBilinearAgg(slice, col)
 	}
+	st.etaDirty = false
 	st.refreshPiSnapshots()
 }
 
@@ -384,6 +401,9 @@ type scratch struct {
 	// per-doc word count pairs.
 	wordIDs []int32
 	wordCnt []int
+	// predigested link kernels for the alias community sampler (see
+	// sampler_alias.go).
+	links []linkEval
 }
 
 func newScratch(cfg Config, r *rng.RNG) *scratch {

@@ -87,6 +87,12 @@ func (e *Engine) train() (*Model, *Diagnostics, error) {
 // reference implementation the unit tests exercise and the engine's
 // segment runner mirrors.
 func (st *state) sweepSerial(sc *scratch) {
+	if st.als != nil && st.contentOn {
+		// Serial alias sweeps read live counters for the lazily built word
+		// proposal tables (no engine snapshot exists here); MH corrects the
+		// staleness either way.
+		st.als.refresh(st, nil)
+	}
 	for u := 0; u < st.g.NumUsers; u++ {
 		if !st.contentOn {
 			// Detection-only phase (no-joint ablation): block moves.
@@ -94,6 +100,13 @@ func (st *state) sweepSerial(sc *scratch) {
 			continue
 		}
 		for _, d := range st.g.UserDocs(u) {
+			if st.als != nil {
+				st.sampleDocTopicAlias(d, sc)
+				if !st.cFrozen {
+					st.sampleDocCommunityAlias(d, sc)
+				}
+				continue
+			}
 			st.sampleDocTopic(d, sc)
 			if !st.cFrozen {
 				st.sampleDocCommunity(d, sc)

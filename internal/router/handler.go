@@ -2,6 +2,7 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -243,6 +244,48 @@ func (rt *Router) scatter(req *http.Request) []gathered {
 	return out
 }
 
+// scatterCall is one in-flight shared scatter: followers block on done
+// and read results (which they must treat as read-only — the bodies are
+// shared across every request on the flight).
+type scatterCall struct {
+	done    chan struct{}
+	results []gathered
+}
+
+// scatterShared is scatter behind a singleflight: concurrent requests
+// for the same method, path and (canonicalised) query share one fleet
+// fan-out instead of multiplying backend load — under a thundering herd
+// of identical rank/diffusion queries the fleet sees one request per
+// replica, not one per client. Scatter answers depend only on the query
+// and the replicas' published generation, so every caller on the flight
+// would have received the same gather anyway; the leader detaches from
+// its own request's cancellation, so a leader whose client hangs up
+// still completes the flight for its followers. A follower whose own
+// context dies stops waiting and returns nil (degraded response).
+func (rt *Router) scatterShared(req *http.Request) []gathered {
+	key := req.Method + " " + req.URL.Path + "?" + req.URL.Query().Encode()
+	rt.sfMu.Lock()
+	if c, ok := rt.sfCalls[key]; ok {
+		rt.sfMu.Unlock()
+		rt.sharedScatters.Add(1)
+		select {
+		case <-c.done:
+			return c.results
+		case <-req.Context().Done():
+			return nil
+		}
+	}
+	c := &scatterCall{done: make(chan struct{})}
+	rt.sfCalls[key] = c
+	rt.sfMu.Unlock()
+	c.results = rt.scatter(req.WithContext(context.WithoutCancel(req.Context())))
+	rt.sfMu.Lock()
+	delete(rt.sfCalls, key)
+	rt.sfMu.Unlock()
+	close(c.done)
+	return c.results
+}
+
 // respondDegraded relays the most useful non-success the gather
 // produced: the first HTTP error any replica returned (they agree on
 // semantic errors like a bad word id), else 502.
@@ -263,7 +306,7 @@ func (rt *Router) rankHandler(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	var reqErr error
 	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
-	results := rt.scatter(req)
+	results := rt.scatterShared(req)
 	var answers []*serve.RankResult
 	for _, g := range results {
 		if g.status != http.StatusOK {
@@ -288,7 +331,7 @@ func (rt *Router) diffusionHandler(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	var reqErr error
 	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
-	results := rt.scatter(req)
+	results := rt.scatterShared(req)
 	var best *serve.DiffusionResult
 	for _, g := range results {
 		if g.status != http.StatusOK {

@@ -109,6 +109,12 @@ type Router struct {
 	opts     Options
 	replicas []*replica
 	lat      [opCount]hist.Atomic
+
+	// Scatter singleflight: identical concurrent rank/diffusion queries
+	// collapse onto one in-flight fleet fan-out (see scatterShared).
+	sfMu           sync.Mutex
+	sfCalls        map[string]*scatterCall
+	sharedScatters atomic.Uint64
 }
 
 // New builds a router over the given replicas. Replica names must be
@@ -126,7 +132,7 @@ func New(replicas []Replica, opts Options) (*Router, error) {
 	if opts.MaxLag == 0 {
 		opts.MaxLag = 1
 	}
-	rt := &Router{opts: opts}
+	rt := &Router{opts: opts, sfCalls: map[string]*scatterCall{}}
 	seen := map[string]bool{}
 	for _, r := range replicas {
 		if r.Name == "" || r.Base == "" {

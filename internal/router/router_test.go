@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -228,6 +229,113 @@ func TestMergeRankTies(t *testing.T) {
 	// Truncation keeps the top of the same order.
 	if top := mergeRank([]*serve.RankResult{{Generation: 7, Entries: want}}, 2); len(top.Entries) != 2 || top.Entries[1].Community != 2 {
 		t.Fatalf("truncated merge = %+v", top.Entries)
+	}
+}
+
+// gatedReplica answers /api/rank with a canned payload only after the
+// release gate opens, counting hits atomically — the instrument for
+// observing how many fan-outs a thundering herd actually causes.
+type gatedReplica struct {
+	name    string
+	hits    atomic.Int64
+	release chan struct{}
+	srv     *httptest.Server
+}
+
+func newGatedReplica(t *testing.T, name string, entries []serve.RankEntry) *gatedReplica {
+	t.Helper()
+	s := &gatedReplica{name: name, release: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/rank", func(w http.ResponseWriter, r *http.Request) {
+		s.hits.Add(1)
+		<-s.release
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.RankResult{Generation: 4, Entries: entries})
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// A thundering herd of identical rank queries must share ONE fleet
+// fan-out: each replica sees a single backend request, every client gets
+// the same complete answer, and the stats count the joined followers. A
+// different query afterwards gets its own fan-out.
+func TestScatterSingleflight(t *testing.T) {
+	entries := []serve.RankEntry{{Community: 2, Score: 7}, {Community: 5, Score: 3}}
+	a := newGatedReplica(t, "a", entries)
+	b := newGatedReplica(t, "b", entries)
+	rt, err := New(
+		[]Replica{{Name: "a", Base: a.srv.URL}, {Name: "b", Base: b.srv.URL}},
+		Options{Client: &http.Client{Timeout: 10 * time.Second}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const herd = 8
+	type answer struct {
+		res    serve.RankResult
+		status int
+		err    error
+	}
+	answers := make(chan answer, herd)
+	ask := func() {
+		resp, err := http.Get(front.URL + "/api/rank?w=1&k=2")
+		if err != nil {
+			answers <- answer{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var res serve.RankResult
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		answers <- answer{res: res, status: resp.StatusCode, err: err}
+	}
+
+	// Leader first: once both backends hold its fan-out at the gate, every
+	// follower deterministically finds the in-flight call and joins it.
+	go ask()
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		for deadline := time.Now().Add(5 * time.Second); !cond(); {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return a.hits.Load() == 1 && b.hits.Load() == 1 }, "leader fan-out")
+	for i := 1; i < herd; i++ {
+		go ask()
+	}
+	waitFor(func() bool { return rt.sharedScatters.Load() == herd-1 }, "followers to join the flight")
+	close(a.release)
+	close(b.release)
+
+	for i := 0; i < herd; i++ {
+		got := <-answers
+		if got.err != nil || got.status != http.StatusOK {
+			t.Fatalf("herd request failed: status %d err %v", got.status, got.err)
+		}
+		if got.res.Generation != 4 || len(got.res.Entries) != 2 || got.res.Entries[0].Community != 2 {
+			t.Fatalf("shared answer wrong: %+v", got.res)
+		}
+	}
+	if a.hits.Load() != 1 || b.hits.Load() != 1 {
+		t.Fatalf("herd caused %d/%d backend requests, want 1/1", a.hits.Load(), b.hits.Load())
+	}
+	if st := rt.Stats(); st.SharedScatters != herd-1 {
+		t.Fatalf("SharedScatters = %d, want %d", st.SharedScatters, herd-1)
+	}
+
+	// A different query (new k) is a new key: it must scatter for itself.
+	if _, status := getRank(t, front.URL, "?w=1&k=1"); status != http.StatusOK {
+		t.Fatalf("post-herd query: status %d", status)
+	}
+	if a.hits.Load() != 2 || b.hits.Load() != 2 {
+		t.Fatalf("distinct query shared a finished flight: hits %d/%d", a.hits.Load(), b.hits.Load())
 	}
 }
 

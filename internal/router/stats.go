@@ -34,14 +34,18 @@ type Stats struct {
 	// Endpoints digests latency per routing class (route/scatter/proxy),
 	// in the same shape as a single replica's per-endpoint stats.
 	Endpoints map[string]serve.EndpointStats `json:"endpoints"`
+	// SharedScatters counts scatter requests that joined an identical
+	// in-flight query's fan-out instead of launching their own.
+	SharedScatters uint64 `json:"sharedScatters"`
 }
 
 // Stats snapshots the router's view of the fleet.
 func (rt *Router) Stats() Stats {
 	max := rt.maxGeneration()
 	st := Stats{
-		Generation: max,
-		Endpoints:  make(map[string]serve.EndpointStats, opCount),
+		Generation:     max,
+		Endpoints:      make(map[string]serve.EndpointStats, opCount),
+		SharedScatters: rt.sharedScatters.Load(),
 	}
 	for _, r := range rt.replicas {
 		gen := r.generation.Load()
@@ -114,6 +118,7 @@ func (rt *Router) WriteMetrics(w io.Writer) {
 		}
 	}
 	fmt.Fprintf(w, "# HELP cpd_router_generation Fleet-wide newest generation observed.\n# TYPE cpd_router_generation gauge\ncpd_router_generation %d\n", st.Generation)
+	fmt.Fprintf(w, "# HELP cpd_router_shared_scatters_total Scatter requests that joined an identical in-flight fan-out.\n# TYPE cpd_router_shared_scatters_total counter\ncpd_router_shared_scatters_total %d\n", st.SharedScatters)
 	for i := 0; i < opCount; i++ {
 		h := rt.lat[i].Snapshot()
 		h.WriteProm(w, "cpd_router_latency_seconds", "class="+strconv.Quote(opNames[i]))

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAliasSamplerClearsNMIFloors is the quality gate for core's
+// approximate E-step (Config.Sampler = "alias"): on every preset in the
+// registry — assortative and adversarial alike — training with the alias
+// + Metropolis–Hastings samplers must still recover the planted
+// communities above the same NMI floor the exact sampler is held to. The
+// exact sampler's full end-to-end goldens stay pinned by the main suite;
+// this gate is what licenses the alias path as a drop-in for training at
+// scale.
+func TestAliasSamplerClearsNMIFloors(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			b, err := Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := p.Train
+			cfg.Sampler = core.SamplerAlias
+			m, _, err := core.Train(b.Graph, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nmi := nmiAgainstTruth(b, m)
+			if nmi < p.MinNMI {
+				t.Errorf("alias sampler NMI %.3f below floor %.3f", nmi, p.MinNMI)
+			} else {
+				t.Logf("alias sampler NMI %.3f (floor %.3f)", nmi, p.MinNMI)
+			}
+		})
+	}
+}

@@ -286,6 +286,7 @@ func (u *Updater) publishLocked() (*PublishInfo, error) {
 	u.lastRef = u.refined
 	u.lastVersion = info.Version
 	u.pendingRows = nil
+	u.docsChanged = false
 	if full {
 		u.fullRebuilds++
 	} else {

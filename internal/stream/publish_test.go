@@ -312,3 +312,92 @@ func TestPruneSurvivesGenerationGap(t *testing.T) {
 		t.Fatalf("pruning below the keep threshold removed files: %v", files)
 	}
 }
+
+// TestFriendsOnlyPublishReusesDocSections pins the doc-array publish
+// headroom: a delta window containing only edge events among users with
+// no stream documents must splice DOCC/DOCZ/DOCB from the previous
+// snapshot (the extended model aliases the last published model's doc
+// arrays), while staying byte-identical to a from-scratch rebuild.
+func TestFriendsOnlyPublishReusesDocSections(t *testing.T) {
+	g, m := testBase(t)
+	incDir, fullDir := t.TempDir(), t.TempDir()
+	_, _, inc := newTestUpdater(t, g, m, func(o *Options) { o.Dir = incDir })
+	_, _, full := newTestUpdater(t, g, m, func(o *Options) {
+		o.Dir = fullDir
+		o.FullRebuild = true
+	})
+
+	publishBoth := func(evs []Event) *PublishInfo {
+		t.Helper()
+		if _, err := inc.Ingest(evs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := full.Ingest(evs); err != nil {
+			t.Fatal(err)
+		}
+		ii, err := inc.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := full.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		af := filepath.Join(incDir, fmt.Sprintf("gen-%08d.v2.snap", ii.Generation))
+		bf := filepath.Join(fullDir, fmt.Sprintf("gen-%08d.v2.snap", fi.Generation))
+		ab, err := os.ReadFile(af)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(bf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab, bb) {
+			t.Fatalf("generation %d snapshot files differ (%d vs %d bytes)", ii.Generation, len(ab), len(bb))
+		}
+		return ii
+	}
+
+	// Two doc-bearing windows: the first publish is always full; the
+	// second is incremental but must re-encode the grown doc arrays.
+	publishBoth([]Event{
+		{Type: EvAddDoc, User: 0, Time: 100, Words: g.Docs[0].Words},
+		{Type: EvAddDoc, User: 1, Time: 110, Words: g.Docs[1].Words},
+		{Type: EvAddEdge, User: 0, Target: 1},
+	})
+	publishBoth([]Event{
+		{Type: EvAddDoc, User: 2, Time: 200, Words: g.Docs[2].Words},
+	})
+	withDocs := inc.Status().LastPublishPhases.SectionsReused
+	if withDocs == 0 {
+		t.Fatal("doc-bearing incremental publish reused no sections")
+	}
+	inc.mu.Lock()
+	prev := inc.lastModel
+	if inc.docsChanged {
+		t.Fatal("docsChanged still set after publish")
+	}
+	inc.mu.Unlock()
+
+	// Friends-only window: edges among base users that own no stream
+	// documents. The fold refolds their membership rows but every doc
+	// assignment stays put, so the doc sections ride along unchanged.
+	publishBoth([]Event{
+		{Type: EvAddEdge, User: 5, Target: 6},
+		{Type: EvAddEdge, User: 7, Target: 8},
+	})
+	friendsOnly := inc.Status().LastPublishPhases.SectionsReused
+	if friendsOnly < withDocs+3 {
+		t.Fatalf("friends-only publish reused %d sections, want >= %d (doc windows reused %d; DOCC/DOCZ/DOCB should splice)",
+			friendsOnly, withDocs+3, withDocs)
+	}
+	inc.mu.Lock()
+	cur := inc.lastModel
+	inc.mu.Unlock()
+	if &cur.DocCommunity[0] != &prev.DocCommunity[0] ||
+		&cur.DocTopic[0] != &prev.DocTopic[0] ||
+		&cur.DocBucket[0] != &prev.DocBucket[0] {
+		t.Fatal("friends-only publish rebuilt doc arrays instead of aliasing the last model's")
+	}
+}

@@ -256,6 +256,14 @@ type Updater struct {
 	lastVersion uint64
 	manifest    *store.SectionManifest
 	pendingRows []int32
+	// docsChanged marks that the stream documents' assignment arrays
+	// (docC/docZ) or their length changed since lastModel was built. While
+	// false, extendedDocArraysLocked hands out lastModel's own doc arrays
+	// instead of fresh copies, so SaveV2Reusing's slice-identity check can
+	// splice the DOCC/DOCZ/DOCB sections byte-for-byte — the publish
+	// headroom for friends-only delta windows, whose folds move membership
+	// rows but leave every document assignment where it was.
+	docsChanged bool
 
 	fullRebuilds         uint64
 	incrementalPublishes uint64
@@ -514,6 +522,7 @@ func (u *Updater) applyLocked(ev *Event) error {
 		u.docs = append(u.docs, socialgraph.Doc{User: ev.User, Time: ev.Time, Words: ev.Words})
 		u.docC = append(u.docC, 0)
 		u.docZ = append(u.docZ, 0)
+		u.docsChanged = true
 		us := u.user(ev.User)
 		us.docs = append(us.docs, docID)
 		us.dirty = true
@@ -703,8 +712,15 @@ func (u *Updater) foldDirtyLocked(ids []int32) (int, error) {
 		us := u.users[id]
 		u.foldPi[id] = res.Pi
 		for k, d := range us.docs {
-			u.docC[d-int32(u.baseDocs)] = res.DocCommunity[reqSkip[i]+k]
-			u.docZ[d-int32(u.baseDocs)] = res.DocTopic[reqSkip[i]+k]
+			c, z := res.DocCommunity[reqSkip[i]+k], res.DocTopic[reqSkip[i]+k]
+			// Write-if-different keeps docsChanged honest: a re-fold that
+			// lands every document where it already was (the common case for
+			// an edge-only dirty window) must not spoil doc-array reuse.
+			if j := d - int32(u.baseDocs); u.docC[j] != c || u.docZ[j] != z {
+				u.docC[j] = c
+				u.docZ[j] = z
+				u.docsChanged = true
+			}
 		}
 		us.dirty = false
 	}
@@ -753,6 +769,7 @@ func (u *Updater) gibbsPassLocked() error {
 		u.docC[i] = model.DocCommunity[u.baseDocs+i]
 		u.docZ[i] = model.DocTopic[u.baseDocs+i]
 	}
+	u.docsChanged = true
 	return nil
 }
 
@@ -824,6 +841,20 @@ func (u *Updater) buildExtendedLocked() *core.Model {
 // range. Shared by the full and patched extended-model builders — the doc
 // arrays are O(stream) memcpys either way.
 func (u *Updater) extendedDocArraysLocked(m, ref *core.Model) {
+	// Friends-only fast path: when no stream document was added or
+	// reassigned since the last published model was built against this
+	// same refined reference, hand out that model's arrays verbatim.
+	// SaveV2Reusing recognizes them by identity and splices the
+	// DOCC/DOCZ/DOCB sections from the previous file — and nothing ever
+	// mutates a published model's arrays in place (publishes that would
+	// change them build fresh slices here), so the bytes are still good.
+	if !u.docsChanged && u.lastModel != nil && ref == u.lastRef &&
+		len(u.lastModel.DocCommunity) == u.baseDocs+len(u.docs) {
+		m.DocCommunity = u.lastModel.DocCommunity
+		m.DocTopic = u.lastModel.DocTopic
+		m.DocBucket = u.lastModel.DocBucket
+		return
+	}
 	m.DocCommunity = make([]int32, u.baseDocs+len(u.docs))
 	m.DocTopic = make([]int32, u.baseDocs+len(u.docs))
 	m.DocBucket = make([]int, u.baseDocs+len(u.docs))
@@ -987,6 +1018,7 @@ func (u *Updater) restoreCheckpoint() (uint64, error) {
 	u.docs = st.Docs
 	u.docC = st.DocC
 	u.docZ = st.DocZ
+	u.docsChanged = true
 	u.edges = st.Edges
 	u.diffs = st.Diffs
 	if st.FoldPi != nil {
