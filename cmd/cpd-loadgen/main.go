@@ -39,12 +39,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/router"
 	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -171,13 +174,70 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Against a router front, pull the fleet view after the run: the
+	// per-replica request/error/misroute split is where a sharded fleet's
+	// routing problems show up, and the router is the only place that
+	// sees them. A plain cpd-serve target has no "replicas" array and is
+	// skipped.
+	fleet := fetchFleetStats(*url)
 	if *jsonOut {
+		out := struct {
+			*scenario.Report
+			Fleet *router.Stats `json:"fleet,omitempty"`
+		}{rep, fleet}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := enc.Encode(out); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	fmt.Print(rep.String())
+	if fleet != nil {
+		fmt.Print(fleetString(fleet))
+	}
+}
+
+// fetchFleetStats fetches a router target's /api/stats; nil when the
+// target is not a router (or unreachable).
+func fetchFleetStats(url string) *router.Stats {
+	if url == "" {
+		return nil
+	}
+	resp, err := http.Get(strings.TrimRight(url, "/") + "/api/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st router.Stats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil || len(st.Replicas) == 0 {
+		return nil
+	}
+	return &st
+}
+
+// fleetString renders the router's per-replica accounting under the load
+// report.
+func fleetString(st *router.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nfleet: generation %d, %d/%d replicas healthy", st.Generation, st.Healthy, len(st.Replicas))
+	if st.Sharded {
+		fmt.Fprintf(&b, ", %d shards, %d misroutes", st.Shards, st.Misroutes)
+	}
+	b.WriteString("\n")
+	for _, r := range st.Replicas {
+		fmt.Fprintf(&b, "  %-12s gen %-4d requests %-8d errors %-6d", r.Name, r.Generation, r.Requests, r.Errors)
+		if r.Shard != nil {
+			fmt.Fprintf(&b, " misroutes %-6d shard %d/%d users [%d,%d)",
+				r.Misroutes, r.Shard.Index, r.Shard.Count, r.Shard.UserLo, r.Shard.UserHi)
+		}
+		if r.Draining {
+			b.WriteString(" draining")
+		}
+		if !r.Healthy {
+			b.WriteString(" UNHEALTHY")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }

@@ -24,6 +24,14 @@
 // marked lagging on /api/stats and /metrics but keep serving (stale
 // answers beat no answers). A replica that dies mid-scatter degrades
 // redundancy, not availability.
+//
+// Sharded fleets need no extra configuration: replicas started with
+// cpd-serve -fetch-shard advertise their owned user range on
+// /api/generation, and the router switches to shard-aware routing —
+// membership to the owning shard's replicas (421 answers fail over),
+// rank Members summed across shards, cross-shard diffusion and fold-in
+// hydrated with /api/pirow rows from the owners. A replica that has been
+// POSTed /api/drain leaves the preferred rotation until it restarts.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,13 +48,16 @@ import (
 	"repro/internal/serve"
 )
 
-// replicaFlags collects repeated -replica name=url values.
+// replicaFlags collects repeated -replica name=url[@weight] values.
 type replicaFlags []router.Replica
 
 func (f *replicaFlags) String() string {
 	parts := make([]string, len(*f))
 	for i, r := range *f {
 		parts[i] = r.Name + "=" + r.Base
+		if r.Weight != 0 && r.Weight != 1 {
+			parts[i] += "@" + strconv.FormatFloat(r.Weight, 'g', -1, 64)
+		}
 	}
 	return strings.Join(parts, ",")
 }
@@ -53,9 +65,22 @@ func (f *replicaFlags) String() string {
 func (f *replicaFlags) Set(v string) error {
 	name, base, ok := strings.Cut(v, "=")
 	if !ok || name == "" || base == "" {
-		return fmt.Errorf("replica spec %q is not name=url", v)
+		return fmt.Errorf("replica spec %q is not name=url[@weight]", v)
 	}
-	*f = append(*f, router.Replica{Name: name, Base: base})
+	weight := 1.0
+	// The weight separator is the last '@' after the scheme's "://", so
+	// user-info URLs (user@host) keep working as long as the weight is
+	// explicit or absent.
+	if at := strings.LastIndex(base, "@"); at > strings.Index(base, "://")+2 {
+		w, err := strconv.ParseFloat(base[at+1:], 64)
+		if err == nil {
+			if w <= 0 {
+				return fmt.Errorf("replica spec %q has non-positive weight", v)
+			}
+			base, weight = base[:at], w
+		}
+	}
+	*f = append(*f, router.Replica{Name: name, Base: base, Weight: weight})
 	return nil
 }
 
@@ -63,7 +88,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cpd-router: ")
 	var replicas replicaFlags
-	flag.Var(&replicas, "replica", "backend replica, name=url; repeat per replica (required; the name is the stable rendezvous identity)")
+	flag.Var(&replicas, "replica", "backend replica, name=url[@weight]; repeat per replica (required; the name is the stable rendezvous identity, the weight its share of owner-routed keys)")
 	var (
 		addr    = flag.String("addr", ":9090", "listen address")
 		poll    = flag.Duration("poll-interval", time.Second, "replica health/generation poll period")

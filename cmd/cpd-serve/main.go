@@ -143,12 +143,14 @@ func main() {
 		fullRebuild  = flag.Bool("ingest-full-rebuild", false, "pin every publish to the full rebuild path (differential baseline / escape hatch; default is the O(changed) incremental publish)")
 		qualityEvery = flag.Int("quality-every", 0, "score every N-th published generation with structural quality metrics (0 = off)")
 		qualityPLP   = flag.Bool("quality-plp", false, "also score the parallel label-propagation baseline as the /api/quality comparison row")
+		ingestShards = flag.Int("ingest-shards", 0, "also publish each generation as an N-shard group (manifest + global + per-user-range shard files; 0 = off)")
 
 		fetchSource   = flag.String("fetch", "", "replica mode: snapshot source to poll — a directory or a publisher base URL")
 		fetchDir      = flag.String("fetch-dir", "", "local cache for generations fetched over HTTP (required for URL sources)")
 		fetchSlot     = flag.String("fetch-snapshot", serve.DefaultSnapshot, "snapshot slot fetched generations are promoted into")
 		fetchInterval = flag.Duration("fetch-interval", 2*time.Second, "snapshot source poll period")
 		fetchKeep     = flag.Int("fetch-keep", 2, "fetched generations retained in the local cache")
+		fetchShard    = flag.Int("fetch-shard", -1, "shard-owning replica mode: fetch only the global file plus this shard of sharded generations (-1 = full snapshots)")
 	)
 	flag.Parse()
 	if len(models) == 0 && *fetchSource == "" {
@@ -204,6 +206,8 @@ func main() {
 			Vocab:    vocab,
 			Interval: *fetchInterval,
 			Keep:     *fetchKeep,
+			Sharded:  *fetchShard >= 0,
+			Shard:    *fetchShard,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -265,6 +269,7 @@ func main() {
 			FullRebuild:  *fullRebuild,
 			Quality:      *qualityEvery,
 			QualityPLP:   *qualityPLP,
+			Shards:       *ingestShards,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -287,10 +292,14 @@ func main() {
 		mux.Handle("/api/ingest", updater.Handler())
 		mux.Handle("/api/ingest/status", updater.Handler())
 		// Any publisher is a snapshot origin: replicas started with
-		// -fetch <this server's URL> pull generations from here.
+		// -fetch <this server's URL> pull generations from here — full
+		// files on /api/generations*, shard groups on /api/shards*.
 		snaps := stream.SnapshotServer(dir)
 		mux.Handle("/api/generations", snaps)
 		mux.Handle("/api/generations/file", snaps)
+		mux.Handle("/api/shards", snaps)
+		mux.Handle("/api/shards/manifest", snaps)
+		mux.Handle("/api/shards/file", snaps)
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		go func() {

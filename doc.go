@@ -30,11 +30,17 @@
 // with an exact partial top-K merge, and replicas pull generation
 // snapshots from the publisher (serve.Fetcher: CRC-verified, warmed,
 // atomically swapped) with per-replica health/generation/lag on the
-// router's stats and metrics. A workload harness (internal/scenario)
-// adds named seeded scenario presets across
-// degree/membership/vocabulary/diffusion regimes — including streaming
-// ingest regimes with replay-equals-batch and freshness invariants, and
-// a multi-replica preset pinning routed-vs-single-node bit-equality
+// router's stats and metrics. Sharded snapshots (internal/shard) split
+// a v2 generation into a CRC-manifested group — one global file plus N
+// per-user-range shard files — so each replica maps only the users it
+// owns (cpd-serve -ingest-shards / -fetch-shard); the router routes by
+// shard containment, sums per-shard member counts in its rank merge,
+// and hydrates cross-shard fold-in/diffusion rows from the owners. A
+// workload harness (internal/scenario) adds named seeded scenario
+// presets across degree/membership/vocabulary/diffusion regimes —
+// including streaming ingest regimes with replay-equals-batch and
+// freshness invariants, and multi-replica and sharded-fleet presets
+// pinning routed-vs-single-node bit-equality
 // across a live generation rollout — an end-to-end regression runner
 // with golden metric files, and the cpd-loadgen traffic generator that
 // reports QPS and latency percentiles (reads and ingest writes) against

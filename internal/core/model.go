@@ -311,6 +311,58 @@ func (m *Model) DiffusionLogitTopic(u, v, z, b int, feats []float64) float64 {
 	return x
 }
 
+// PiSmoothed materialises user u's membership row as a SmoothedVec view
+// over the prediction caches — the exported twin of piVec, for serving
+// layers that need the decomposed row itself (cross-shard diffusion ships
+// it to the peer that owns the other endpoint).
+func (m *Model) PiSmoothed(u int, out *sparse.SmoothedVec) { m.piVec(u, out) }
+
+// SmoothedVecFromRow decomposes a raw membership row into the same
+// base+residual form initCaches builds: base is the row minimum, residual
+// entries are the components more than 1e-12 above it. Given the exact
+// bytes of a model's Π row it produces exactly the vector piVec would —
+// the bit-identity contract cross-shard queries rely on when one replica
+// hydrates a row fetched from another.
+func SmoothedVecFromRow(row []float64, out *sparse.SmoothedVec) {
+	out.Dim = len(row)
+	out.Idx = out.Idx[:0]
+	out.Val = out.Val[:0]
+	if len(row) == 0 {
+		out.Base = 0
+		return
+	}
+	base := row[0]
+	for _, v := range row {
+		if v < base {
+			base = v
+		}
+	}
+	out.Base = base
+	for c, v := range row {
+		if v-base > 1e-12 {
+			out.Idx = append(out.Idx, int32(c))
+			out.Val = append(out.Val, v-base)
+		}
+	}
+}
+
+// DiffusionLogitTopicVec is DiffusionLogitTopic with explicit membership
+// vectors: the Eq. 5 sigmoid argument for a diffuser with membership a
+// and an author with membership b on topic z in bucket bkt. It evaluates
+// the identical bilinear aggregate, popularity and individual terms, so
+// DiffusionLogitTopic(u, v, …) == DiffusionLogitTopicVec(piVec(u),
+// piVec(v), …) bit for bit.
+func (m *Model) DiffusionLogitTopicVec(a, b *sparse.SmoothedVec, z, bkt int, feats []float64) float64 {
+	x := m.aggs[z].Eval(m.etaSlice[z], m.thetaColM.Row(z), a, b)
+	if !m.Cfg.NoTopicPopularity && bkt >= 0 && bkt < m.NumBuckets {
+		x += m.Cfg.PopScale * m.PopFreq.At(bkt, z)
+	}
+	if !m.Cfg.NoIndividual && feats != nil {
+		x += mathx.Dot(m.Nu, feats)
+	}
+	return x
+}
+
 // DiffusionProb implements Eq. 18: the probability that user u publishes a
 // document diffusing document j (published by its author) in time bucket
 // b, marginalised over j's topic distribution. g supplies the pairwise

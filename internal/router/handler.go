@@ -13,16 +13,19 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // Handler exposes the routed query surface. Paths and parameters mirror
 // serve.APIHandler exactly, so any cpd-serve client — cpd-loadgen
 // included — can point at a router base URL unchanged:
 //
-//	GET  /api/user?id=42&k=5      owner-routed membership
-//	POST /api/foldin              owner-routed fold-in (?user=K overrides the seed-derived key)
-//	GET  /api/rank?w=17,204&k=10  scatter-gather, partial top-K merge
-//	GET  /api/diffusion?...       scatter-gather, freshest answer
+//	GET  /api/user?id=42&k=5      owner-routed membership (shard-aware)
+//	GET  /api/pirow?id=42         owner-routed membership row (shard-aware)
+//	POST /api/foldin              owner-routed fold-in (?user=K overrides the seed-derived key;
+//	                              friend rows hydrated from owners on sharded fleets)
+//	GET  /api/rank?w=17,204&k=10  scatter-gather, partial top-K merge (Members summed across shards)
+//	GET  /api/diffusion?...       scatter-gather, freshest answer (row-hydrated on sharded fleets)
 //	GET  /api/communities         freshest-replica proxy
 //	GET  /api/community?id=3      freshest-replica proxy
 //	GET  /api/quality             freshest-replica proxy
@@ -38,7 +41,15 @@ func (rt *Router) Handler() http.Handler {
 			http.Error(w, "bad or missing user id", http.StatusBadRequest)
 			return
 		}
-		rt.routeToOwner(w, r, uint64(id), nil)
+		rt.routeToOwner(w, r, rt.userChain(id), nil)
+	})
+	mux.HandleFunc("/api/pirow", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad or missing user id", http.StatusBadRequest)
+			return
+		}
+		rt.routeToOwner(w, r, rt.userChain(id), nil)
 	})
 	mux.HandleFunc("/api/foldin", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -73,7 +84,20 @@ func (rt *Router) Handler() http.Handler {
 			}
 			key = req.Seed
 		}
-		rt.routeToOwner(w, r, key, body)
+		// On a sharded fleet no single replica owns every friend's Pi
+		// row, so the router hydrates the rows from the owning replicas
+		// and ships them with the request. The backend ignores hydrated
+		// rows for friends it owns, so the answer stays bit-identical to
+		// a full node regardless of which replica serves it.
+		if rt.fleetSharded() {
+			hydrated, err := rt.hydrateFriendRows(r, body)
+			if err != nil {
+				http.Error(w, "router: "+err.Error(), http.StatusBadGateway)
+				return
+			}
+			body = hydrated
+		}
+		rt.routeToOwner(w, r, rt.owners(key), body)
 	})
 	mux.HandleFunc("/api/rank", rt.rankHandler)
 	mux.HandleFunc("/api/diffusion", rt.diffusionHandler)
@@ -130,28 +154,57 @@ func (rt *Router) attempt(r *replica, req *http.Request, body []byte) (*http.Res
 	return resp, nil
 }
 
-// routeToOwner forwards the request down key's rendezvous preference
-// chain: healthy replicas first in owner order, then — only if every
-// healthy attempt failed at transport level — the unhealthy ones get a
-// recovery try. The first replica that answers HTTP at all wins; its
-// response (any status) is relayed verbatim.
-func (rt *Router) routeToOwner(w http.ResponseWriter, req *http.Request, key uint64, body []byte) {
+// routeToOwner forwards the request down the given preference chain in
+// three tiers: healthy non-draining replicas first in owner order, then
+// healthy draining ones (a fully-draining fleet must still answer), and
+// only if every healthy attempt failed at transport level do the
+// unhealthy ones get a recovery try. The first replica that answers HTTP
+// wins and its response is relayed verbatim — except 421 (Misdirected
+// Request: the replica disowns the user, its shard moved under the
+// router's topology view), which counts as a misroute and falls through
+// to the next candidate.
+func (rt *Router) routeToOwner(w http.ResponseWriter, req *http.Request, chain []*replica, body []byte) {
 	start := time.Now()
 	var reqErr error
 	defer func() { rt.lat[opRoute].Observe(time.Since(start), reqErr) }()
-	chain := rt.owners(key)
-	for pass := 0; pass < 2; pass++ {
+	var misBody []byte
+	for pass := 0; pass < 3; pass++ {
 		for _, r := range chain {
-			if (pass == 0) != r.healthy.Load() {
+			healthy, draining := r.healthy.Load(), r.draining.Load()
+			var want bool
+			switch pass {
+			case 0:
+				want = healthy && !draining
+			case 1:
+				want = healthy && draining
+			default:
+				want = !healthy
+			}
+			if !want {
 				continue
 			}
 			resp, err := rt.attempt(r, req, body)
 			if err != nil {
 				continue
 			}
+			if resp.StatusCode == http.StatusMisdirectedRequest {
+				r.misroutes.Add(1)
+				misBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+				resp.Body.Close()
+				continue
+			}
 			relay(w, resp)
 			return
 		}
+	}
+	if misBody != nil {
+		// Every candidate disowned the user: relay the misroute so the
+		// client sees why instead of a generic 502.
+		reqErr = fmt.Errorf("all candidates misrouted")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		w.Write(misBody)
+		return
 	}
 	reqErr = fmt.Errorf("no replica reachable")
 	http.Error(w, "router: no replica reachable for key", http.StatusBadGateway)
@@ -308,6 +361,7 @@ func (rt *Router) rankHandler(w http.ResponseWriter, req *http.Request) {
 	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
 	results := rt.scatterShared(req)
 	var answers []*serve.RankResult
+	var infos []*shard.Info
 	for _, g := range results {
 		if g.status != http.StatusOK {
 			continue
@@ -318,16 +372,96 @@ func (rt *Router) rankHandler(w http.ResponseWriter, req *http.Request) {
 		}
 		g.r.generation.Store(res.Generation)
 		answers = append(answers, &res)
+		infos = append(infos, g.r.shard.Load())
 	}
 	if len(answers) == 0 {
 		respondDegraded(w, results, &reqErr)
 		return
 	}
 	k := intParam(req, "k", 10)
+	if merged, ok := mergeRankSharded(answers, infos, k); ok {
+		writeJSON(w, merged)
+		return
+	}
 	writeJSON(w, mergeRank(answers, k))
 }
 
+// mergeRankSharded merges rank answers from shard-owning replicas: the
+// entry lists and scores are identical across shards (ranking reads only
+// global sections), but each shard's Members counts only its own user
+// range — the fleet-wide count is their sum. The merge takes the newest
+// generation with FULL shard coverage (one answer per shard index; a
+// partial sum would silently under-count members) and sums Members per
+// community across one representative answer per shard. Returns ok=false
+// when no answer carries shard info or no generation has full coverage —
+// the caller then falls back to the unsharded merge.
+func mergeRankSharded(answers []*serve.RankResult, infos []*shard.Info, k int) (*serve.RankResult, bool) {
+	// gen → shard index → representative answer for that shard.
+	byGen := map[uint64]map[int]*serve.RankResult{}
+	count := 0
+	for i, a := range answers {
+		in := infos[i]
+		if in == nil || in.Count <= 0 {
+			continue
+		}
+		count = in.Count
+		m := byGen[a.Generation]
+		if m == nil {
+			m = map[int]*serve.RankResult{}
+			byGen[a.Generation] = m
+		}
+		if _, dup := m[in.Index]; !dup {
+			m[in.Index] = a
+		}
+	}
+	if count == 0 {
+		return nil, false
+	}
+	var gens []uint64
+	for g, m := range byGen {
+		if len(m) == count {
+			gens = append(gens, g)
+		}
+	}
+	if len(gens) == 0 {
+		return nil, false
+	}
+	best := gens[0]
+	for _, g := range gens[1:] {
+		if g > best {
+			best = g
+		}
+	}
+	shards := byGen[best]
+	rep := shards[0]
+	if rep == nil { // coverage is full but index 0 missing ⇒ inconsistent infos
+		return nil, false
+	}
+	merged := &serve.RankResult{Generation: best}
+	for _, e := range rep.Entries {
+		sum := 0
+		for _, a := range shards {
+			for _, ae := range a.Entries {
+				if ae.Community == e.Community {
+					sum += ae.Members
+					break
+				}
+			}
+		}
+		e.Members = sum
+		merged.Entries = append(merged.Entries, e)
+	}
+	if k > 0 && len(merged.Entries) > k {
+		merged.Entries = merged.Entries[:k]
+	}
+	return merged, true
+}
+
 func (rt *Router) diffusionHandler(w http.ResponseWriter, req *http.Request) {
+	if req.Method == http.MethodGet && rt.fleetSharded() {
+		rt.diffusionSharded(w, req)
+		return
+	}
 	start := time.Now()
 	var reqErr error
 	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
@@ -398,6 +532,199 @@ func mergeRank(answers []*serve.RankResult, k int) *serve.RankResult {
 		merged.Entries = merged.Entries[:k]
 	}
 	return merged
+}
+
+// diffusionSharded scores a diffusion query on a sharded fleet. When one
+// shard owns both endpoints the query forwards to that shard's owner
+// chain unchanged (both rows local — the exact single-node computation).
+// A cross-shard pair fetches v's membership row from its owning replica
+// (/api/pirow) and POSTs the row-carrying variant to u's owner; a
+// generation mismatch between the row and the scoring replica — a
+// rollout racing the query — retries up to three times rather than mix
+// rows from two generations.
+func (rt *Router) diffusionSharded(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	var reqErr error
+	defer func() { rt.lat[opScatter].Observe(time.Since(start), reqErr) }()
+	q := req.URL.Query()
+	u, err1 := strconv.Atoi(q.Get("u"))
+	v, err2 := strconv.Atoi(q.Get("v"))
+	z, err3 := strconv.Atoi(q.Get("topic"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		http.Error(w, "u, v and topic are required integers", http.StatusBadRequest)
+		return
+	}
+	bucket := intParam(req, "bucket", -1)
+	chain := rt.userChain(int64(u))
+	if in := chain[0].shard.Load(); in != nil && in.Owns(u) && in.Owns(v) {
+		status, body, err := rt.ownerFetch(req.Context(), chain, http.MethodGet, req.URL.Path+"?"+req.URL.RawQuery, nil)
+		if err != nil {
+			reqErr = err
+			http.Error(w, "router: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		relayBytes(w, status, body)
+		return
+	}
+	for try := 0; try < 3; try++ {
+		vres, err := rt.fetchPiRow(req.Context(), int64(v))
+		if err != nil {
+			reqErr = err
+			http.Error(w, "router: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		body, err := json.Marshal(serve.DiffusionRowsRequest{U: u, V: v, Topic: z, Bucket: bucket, VRow: vres.Row})
+		if err != nil {
+			reqErr = err
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		status, respBody, err := rt.ownerFetch(req.Context(), chain, http.MethodPost, "/api/diffusion", body)
+		if err != nil {
+			reqErr = err
+			http.Error(w, "router: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		if status != http.StatusOK {
+			relayBytes(w, status, respBody)
+			return
+		}
+		var res serve.DiffusionResult
+		if err := json.Unmarshal(respBody, &res); err != nil {
+			reqErr = err
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if res.Generation == vres.Generation {
+			res.Version = 0 // process-local backend counter; meaningless here
+			writeJSON(w, &res)
+			return
+		}
+		// Generations diverged between the row fetch and the scoring
+		// replica; refetch against the (presumably settled) fleet.
+	}
+	reqErr = fmt.Errorf("generation mismatch persisted")
+	http.Error(w, "router: generation mismatch across shards persisted after retries", http.StatusBadGateway)
+}
+
+// hydrateFriendRows parses a fold-in body, fetches a membership row for
+// every listed friend from the friend's owning replica, and returns the
+// body with FriendRows filled in. Rows are refetched until they all come
+// from one generation (three attempts) — a fold-in must not see two
+// friends from different model generations.
+func (rt *Router) hydrateFriendRows(req *http.Request, body []byte) ([]byte, error) {
+	var fr serve.FoldInRequest
+	if err := json.Unmarshal(body, &fr); err != nil {
+		return nil, fmt.Errorf("parsing fold-in request: %w", err)
+	}
+	if len(fr.Friends) == 0 {
+		return body, nil
+	}
+	for try := 0; try < 3; try++ {
+		rows := make([]serve.FriendRow, len(fr.Friends))
+		var gen uint64
+		consistent := true
+		for i, friend := range fr.Friends {
+			res, err := rt.fetchPiRow(req.Context(), int64(friend))
+			if err != nil {
+				return nil, fmt.Errorf("hydrating friend %d: %w", friend, err)
+			}
+			if i == 0 {
+				gen = res.Generation
+			} else if res.Generation != gen {
+				consistent = false
+				break
+			}
+			rows[i] = serve.FriendRow{User: friend, Row: res.Row}
+		}
+		if !consistent {
+			continue
+		}
+		fr.FriendRows = rows
+		return json.Marshal(&fr)
+	}
+	return nil, fmt.Errorf("friend rows kept straddling generations")
+}
+
+// fetchPiRow fetches one user's membership row from the user's owning
+// replica chain.
+func (rt *Router) fetchPiRow(ctx context.Context, user int64) (*serve.PiRowResult, error) {
+	status, body, err := rt.ownerFetch(ctx, rt.userChain(user), http.MethodGet, "/api/pirow?id="+strconv.FormatInt(user, 10), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("pirow for user %d answered status %d: %s", user, status, bytes.TrimSpace(body))
+	}
+	var res serve.PiRowResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ownerFetch sends one synthesized request down a preference chain with
+// routeToOwner's tiering (healthy non-draining, healthy draining,
+// unhealthy) and returns the first HTTP answer, read fully. 421 answers
+// count as misroutes and fall through to the next candidate; if every
+// candidate misroutes, the last 421 is returned so the caller sees why.
+func (rt *Router) ownerFetch(ctx context.Context, chain []*replica, method, pathAndQuery string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, "http://router.invalid"+pathAndQuery, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	var misBody []byte
+	for pass := 0; pass < 3; pass++ {
+		for _, r := range chain {
+			healthy, draining := r.healthy.Load(), r.draining.Load()
+			var want bool
+			switch pass {
+			case 0:
+				want = healthy && !draining
+			case 1:
+				want = healthy && draining
+			default:
+				want = !healthy
+			}
+			if !want {
+				continue
+			}
+			resp, err := rt.attempt(r, req, body)
+			if err != nil {
+				continue
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				r.fail(err)
+				continue
+			}
+			if resp.StatusCode == http.StatusMisdirectedRequest {
+				r.misroutes.Add(1)
+				misBody = b
+				continue
+			}
+			return resp.StatusCode, b, nil
+		}
+	}
+	if misBody != nil {
+		return http.StatusMisdirectedRequest, misBody, nil
+	}
+	return 0, nil, fmt.Errorf("no replica reachable")
+}
+
+// relayBytes writes an already-read backend response to the client.
+func relayBytes(w http.ResponseWriter, status int, body []byte) {
+	if status == http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
 }
 
 func (rt *Router) getJSON(r *replica, path string, v any) error {

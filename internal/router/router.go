@@ -7,11 +7,16 @@
 //
 // Routing policy per endpoint class:
 //
-//   - Membership (/api/user) and fold-in (/api/foldin) route to the
-//     OWNING replica by rendezvous user-hash, with failover down the
-//     preference list. Every replica serves the full snapshot, so any of
-//     them answers identically; ownership concentrates each user's Pi
-//     rows (and fold-in locality) on one replica's page cache.
+//   - Membership (/api/user, /api/pirow) and fold-in (/api/foldin)
+//     route to the OWNING replica by weighted rendezvous user-hash, with
+//     failover down the preference list. On a full-snapshot fleet every
+//     replica answers identically; ownership concentrates each user's Pi
+//     rows (and fold-in locality) on one replica's page cache. On a
+//     SHARDED fleet (replicas advertise a shard.Info user range on
+//     /api/generation) only the replicas whose range contains the user
+//     are candidates, a 421 answer counts as a misroute and fails over,
+//     and fold-in friend rows are hydrated from the owning replicas
+//     before the request is forwarded.
 //   - Rank (/api/rank) and diffusion (/api/diffusion) SCATTER to all
 //     replicas and gather: responses are grouped by the publisher
 //     generation they answered from, the freshest group wins, and rank
@@ -36,6 +41,7 @@ package router
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -44,6 +50,8 @@ import (
 	"time"
 
 	"repro/internal/hist"
+	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // Replica names one backend cpd-serve process.
@@ -54,6 +62,11 @@ type Replica struct {
 	Name string
 	// Base is the replica's HTTP base URL (e.g. http://10.0.0.3:8080).
 	Base string
+	// Weight scales this replica's share of owner-routed keys (weighted
+	// rendezvous hashing; default 1). A replica at weight 2 owns twice
+	// the keys of one at weight 1; weight changes remap only the keys
+	// that move, like adding or removing a replica does.
+	Weight float64
 }
 
 // Options configures a Router.
@@ -80,13 +93,27 @@ var opNames = [opCount]string{"route", "scatter", "proxy"}
 
 // replica is the router's per-backend state.
 type replica struct {
-	name string
-	base string
+	name   string
+	base   string
+	weight float64
 
 	healthy    atomic.Bool
 	generation atomic.Uint64
 	requests   atomic.Uint64
 	errors     atomic.Uint64
+	// draining mirrors the replica's own drain latch (it advertised
+	// draining on /api/generation): the router stops sending it new
+	// owner-routed work while any non-draining candidate remains, so an
+	// operator can empty a replica before taking it down.
+	draining atomic.Bool
+	// shard is the user range the replica advertises owning (nil on
+	// full-snapshot replicas). Owner routing only considers replicas
+	// whose range contains the user once any replica advertises one.
+	shard atomic.Pointer[shard.Info]
+	// misroutes counts 421 (Misdirected Request) answers — the replica
+	// disowned a user the router sent it, usually a topology change
+	// racing the poll; the router retries down the chain.
+	misroutes atomic.Uint64
 
 	mu      sync.Mutex
 	lastErr string
@@ -142,7 +169,14 @@ func New(replicas []Replica, opts Options) (*Router, error) {
 			return nil, fmt.Errorf("router: duplicate replica name %q", r.Name)
 		}
 		seen[r.Name] = true
-		rep := &replica{name: r.Name, base: strings.TrimRight(r.Base, "/")}
+		w := r.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("router: replica %q has invalid weight %v", r.Name, r.Weight)
+		}
+		rep := &replica{name: r.Name, base: strings.TrimRight(r.Base, "/"), weight: w}
 		rep.healthy.Store(true) // optimistic until a request says otherwise
 		rt.replicas = append(rt.replicas, rep)
 	}
@@ -176,15 +210,15 @@ func (rt *Router) PollReplicas() {
 		wg.Add(1)
 		go func(r *replica) {
 			defer wg.Done()
-			var rep struct {
-				Generation uint64 `json:"generation"`
-			}
+			var rep serve.GenerationReport
 			if err := rt.getJSON(r, "/api/generation", &rep); err != nil {
 				r.fail(err)
 				return
 			}
 			r.ok()
 			r.generation.Store(rep.Generation)
+			r.draining.Store(rep.Draining)
+			r.shard.Store(rep.Shard) // nil on full-snapshot replicas
 		}(r)
 	}
 	wg.Wait()
@@ -223,19 +257,27 @@ func rendezvousScore(name string, key uint64) uint64 {
 }
 
 // owners returns the replicas in preference order for key: descending
-// rendezvous score, name-ascending on the (astronomically unlikely)
-// score tie. The first entry is the owner; the rest are the failover
-// chain — which is exactly the owner order of the fleet without the
-// preceding entries, so failover agrees with what a smaller fleet would
-// have chosen (the property the stability test pins).
+// weighted rendezvous score, name-ascending on the (astronomically
+// unlikely) score tie. The first entry is the owner; the rest are the
+// failover chain — which is exactly the owner order of the fleet without
+// the preceding entries, so failover agrees with what a smaller fleet
+// would have chosen (the property the stability test pins).
+//
+// The weighted score is the standard logarithmic form −w/ln(u) with
+// u = (h+0.5)/2^64 ∈ (0,1): a replica at weight 2w wins twice as many
+// keys as one at weight w. At uniform weights −w/ln(u) is monotone in h,
+// so the ordering — and every existing ownership mapping — is identical
+// to the unweighted raw-hash comparison.
 func (rt *Router) owners(key uint64) []*replica {
 	type scored struct {
 		r *replica
-		s uint64
+		s float64
 	}
 	xs := make([]scored, len(rt.replicas))
 	for i, r := range rt.replicas {
-		xs[i] = scored{r, rendezvousScore(r.name, key)}
+		h := rendezvousScore(r.name, key)
+		u := (float64(h) + 0.5) / float64(1<<63) / 2
+		xs[i] = scored{r, -r.weight / math.Log(u)}
 	}
 	sort.Slice(xs, func(i, j int) bool {
 		if xs[i].s != xs[j].s {
@@ -248,6 +290,40 @@ func (rt *Router) owners(key uint64) []*replica {
 		out[i] = x.r
 	}
 	return out
+}
+
+// fleetSharded reports whether any replica advertises a shard range —
+// the signal that owner routing must respect user → shard containment.
+func (rt *Router) fleetSharded() bool {
+	for _, r := range rt.replicas {
+		if r.shard.Load() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// userChain is the failover chain for user-addressed work: the owners
+// chain for the user's key, filtered to the replicas whose advertised
+// shard range contains the user once the fleet is sharded. A fleet where
+// no advertised shard contains the user falls back to the whole chain —
+// the backends then answer 421/400 and the client sees the truth rather
+// than a routing dead-end.
+func (rt *Router) userChain(user int64) []*replica {
+	chain := rt.owners(uint64(user))
+	if !rt.fleetSharded() {
+		return chain
+	}
+	owning := make([]*replica, 0, len(chain))
+	for _, r := range chain {
+		if in := r.shard.Load(); in != nil && in.Owns(int(user)) {
+			owning = append(owning, r)
+		}
+	}
+	if len(owning) == 0 {
+		return chain
+	}
+	return owning
 }
 
 // Owner returns the name of the replica owning key — the unit the

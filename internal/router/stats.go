@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // ReplicaStatus is one backend's health as the router sees it.
@@ -17,11 +18,22 @@ type ReplicaStatus struct {
 	// Lag is how many generations this replica trails the fleet maximum;
 	// Lagging marks lag beyond Options.MaxLag. A lagging replica keeps
 	// serving (stale answers beat no answers) but operators should look.
-	Lag       uint64 `json:"lag"`
-	Lagging   bool   `json:"lagging"`
-	Requests  uint64 `json:"requests"`
-	Errors    uint64 `json:"errors"`
-	LastError string `json:"lastError,omitempty"`
+	Lag     uint64 `json:"lag"`
+	Lagging bool   `json:"lagging"`
+	// Weight is the replica's static rendezvous weight (default 1).
+	Weight   float64 `json:"weight"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	// Misroutes counts 421 answers: the replica disowned a routed user.
+	Misroutes uint64 `json:"misroutes,omitempty"`
+	// Draining mirrors the replica's advertised drain latch; the router
+	// sends it new owner-routed work only when no non-draining candidate
+	// remains.
+	Draining bool `json:"draining,omitempty"`
+	// Shard is the user range the replica advertises owning (absent on
+	// full-snapshot replicas).
+	Shard     *shard.Info `json:"shard,omitempty"`
+	LastError string      `json:"lastError,omitempty"`
 }
 
 // Stats is the router's /api/stats payload.
@@ -29,8 +41,14 @@ type Stats struct {
 	// Generation is the fleet-wide newest generation observed.
 	Generation uint64 `json:"generation"`
 	// Healthy counts replicas currently marked healthy.
-	Healthy  int             `json:"healthy"`
-	Replicas []ReplicaStatus `json:"replicas"`
+	Healthy int `json:"healthy"`
+	// Sharded reports whether any replica advertises a shard range;
+	// Shards is the advertised shard count (0 when unsharded).
+	Sharded bool `json:"sharded,omitempty"`
+	Shards  int  `json:"shards,omitempty"`
+	// Misroutes totals 421 answers across the fleet.
+	Misroutes uint64          `json:"misroutes,omitempty"`
+	Replicas  []ReplicaStatus `json:"replicas"`
 	// Endpoints digests latency per routing class (route/scatter/proxy),
 	// in the same shape as a single replica's per-endpoint stats.
 	Endpoints map[string]serve.EndpointStats `json:"endpoints"`
@@ -58,14 +76,23 @@ func (rt *Router) Stats() Stats {
 			Healthy:    r.healthy.Load(),
 			Generation: gen,
 			Lag:        max - gen,
+			Weight:     r.weight,
 			Requests:   r.requests.Load(),
 			Errors:     r.errors.Load(),
+			Misroutes:  r.misroutes.Load(),
+			Draining:   r.draining.Load(),
+			Shard:      r.shard.Load(),
 			LastError:  lastErr,
 		}
 		rs.Lagging = rs.Lag > rt.opts.MaxLag
 		if rs.Healthy {
 			st.Healthy++
 		}
+		if rs.Shard != nil {
+			st.Sharded = true
+			st.Shards = rs.Shard.Count
+		}
+		st.Misroutes += rs.Misroutes
 		st.Replicas = append(st.Replicas, rs)
 	}
 	for i := 0; i < opCount; i++ {
@@ -110,6 +137,24 @@ func (rt *Router) WriteMetrics(w io.Writer) {
 		{"cpd_router_replica_errors_total", "Backend transport failures for this replica.", func(r ReplicaStatus) float64 {
 			return float64(r.Errors)
 		}},
+		{"cpd_router_replica_misroutes_total", "421 answers: the replica disowned a routed user.", func(r ReplicaStatus) float64 {
+			return float64(r.Misroutes)
+		}},
+		{"cpd_router_replica_draining", "Replica advertised draining (1 draining).", func(r ReplicaStatus) float64 {
+			if r.Draining {
+				return 1
+			}
+			return 0
+		}},
+		{"cpd_router_replica_weight", "Static rendezvous weight.", func(r ReplicaStatus) float64 {
+			return r.Weight
+		}},
+		{"cpd_router_replica_shard_index", "Owned shard index (-1 on full-snapshot replicas).", func(r ReplicaStatus) float64 {
+			if r.Shard == nil {
+				return -1
+			}
+			return float64(r.Shard.Index)
+		}},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
@@ -118,6 +163,7 @@ func (rt *Router) WriteMetrics(w io.Writer) {
 		}
 	}
 	fmt.Fprintf(w, "# HELP cpd_router_generation Fleet-wide newest generation observed.\n# TYPE cpd_router_generation gauge\ncpd_router_generation %d\n", st.Generation)
+	fmt.Fprintf(w, "# HELP cpd_router_shards Advertised shard count (0 unsharded).\n# TYPE cpd_router_shards gauge\ncpd_router_shards %d\n", st.Shards)
 	fmt.Fprintf(w, "# HELP cpd_router_shared_scatters_total Scatter requests that joined an identical in-flight fan-out.\n# TYPE cpd_router_shared_scatters_total counter\ncpd_router_shared_scatters_total %d\n", st.SharedScatters)
 	for i := 0; i < opCount; i++ {
 		h := rt.lat[i].Snapshot()

@@ -1,0 +1,534 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// ShardPreset names one sharded-serving regime: a base population and a
+// shard count. Unlike DistPreset — where every replica holds the full
+// snapshot and sharding is a cache-locality policy — here each replica
+// maps only the global sections plus ITS user shard's file, so the
+// per-replica memory footprint drops roughly shard-count-fold. The run
+// pins the same invariant as the distributed suite: every query routed
+// through the shard-aware router is bit-identical to a single full node
+// on the same generation, on both sides of a live rollout.
+type ShardPreset struct {
+	Name        string
+	Description string
+
+	// Base is the underlying population preset; BaseFraction of its users
+	// train the frozen base model, the rest arrive as stream events split
+	// across the run's generations.
+	Base         Preset
+	BaseFraction float64
+
+	// Shards is both the sharded-generation shard count and the fleet
+	// size: replica i owns shard i.
+	Shards int
+}
+
+// ShardPresets returns the sharded-serving regimes the suite runs.
+func ShardPresets() []ShardPreset {
+	bp, err := Lookup("uniform")
+	if err != nil {
+		panic(err)
+	}
+	return []ShardPreset{
+		{
+			Name: "sharded-fleet",
+			Description: "three shard-owning replicas behind a shard-aware router, " +
+				"bit-equality vs a single full node across a live generation rollout",
+			Base:         bp,
+			BaseFraction: 0.75,
+			Shards:       3,
+		},
+	}
+}
+
+// LookupSharded resolves a sharded preset by name.
+func LookupSharded(name string) (ShardPreset, error) {
+	for _, p := range ShardPresets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range ShardPresets() {
+		names = append(names, p.Name)
+	}
+	return ShardPreset{}, fmt.Errorf("scenario: unknown sharded preset %q (have %v)", name, names)
+}
+
+// ShardMetrics is one sharded run's measurement.
+type ShardMetrics struct {
+	Preset string `json:"preset"`
+	Shards int    `json:"shards"`
+	// Generations is the final fleet generation (the rollout count).
+	Generations uint64 `json:"generations"`
+	// EqualityChecks counts routed-vs-single-node comparisons that ran.
+	EqualityChecks int `json:"equalityChecks"`
+	// ReadQueries/ReadErrors account the read hammer that runs through the
+	// router DURING the generation rollout; the invariant is zero errors.
+	ReadQueries uint64 `json:"readQueries"`
+	ReadErrors  uint64 `json:"readErrors"`
+	// Misroutes is the fleet-wide 421 count the router observed.
+	Misroutes uint64 `json:"misroutes"`
+	// FullBytes/GlobalBytes are the final generation's full snapshot and
+	// global shard-file sizes; MaxReplicaMappedBytes the largest mapped
+	// footprint any replica carried — the ~N-fold memory win the format
+	// exists for (≤ full/N + global, plus imbalance slack).
+	FullBytes             int64 `json:"fullBytes"`
+	GlobalBytes           int64 `json:"globalBytes"`
+	MaxReplicaMappedBytes int64 `json:"maxReplicaMappedBytes"`
+}
+
+// shardReplica bundles one fleet member's moving parts.
+type shardReplica struct {
+	engine  *serve.Engine
+	fetcher *serve.Fetcher
+	srv     *httptest.Server
+}
+
+// RunSharded executes one sharded preset end to end:
+//
+//  1. train the base model and publish generation 1 — full file AND
+//     sharded group — through a stream.Updater with Options.Shards;
+//  2. start one serve engine per shard, each pulling ONLY the manifest,
+//     the global file and its own shard file (serve.Fetcher in sharded
+//     mode: CRC-verified against the manifest, warmed, swapped as a
+//     unit);
+//  3. front them with the shard-aware router and verify membership (every
+//     user), rank (Members summed across shards), diffusion (same-shard
+//     and cross-shard pairs) and fold-in (friends spanning shards) are
+//     bit-identical to a single full node on the same generation file;
+//  4. roll the fleet to generation 2 under a routed read hammer — zero
+//     read errors tolerated;
+//  5. re-verify bit-equality on generation 2, check the drain latch takes
+//     a replica out of preferred rotation, and record the per-replica
+//     mapped-bytes win.
+func RunSharded(p ShardPreset, opts RunOptions) (*ShardMetrics, error) {
+	if p.Shards < 2 {
+		return nil, fmt.Errorf("scenario %s: a sharded run needs at least 2 shards", p.Name)
+	}
+	b, err := Build(p.Base)
+	if err != nil {
+		return nil, err
+	}
+	g := b.Graph
+	baseUsers := int(float64(g.NumUsers) * p.BaseFraction)
+	if baseUsers < 2 || baseUsers >= g.NumUsers {
+		return nil, fmt.Errorf("scenario %s: base fraction %.2f leaves no streamed users", p.Name, p.BaseFraction)
+	}
+	baseG, docMap, held := prefixGraph(g, baseUsers, nil)
+	baseModel, _, err := core.Train(baseG, p.Base.Train)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: base training failed: %w", p.Name, err)
+	}
+	evs, _ := buildStreamEvents(g, baseUsers, docMap, held)
+	half := len(evs) / 2
+
+	scratch, err := os.MkdirTemp(opts.Dir, "cpd-sharded-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	snapDir := filepath.Join(scratch, "snapshots")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// The publisher: a real updater journaling into snapDir with sharded
+	// emission on — exactly what cpd-serve -ingest -ingest-shards runs.
+	pubEngine := serve.New(baseModel, b.Vocab, serve.Options{})
+	defer pubEngine.Close()
+	j, err := stream.OpenJournal(filepath.Join(scratch, "events.wal"), stream.JournalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	u, err := stream.NewUpdater(j, stream.Options{
+		Engine:       pubEngine,
+		Base:         baseModel,
+		Vocab:        b.Vocab,
+		WindowEvents: len(evs) + 16, // publish manually, per generation
+		FoldSweeps:   10,
+		FoldSeed:     p.Base.Synth.Seed,
+		BaseGraph:    baseG,
+		Workers:      2,
+		Dir:          snapDir,
+		Shards:       p.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer u.Close()
+
+	if _, err := u.Ingest(evs[:half]); err != nil {
+		return nil, fmt.Errorf("scenario %s: generation-1 ingest failed: %w", p.Name, err)
+	}
+	if _, err := u.Publish(); err != nil {
+		return nil, fmt.Errorf("scenario %s: generation-1 publish failed: %w", p.Name, err)
+	}
+
+	// The fleet: replica i fetches only shard i (plus the global file).
+	var reps []*shardReplica
+	var routerReps []router.Replica
+	defer func() {
+		for _, r := range reps {
+			r.srv.Close()
+			r.engine.Close()
+		}
+	}()
+	for i := 0; i < p.Shards; i++ {
+		e := serve.NewMulti(serve.Options{Mmap: true})
+		f, err := serve.NewFetcher(e, serve.FetchOptions{
+			Source: snapDir, Vocab: b.Vocab, Interval: 2 * time.Millisecond,
+			Sharded: true, Shard: i,
+		})
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.SetReplicaStats(func() any { return f.Status() })
+		if _, err := f.Poll(); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("scenario %s: replica %d initial fetch failed: %w", p.Name, i, err)
+		}
+		srv := httptest.NewServer(serve.APIHandler(e, nil))
+		reps = append(reps, &shardReplica{engine: e, fetcher: f, srv: srv})
+		routerReps = append(routerReps, router.Replica{Name: fmt.Sprintf("shard-%d", i), Base: srv.URL})
+	}
+
+	rt, err := router.New(routerReps, router.Options{MaxLag: 1})
+	if err != nil {
+		return nil, err
+	}
+	rt.PollReplicas()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	m := &ShardMetrics{Preset: p.Name, Shards: p.Shards}
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if st := rt.Stats(); !st.Sharded || st.Shards != p.Shards {
+		fail("router sees sharded=%v shards=%d, want a %d-shard fleet", st.Sharded, st.Shards, p.Shards)
+	}
+
+	// Single-FULL-node reference for a generation: a fresh engine loading
+	// the full (unsharded) file the same publish wrote — the bit-equality
+	// baseline the sharded fleet must reproduce.
+	reference := func(gen uint64) (*serve.Engine, error) {
+		ref := serve.NewMulti(serve.Options{Mmap: true})
+		if _, err := ref.LoadGeneration(serve.DefaultSnapshot, store.GenPath(snapDir, gen), b.Vocab, gen); err != nil {
+			ref.Close()
+			return nil, err
+		}
+		return ref, nil
+	}
+
+	checkGeneration := func(gen uint64, users int) {
+		ref, err := reference(gen)
+		if err != nil {
+			fail("generation %d: reference engine failed to load: %v", gen, err)
+			return
+		}
+		defer ref.Close()
+		get := func(path string, into any) bool {
+			resp, err := http.Get(front.URL + path)
+			if err != nil {
+				fail("generation %d: GET %s: %v", gen, path, err)
+				return false
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("generation %d: GET %s answered %d", gen, path, resp.StatusCode)
+				return false
+			}
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				fail("generation %d: GET %s decode: %v", gen, path, err)
+				return false
+			}
+			return true
+		}
+		// Memberships: every user, shard-owner-routed. This sweeps every
+		// shard boundary, so an off-by-one in range ownership fails here.
+		for id := 0; id < users; id++ {
+			var got serve.MembershipResult
+			if !get(fmt.Sprintf("/api/user?id=%d&k=5", id), &got) {
+				return
+			}
+			want, err := ref.Membership(id, 5)
+			if err != nil {
+				fail("generation %d: reference membership(%d): %v", gen, id, err)
+				return
+			}
+			got.Version, want.Version = 0, 0
+			if !reflect.DeepEqual(&got, want) {
+				fail("generation %d: membership(%d) diverges: routed %+v vs full node %+v", gen, id, got, want)
+				return
+			}
+			m.EqualityChecks++
+		}
+		// Rankings: scattered over the shards; per-shard partial Members
+		// sums must land exactly on the full node's counts.
+		step := baseModel.NumWords / 16
+		if step < 1 {
+			step = 1
+		}
+		for w := 0; w < baseModel.NumWords; w += step {
+			var got serve.RankResult
+			if !get(fmt.Sprintf("/api/rank?w=%d&k=5", w), &got) {
+				return
+			}
+			want, err := ref.Rank([]int32{int32(w)}, 5)
+			if err != nil {
+				fail("generation %d: reference rank(%d): %v", gen, w, err)
+				return
+			}
+			got.Version, want.Version = 0, 0
+			if !reflect.DeepEqual(&got, want) {
+				fail("generation %d: rank(%d) diverges: routed %+v vs full node %+v", gen, w, got, want)
+				return
+			}
+			m.EqualityChecks++
+		}
+		// Diffusion: one same-shard pair and one maximally cross-shard
+		// pair (first and last user live on different shards by
+		// construction), the latter exercising the pirow + row-carrying
+		// POST path.
+		for _, pair := range [][2]int{{0, 1}, {0, users - 1}, {users - 1, 0}} {
+			var gd serve.DiffusionResult
+			if !get(fmt.Sprintf("/api/diffusion?u=%d&v=%d&topic=0&bucket=-1", pair[0], pair[1]), &gd) {
+				return
+			}
+			wd, err := ref.Diffusion(pair[0], pair[1], 0, -1)
+			if err != nil {
+				fail("generation %d: reference diffusion(%v): %v", gen, pair, err)
+				return
+			}
+			gd.Version, wd.Version = 0, 0
+			if !reflect.DeepEqual(gd, *wd) {
+				fail("generation %d: diffusion(%v) diverges: routed %+v vs full node %+v", gen, pair, gd, *wd)
+				return
+			}
+			m.EqualityChecks++
+		}
+		// Fold-in with friends spanning shards: the router must hydrate
+		// the rows no single replica owns.
+		fi := &serve.FoldInRequest{
+			Docs:    [][]int32{{0, 1, 2}, {3, 4}},
+			Friends: []int32{0, int32(users - 1)},
+			Seed:    99,
+			Sweeps:  8,
+		}
+		body, _ := json.Marshal(fi)
+		resp, err := http.Post(front.URL+"/api/foldin", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			fail("generation %d: routed fold-in: %v", gen, err)
+			return
+		}
+		var gf serve.FoldInResult
+		derr := json.NewDecoder(resp.Body).Decode(&gf)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			fail("generation %d: routed fold-in status %d decode %v", gen, resp.StatusCode, derr)
+			return
+		}
+		wf, err := ref.FoldIn(fi)
+		if err != nil {
+			fail("generation %d: reference fold-in: %v", gen, err)
+			return
+		}
+		gf.Version, wf.Version = 0, 0
+		if !reflect.DeepEqual(gf, *wf) {
+			fail("generation %d: fold-in with cross-shard friends diverges", gen)
+			return
+		}
+		m.EqualityChecks++
+	}
+
+	// Generation 1, fleet at rest.
+	checkGeneration(1, baseModel.NumUsers)
+
+	// The rollout: fetchers polling live, a read hammer flowing through
+	// the router, generation 2 published under it.
+	ctx, cancel := context.WithCancel(context.Background())
+	var fwg sync.WaitGroup
+	for _, r := range reps {
+		fwg.Add(1)
+		go func(f *serve.Fetcher) {
+			defer fwg.Done()
+			f.Run(ctx)
+		}(r.fetcher)
+	}
+	stopReads := make(chan struct{})
+	var rwg sync.WaitGroup
+	var reads, readErrs atomic.Uint64
+	target := HTTPTarget{Base: front.URL, Client: front.Client()}
+	for w := 0; w < 2; w++ {
+		rwg.Add(1)
+		go func(w int) {
+			defer rwg.Done()
+			i := 0
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				reads.Add(2)
+				if err := target.Do(&Request{Op: OpMembership, U: (i + w) % baseUsers, K: 5}); err != nil {
+					readErrs.Add(1)
+				}
+				if err := target.Do(&Request{Op: OpRank, Words: []int32{int32(i % baseModel.NumWords)}, K: 5}); err != nil {
+					readErrs.Add(1)
+				}
+				i++
+			}
+		}(w)
+	}
+
+	rolloutErr := func() error {
+		if _, err := u.Ingest(evs[half:]); err != nil {
+			return fmt.Errorf("scenario %s: generation-2 ingest failed: %w", p.Name, err)
+		}
+		if _, err := u.Publish(); err != nil {
+			return fmt.Errorf("scenario %s: generation-2 publish failed: %w", p.Name, err)
+		}
+		// Wait for every replica to pull the new generation.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, r := range reps {
+			for r.fetcher.Generation() < 2 {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("scenario %s: fleet did not reach generation 2 in time", p.Name)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return nil
+	}()
+	close(stopReads)
+	rwg.Wait()
+	cancel()
+	fwg.Wait()
+	m.ReadQueries, m.ReadErrors = reads.Load(), readErrs.Load()
+	if rolloutErr != nil {
+		return m, rolloutErr
+	}
+	if m.ReadErrors > 0 {
+		fail("%d of %d routed reads failed during the generation rollout", m.ReadErrors, m.ReadQueries)
+	}
+
+	// Generation 2: fleet healthy, still bit-identical, topology intact.
+	rt.PollReplicas()
+	st := rt.Stats()
+	m.Generations = st.Generation
+	m.Misroutes = st.Misroutes
+	if st.Generation != 2 {
+		fail("fleet generation %d after rollout, want 2", st.Generation)
+	}
+	if st.Healthy != p.Shards {
+		fail("%d of %d replicas healthy after rollout", st.Healthy, p.Shards)
+	}
+	if !st.Sharded || st.Shards != p.Shards {
+		fail("router lost the shard topology after rollout: %+v", st)
+	}
+	checkGeneration(2, u.Model().NumUsers)
+
+	// The memory win the format exists for: each replica maps the global
+	// file plus ~1/N of the user payload, not the whole snapshot. The
+	// slack term absorbs weight-balancing imbalance and 64-byte section
+	// alignment.
+	if fi, err := os.Stat(store.GenPath(snapDir, 2)); err == nil {
+		m.FullBytes = fi.Size()
+	} else {
+		fail("stat full generation-2 file: %v", err)
+	}
+	if fi, err := os.Stat(shard.GlobalPath(snapDir, 2)); err == nil {
+		m.GlobalBytes = fi.Size()
+	} else {
+		fail("stat global generation-2 file: %v", err)
+	}
+	budget := m.FullBytes/int64(p.Shards) + m.GlobalBytes + m.FullBytes/8
+	for i, r := range reps {
+		var mapped int64
+		for _, ss := range r.engine.SnapshotsInfo() {
+			if ss.Name == serve.DefaultSnapshot {
+				mapped = ss.MappedBytes
+				if !ss.Mapped {
+					fail("replica %d serves an unmapped snapshot", i)
+				}
+				if ss.Shard == nil {
+					fail("replica %d snapshot carries no shard info", i)
+				}
+			}
+		}
+		if mapped == 0 {
+			fail("replica %d reports zero mapped bytes", i)
+		}
+		if m.FullBytes > 0 && mapped > budget {
+			fail("replica %d maps %d bytes, budget %d (full %d, global %d, %d shards)",
+				i, mapped, budget, m.FullBytes, m.GlobalBytes, p.Shards)
+		}
+		if mapped > m.MaxReplicaMappedBytes {
+			m.MaxReplicaMappedBytes = mapped
+		}
+	}
+
+	// Drain: the latch flips the replica's advertisement, the router sees
+	// it, and — because the drained replica is still its shard's only
+	// owner — owned-user queries keep working through the fallback tier.
+	if resp, err := http.Post(reps[0].srv.URL+"/api/drain", "application/json", nil); err != nil {
+		fail("drain request failed: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("drain answered status %d", resp.StatusCode)
+		}
+	}
+	rt.PollReplicas()
+	st = rt.Stats()
+	draining := 0
+	for _, r := range st.Replicas {
+		if r.Draining {
+			draining++
+		}
+	}
+	if draining != 1 {
+		fail("%d replicas draining after one drain request", draining)
+	}
+	if resp, err := http.Get(front.URL + "/api/user?id=0&k=5"); err != nil {
+		fail("membership after drain failed: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("membership for a drained shard's user answered %d, want 200 via the fallback tier", resp.StatusCode)
+		}
+	}
+
+	if len(problems) > 0 {
+		return m, fmt.Errorf("scenario %s: %s", p.Name, strings.Join(problems, "; "))
+	}
+	return m, nil
+}

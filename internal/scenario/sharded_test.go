@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardPresetRegistry(t *testing.T) {
+	ps := ShardPresets()
+	if len(ps) == 0 {
+		t.Fatal("no sharded presets")
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" || p.Description == "" || p.Base.Name == "" || p.Shards < 2 {
+			t.Fatalf("preset %+v incomplete", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate sharded preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := LookupSharded(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("LookupSharded(%q) = %+v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := LookupSharded("nope"); err == nil {
+		t.Fatal("LookupSharded accepted an unknown name")
+	}
+}
+
+// TestShardedScenario drives every sharded preset end to end: train →
+// sharded publish → per-shard fetch → shard-aware routing, with
+// bit-equality against a single FULL node on both sides of a live
+// generation rollout, zero routed read errors during it, and the
+// per-replica mapped-bytes budget (~full/N + global) held.
+func TestShardedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded scenarios train models; skipped in -short")
+	}
+	for _, p := range ShardPresets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			m, err := RunSharded(p, RunOptions{Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d shards, %d generations, %d equality checks, %d routed reads (%d errors), "+
+				"%d misroutes, mapped ≤ %d of %d full bytes in %v",
+				p.Name, m.Shards, m.Generations, m.EqualityChecks, m.ReadQueries, m.ReadErrors,
+				m.Misroutes, m.MaxReplicaMappedBytes, m.FullBytes,
+				time.Since(start).Round(time.Millisecond))
+			if m.EqualityChecks == 0 {
+				t.Fatal("no bit-equality checks ran")
+			}
+			if m.ReadQueries == 0 {
+				t.Fatal("the rollout read hammer never ran")
+			}
+			if m.Generations != 2 {
+				t.Fatalf("fleet ended on generation %d, want 2", m.Generations)
+			}
+			if m.MaxReplicaMappedBytes == 0 || m.FullBytes == 0 {
+				t.Fatal("mapped-bytes accounting never ran")
+			}
+		})
+	}
+}

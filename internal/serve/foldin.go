@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -22,6 +23,13 @@ type FoldInRequest struct {
 	// move the membership off the prior).
 	Docs    [][]int32 `json:"docs"`
 	Friends []int32   `json:"friends,omitempty"`
+	// FriendRows carries membership rows for friends the serving snapshot
+	// does not own (shard snapshots): a shard-aware router hydrates them
+	// from the owning replicas before forwarding. A friend with no local
+	// row and no supplied row fails with ErrNotOwned. Rows for owned
+	// friends are ignored in favor of the local (identical) row, so the
+	// result is bit-identical to a full node for the same request.
+	FriendRows []FriendRow `json:"friendRows,omitempty"`
 	// Seed drives the request's private RNG; the result is a pure function
 	// of (snapshot, request), so a fixed seed reproduces bit-identically
 	// regardless of pool size or concurrent load.
@@ -41,6 +49,13 @@ const (
 	MaxFoldInTokens  = 1 << 20 // total words across a request's documents
 	MaxFoldInFriends = 1 << 16
 )
+
+// FriendRow is one hydrated friend membership row (see
+// FoldInRequest.FriendRows).
+type FriendRow struct {
+	User int32     `json:"user"`
+	Row  []float64 `json:"row"`
+}
 
 // FoldInResult is the inferred profile of a folded-in user.
 type FoldInResult struct {
@@ -167,9 +182,30 @@ func foldIn(s *Snapshot, req *FoldInRequest) (*FoldInResult, error) {
 	if tokens > MaxFoldInTokens {
 		return nil, fmt.Errorf("serve: fold-in request has %d words (limit %d)", tokens, MaxFoldInTokens)
 	}
-	for _, v := range req.Friends {
-		if v < 0 || int(v) >= m.NumUsers {
-			return nil, fmt.Errorf("serve: fold-in friend %d out of range [0, %d)", v, m.NumUsers)
+	// Friend rows resolve locally for owned users and from the hydrated
+	// FriendRows otherwise; the build happens in Friends order, so the
+	// Gibbs pass visits rows exactly as a full node would.
+	hydrated := make(map[int32][]float64, len(req.FriendRows))
+	for _, fr := range req.FriendRows {
+		if len(fr.Row) != C {
+			return nil, fmt.Errorf("serve: hydrated row for friend %d has %d entries, model has %d communities", fr.User, len(fr.Row), C)
+		}
+		hydrated[fr.User] = fr.Row
+	}
+	friendPi := make([][]float64, len(req.Friends))
+	for k, v := range req.Friends {
+		local, err := s.localUser(int(v))
+		switch {
+		case err == nil:
+			friendPi[k] = m.Pi.Row(local)
+		case hydrated[v] != nil:
+			var notOwned *ErrNotOwned
+			if !errors.As(err, &notOwned) {
+				return nil, err // out of range: a hydrated row cannot fix a bad id
+			}
+			friendPi[k] = hydrated[v]
+		default:
+			return nil, err
 		}
 	}
 	sweeps := req.Sweeps
@@ -207,12 +243,6 @@ func foldIn(s *Snapshot, req *FoldInRequest) (*FoldInResult, error) {
 			ll[z] = lw
 		}
 		wordLL[i] = ll
-	}
-
-	// Friend membership rows (frozen) for the friendship factor.
-	friendPi := make([][]float64, len(req.Friends))
-	for k, v := range req.Friends {
-		friendPi[k] = m.Pi.Row(int(v))
 	}
 
 	// Seeded random init, counted.

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // APIHandler exposes the engine's typed query API as a JSON HTTP surface —
@@ -24,7 +26,10 @@ import (
 //	GET  /api/rank?q=deep+learning&k=10         free-text Eq. 19 ranking
 //	GET  /api/rank?w=17,204&k=10                word-id Eq. 19 ranking
 //	GET  /api/diffusion?u=1&v=2&topic=0&bucket=3 per-topic diffusion prob
+//	POST /api/diffusion                         diffusion with explicit rows (sharded routing)
+//	GET  /api/pirow?id=42                       owned user's membership row (sharded routing)
 //	POST /api/foldin                            fold-in one FoldInRequest
+//	POST /api/drain                             flip the replica to draining
 //	POST /api/reload                            hot-swap via reload (if non-nil)
 //	GET  /api/snapshots                         per-snapshot accounting
 //	GET  /api/generation                        publisher generation served (replica freshness)
@@ -107,6 +112,24 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 		writeJSON(w, res)
 	})
 	mux.HandleFunc("/api/diffusion", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			// Row-carrying variant for sharded fleets: a router scoring a
+			// cross-shard pair fetches the remote row (/api/pirow) and posts
+			// it here with the owner of the other side.
+			r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+			var req DiffusionRowsRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			res, err := e.DiffusionRowsIn(snapParam(r), req.U, req.V, req.Topic, req.Bucket, req.URow, req.VRow)
+			if err != nil {
+				writeQueryErr(w, err)
+				return
+			}
+			writeJSON(w, res)
+			return
+		}
 		u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
 		v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
 		z, err3 := strconv.Atoi(r.URL.Query().Get("topic"))
@@ -120,6 +143,27 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 			return
 		}
 		writeJSON(w, res)
+	})
+	mux.HandleFunc("/api/pirow", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad or missing user id", http.StatusBadRequest)
+			return
+		}
+		res, err := e.PiRowIn(snapParam(r), id)
+		if err != nil {
+			writeQueryErr(w, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/api/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST to drain", http.StatusMethodNotAllowed)
+			return
+		}
+		e.Drain()
+		writeJSON(w, map[string]bool{"draining": true})
 	})
 	mux.HandleFunc("/api/foldin", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -182,11 +226,17 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 				writeQueryErr(w, err)
 				return
 			}
-			writeJSON(w, GenerationReport{})
+			writeJSON(w, GenerationReport{Draining: e.Draining()})
 			return
 		}
 		defer release()
-		writeJSON(w, GenerationReport{Snapshot: s.Name, Generation: s.Generation, Version: s.Version})
+		writeJSON(w, GenerationReport{
+			Snapshot:   s.Name,
+			Generation: s.Generation,
+			Version:    s.Version,
+			Shard:      s.Shard,
+			Draining:   e.Draining(),
+		})
 	})
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -225,35 +275,60 @@ func APIHandler(e *Engine, reload func() error) http.Handler {
 				s, release, err = e.AcquireNamed(names[0])
 			}
 		}
+		status := "ok"
+		if e.Draining() {
+			status = "draining"
+		}
 		if err != nil {
 			if explicit {
 				writeQueryErr(w, err)
 				return
 			}
-			writeJSON(w, map[string]any{"status": "ok", "snapshots": e.Names()})
+			writeJSON(w, map[string]any{"status": status, "draining": e.Draining(), "snapshots": e.Names()})
 			return
 		}
 		defer release()
-		writeJSON(w, map[string]any{
-			"status":     "ok",
+		payload := map[string]any{
+			"status":     status,
+			"draining":   e.Draining(),
 			"snapshot":   s.Name,
 			"version":    s.Version,
 			"generation": s.Generation,
 			"users":      s.Model.NumUsers,
 			"words":      s.Model.NumWords,
 			"mapped":     s.Mapped(),
-		})
+		}
+		if s.Shard != nil {
+			payload["shard"] = s.Shard
+		}
+		writeJSON(w, payload)
 	})
 	return mux
 }
 
 // GenerationReport is the /api/generation payload: which publisher
 // generation the replica currently serves. A replica with no snapshot
-// yet reports the zero value.
+// yet reports the zero value. Shard advertises the owned user range on
+// shard-owning replicas; Draining that the replica is leaving the fleet
+// — both drive the router's placement.
 type GenerationReport struct {
-	Snapshot   string `json:"snapshot,omitempty"`
-	Generation uint64 `json:"generation"`
-	Version    uint64 `json:"version,omitempty"`
+	Snapshot   string      `json:"snapshot,omitempty"`
+	Generation uint64      `json:"generation"`
+	Version    uint64      `json:"version,omitempty"`
+	Shard      *shard.Info `json:"shard,omitempty"`
+	Draining   bool        `json:"draining,omitempty"`
+}
+
+// DiffusionRowsRequest is the POST /api/diffusion body: a diffusion
+// query with explicit membership rows for whichever of u, v the serving
+// replica does not own (nil rows fall back to the local model).
+type DiffusionRowsRequest struct {
+	U      int       `json:"u"`
+	V      int       `json:"v"`
+	Topic  int       `json:"topic"`
+	Bucket int       `json:"bucket"`
+	URow   []float64 `json:"urow,omitempty"`
+	VRow   []float64 `json:"vrow,omitempty"`
 }
 
 // snapParam resolves the optional ?snapshot= parameter.
@@ -265,13 +340,18 @@ func snapParam(r *http.Request) string {
 }
 
 // writeQueryErr maps engine errors to HTTP statuses: unknown snapshot
-// names are 404, missing vocabularies 501, anything else a 400.
+// names are 404, missing vocabularies 501, misrouted shard queries 421
+// (Misdirected Request — retry against the owning replica), anything
+// else a 400.
 func writeQueryErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var noSnap *ErrNoSnapshot
+	var notOwned *ErrNotOwned
 	switch {
 	case errors.As(err, &noSnap):
 		status = http.StatusNotFound
+	case errors.As(err, &notOwned):
+		status = http.StatusMisdirectedRequest
 	case errors.Is(err, ErrNoVocabulary):
 		status = http.StatusNotImplemented
 	}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -52,6 +53,16 @@ type FetchOptions struct {
 	// removed (default 2; the file backing the live mapping stays valid
 	// even once unlinked).
 	Keep int
+	// Sharded switches the fetcher to shard-group generations
+	// (internal/shard): each poll discovers the newest shard manifest,
+	// fetches the manifest plus the global file and this replica's own
+	// shard, verifies every file against the manifest's per-section CRCs,
+	// warms both, and promotes the group as a unit
+	// (Engine.PromoteShardGroup). The replica then maps ~(1/N of the user
+	// state + the global sections) instead of the whole model.
+	Sharded bool
+	// Shard is the shard index this replica owns (Sharded mode only).
+	Shard int
 }
 
 // FetchStatus is a Fetcher's observable state (the "replica" section of
@@ -184,6 +195,9 @@ func (f *Fetcher) Run(ctx context.Context) {
 }
 
 func (f *Fetcher) poll() (uint64, error) {
+	if f.opts.Sharded {
+		return f.pollSharded()
+	}
 	latest, err := f.discover()
 	if err != nil {
 		return 0, err
@@ -198,7 +212,10 @@ func (f *Fetcher) poll() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := store.VerifyV2File(path); err != nil {
+	// Cached verification: a generation this replica already walked (the
+	// .verified sidecar matches size+mtime) skips the O(model) CRC pass —
+	// the restart-fast path for big cached generations.
+	if err := store.VerifyV2FileCached(path); err != nil {
 		return 0, fmt.Errorf("verifying generation %d: %w", latest, err)
 	}
 	if err := warmFile(path); err != nil {
@@ -211,6 +228,166 @@ func (f *Fetcher) poll() (uint64, error) {
 		f.pruneCache(latest)
 	}
 	return latest, nil
+}
+
+// pollSharded is one sharded discover→fetch→verify→warm→promote cycle:
+// the manifest names every file and its per-section CRCs, so the group
+// either verifies and promotes as a unit or is retried whole next poll.
+func (f *Fetcher) pollSharded() (uint64, error) {
+	latest, err := f.discoverSharded()
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	have := f.gen
+	f.mu.Unlock()
+	if latest == 0 || latest <= have {
+		return 0, nil
+	}
+	dir, man, err := f.materializeSharded(latest)
+	if err != nil {
+		return 0, err
+	}
+	if f.opts.Shard < 0 || f.opts.Shard >= man.Shards {
+		return 0, fmt.Errorf("replica owns shard %d but generation %d has %d shards", f.opts.Shard, latest, man.Shards)
+	}
+	globalPath := shard.GlobalPath(dir, latest)
+	shardPath := shard.ShardPath(dir, latest, f.opts.Shard)
+	if err := shard.VerifyAgainstManifest(globalPath, man.Global); err != nil {
+		return 0, fmt.Errorf("verifying generation %d global file: %w", latest, err)
+	}
+	if err := shard.VerifyAgainstManifest(shardPath, man.Ranges[f.opts.Shard].File); err != nil {
+		return 0, fmt.Errorf("verifying generation %d shard %d: %w", latest, f.opts.Shard, err)
+	}
+	for _, p := range []string{globalPath, shardPath} {
+		if err := warmFile(p); err != nil {
+			return 0, fmt.Errorf("warming generation %d: %w", latest, err)
+		}
+	}
+	g, err := shard.OpenGroup(dir, man, f.opts.Shard)
+	if err != nil {
+		return 0, fmt.Errorf("opening generation %d shard %d: %w", latest, f.opts.Shard, err)
+	}
+	f.e.PromoteShardGroup(f.opts.Snapshot, g, f.opts.Vocab, latest)
+	if f.http {
+		f.pruneShardCache(latest)
+	}
+	return latest, nil
+}
+
+// discoverSharded finds the newest sharded generation the source offers.
+func (f *Fetcher) discoverSharded() (uint64, error) {
+	if !f.http {
+		gens, err := shard.ScanManifests(f.opts.Source)
+		if err != nil || len(gens) == 0 {
+			return 0, err
+		}
+		return gens[len(gens)-1], nil
+	}
+	resp, err := f.opts.Client.Get(f.opts.Source + "/api/shards")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("%s/api/shards answered status %d", f.opts.Source, resp.StatusCode)
+	}
+	var man struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		return 0, err
+	}
+	return man.Generation, nil
+}
+
+// materializeSharded returns a directory holding generation gen's
+// manifest, global file and this replica's shard, plus the parsed
+// manifest: the publisher's directory itself for a directory source,
+// downloaded copies for an HTTP source. Already-downloaded files are
+// reused; the caller re-verifies every CRC either way.
+func (f *Fetcher) materializeSharded(gen uint64) (string, *shard.Manifest, error) {
+	if !f.http {
+		man, err := shard.ReadManifest(shard.ManifestPath(f.opts.Source, gen))
+		return f.opts.Source, man, err
+	}
+	manPath := shard.ManifestPath(f.opts.Dir, gen)
+	if _, err := os.Stat(manPath); err != nil {
+		if err := f.download(fmt.Sprintf("%s/api/shards/manifest?gen=%d", f.opts.Source, gen), manPath); err != nil {
+			return "", nil, err
+		}
+	}
+	man, err := shard.ReadManifest(manPath)
+	if err != nil {
+		return "", nil, err
+	}
+	fetches := []struct{ url, path string }{
+		{fmt.Sprintf("%s/api/shards/file?gen=%d&global=1", f.opts.Source, gen), shard.GlobalPath(f.opts.Dir, gen)},
+		{fmt.Sprintf("%s/api/shards/file?gen=%d&shard=%d", f.opts.Source, gen, f.opts.Shard), shard.ShardPath(f.opts.Dir, gen, f.opts.Shard)},
+	}
+	for _, fe := range fetches {
+		if _, err := os.Stat(fe.path); err == nil {
+			continue
+		}
+		if err := f.download(fe.url, fe.path); err != nil {
+			return "", nil, err
+		}
+	}
+	return f.opts.Dir, man, nil
+}
+
+// download fetches url into path via a temp file and atomic rename.
+func (f *Fetcher) download(url, path string) error {
+	resp, err := f.opts.Client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("fetching %s: status %d", url, resp.StatusCode)
+	}
+	tmp, err := os.CreateTemp(f.opts.Dir, ".fetch-*")
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(tmp, resp.Body)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// pruneShardCache drops downloaded shard-group files (and .verified
+// sidecars) older than the newest Keep generations.
+func (f *Fetcher) pruneShardCache(latest uint64) {
+	if latest <= uint64(f.opts.Keep) {
+		return
+	}
+	cut := latest - uint64(f.opts.Keep)
+	gens, err := shard.ScanManifests(f.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, gen := range gens {
+		if gen > cut {
+			continue
+		}
+		os.Remove(shard.ManifestPath(f.opts.Dir, gen))
+		for _, p := range []string{shard.GlobalPath(f.opts.Dir, gen), shard.ShardPath(f.opts.Dir, gen, f.opts.Shard)} {
+			os.Remove(p)
+			os.Remove(p + store.VerifiedSidecarSuffix)
+		}
+	}
 }
 
 // discover finds the newest generation the source offers.

@@ -49,6 +49,8 @@ import (
 	"repro/internal/hist"
 	"repro/internal/mathx"
 	"repro/internal/quality"
+	"repro/internal/shard"
+	"repro/internal/sparse"
 	"repro/internal/store"
 )
 
@@ -139,6 +141,13 @@ type Snapshot struct {
 	// compare across replicas; the distribution tier (serve.Fetcher,
 	// internal/router) keys freshness on it. Set it before Promote.
 	Generation uint64
+	// Shard identifies the user range this snapshot owns when its model is
+	// a shard of a sharded generation (nil for full snapshots). User-scoped
+	// queries accept GLOBAL user ids: owned ids are translated to local Π
+	// rows, non-owned ids answer ErrNotOwned so a shard-aware router can
+	// re-route. Rank and diffusion stay exact — they read only the global
+	// sections (plus rows the caller supplies).
+	Shard *shard.Info
 
 	opts     Options
 	openness []int
@@ -271,10 +280,18 @@ func normalizeDirty(users []int32, prevUsers int) []int32 {
 // fallback (no real kernel mapping) the matrices stay accounted as heap
 // — which they are.
 func (s *Snapshot) AttachMapped(mm *store.MappedModel) {
-	s.closer = mm
-	s.mapped = mm.Mapped()
-	if s.mapped {
-		s.mappedBytes = mm.MappedBytes()
+	s.AttachFiles(mm, mm.Mapped(), mm.MappedBytes())
+}
+
+// AttachFiles is AttachMapped generalized to any closer-backed matrix
+// storage — e.g. a shard group spanning two file mappings. closer is
+// closed when the last reference goes; mapped/mappedBytes describe
+// whether (and how much of) the backing is a real kernel mapping.
+func (s *Snapshot) AttachFiles(closer io.Closer, mapped bool, mappedBytes int64) {
+	s.closer = closer
+	s.mapped = mapped
+	if mapped {
+		s.mappedBytes = mappedBytes
 		s.heapBytes -= s.Model.MatrixBytes()
 	}
 }
@@ -306,8 +323,19 @@ func (s *Snapshot) Release() {
 func (s *Snapshot) Label(c int) string { return s.labels[c] }
 
 // Members returns the users having community c among their top-k
-// memberships (k = Options.MemberTopK).
-func (s *Snapshot) Members(c int) []int { return s.users.members(c) }
+// memberships (k = Options.MemberTopK), as global ids. On a shard
+// snapshot the list covers only the owned user range.
+func (s *Snapshot) Members(c int) []int {
+	ms := s.users.members(c)
+	if s.Shard == nil {
+		return ms
+	}
+	out := make([]int, len(ms))
+	for i, u := range ms {
+		out[i] = u + s.Shard.UserLo
+	}
+	return out
+}
 
 // Openness returns community c's openness count (above-average diffusion
 // edges shared with other communities).
@@ -328,12 +356,13 @@ const (
 	epStats
 	epQuality
 	epMetrics
+	epPiRow
 	epCount
 )
 
 var endpointNames = [epCount]string{
 	"communities", "community", "membership", "rank", "diffusion", "foldin", "reload",
-	"stats", "quality", "metrics",
+	"stats", "quality", "metrics", "pirow",
 }
 
 // EndpointStats is one endpoint's latency digest: the cumulative counters
@@ -371,6 +400,10 @@ type Engine struct {
 	version atomic.Uint64
 	// swapMu serializes writers (Reload/Swap/Drop); readers never take it.
 	swapMu sync.Mutex
+
+	// draining is the one-way drain latch (Drain/Draining): advertised on
+	// /healthz and /api/generation so routers deprioritize this replica.
+	draining atomic.Bool
 
 	lat [epCount]hist.Atomic
 
@@ -446,6 +479,48 @@ type ErrNoSnapshot struct{ Name string }
 
 func (e *ErrNoSnapshot) Error() string {
 	return fmt.Sprintf("serve: no snapshot named %q", e.Name)
+}
+
+// ErrNotOwned reports a user-scoped query against a shard snapshot that
+// does not own the user — a misroute, not a bad request. The HTTP layer
+// answers 421 (Misdirected Request) so a shard-aware router can retry
+// against the owning replica; Shard tells the caller what range this
+// replica does own.
+type ErrNotOwned struct {
+	User  int
+	Shard shard.Info
+}
+
+func (e *ErrNotOwned) Error() string {
+	return fmt.Sprintf("serve: user %d not owned by shard %d/%d (users [%d, %d))",
+		e.User, e.Shard.Index, e.Shard.Count, e.Shard.UserLo, e.Shard.UserHi)
+}
+
+// localUser maps a global user id to the snapshot's Π row index: the
+// identity for full snapshots, a range-checked offset for shard
+// snapshots (non-owned ids answer ErrNotOwned).
+func (s *Snapshot) localUser(u int) (int, error) {
+	if s.Shard == nil {
+		if u < 0 || u >= s.Model.NumUsers {
+			return 0, fmt.Errorf("serve: user %d out of range [0, %d)", u, s.Model.NumUsers)
+		}
+		return u, nil
+	}
+	if u < 0 || u >= s.Shard.TotalUsers {
+		return 0, fmt.Errorf("serve: user %d out of range [0, %d)", u, s.Shard.TotalUsers)
+	}
+	if !s.Shard.Owns(u) {
+		return 0, &ErrNotOwned{User: u, Shard: *s.Shard}
+	}
+	return u - s.Shard.UserLo, nil
+}
+
+// globalUser maps a local Π row index back to the global id space.
+func (s *Snapshot) globalUser(local int) int {
+	if s.Shard == nil {
+		return local
+	}
+	return local + s.Shard.UserLo
 }
 
 // Acquire pins the default snapshot for a sequence of reads and returns
@@ -569,6 +644,30 @@ func (e *Engine) BuildSnapshot(name string, m *core.Model, vocab *corpus.Vocabul
 // named slot and returns the new version. In-flight queries finish on
 // the snapshot they started with.
 func (e *Engine) Promote(s *Snapshot) uint64 { return e.publish(s) }
+
+// PromoteShardGroup publishes an opened shard group (internal/shard) as
+// the named snapshot: local Π rows and doc windows, full global sections,
+// with the shard identity attached so user-scoped queries translate
+// global ids and answer ErrNotOwned outside the owned range. The engine
+// takes ownership of g — its mappings close when the snapshot retires
+// and the last in-flight query drains.
+func (e *Engine) PromoteShardGroup(name string, g *shard.Group, vocab *corpus.Vocabulary, gen uint64) uint64 {
+	s := newSnapshot(g.Model, vocab, name, 0, e.opts)
+	s.Generation = gen
+	info := g.Info
+	s.Shard = &info
+	s.AttachFiles(g, g.Mapped, g.MappedBytes)
+	return e.publish(s)
+}
+
+// Drain flips the engine into draining mode: /healthz advertises it so
+// routers stop sending new owned-user work here, while in-flight and
+// straggler queries keep being answered. Draining is one-way — restart
+// the process to rejoin a fleet.
+func (e *Engine) Drain() { e.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (e *Engine) Draining() bool { return e.draining.Load() }
 
 // SwapPatched is BuildSnapshot+Promote in one step — the delta-aware
 // counterpart of SwapNamed.
@@ -705,6 +804,9 @@ type SnapshotStats struct {
 	// Refs is the number of in-flight query pins (0 = idle; the slot's
 	// own reference and the stats reader's pin are excluded).
 	Refs int64 `json:"refs"`
+	// Shard is the owned user range for shard snapshots (nil for full
+	// snapshots) — the topology routers read off /api/snapshots.
+	Shard *shard.Info `json:"shard,omitempty"`
 }
 
 // SnapshotsInfo reports every live snapshot's accounting, sorted by name.
@@ -725,6 +827,7 @@ func (e *Engine) SnapshotsInfo() []SnapshotStats {
 			MappedBytes: s.mappedBytes,
 			HeapBytes:   s.heapBytes,
 			Refs:        s.refs.Load() - 2, // exclude the slot's ref and our own pin
+			Shard:       s.Shard,
 		})
 		release()
 	}
@@ -901,7 +1004,7 @@ func (s *Snapshot) Community(c int) (*CommunityDetail, error) {
 	}
 	d.TopAttributes = m.TopAttributes(c, 5)
 	d.OutFlows, d.InFlows = topFlows(m, c, 5)
-	sample := s.users.members(c)
+	sample := s.Members(c)
 	if len(sample) > 10 {
 		sample = sample[:10]
 	}
@@ -936,37 +1039,97 @@ func topFlows(m *core.Model, c, k int) (outs, ins []FlowSummary) {
 // the sharded user index when k is within the precomputed depth.
 func (s *Snapshot) Membership(u, k int) (*MembershipResult, error) {
 	m := s.Model
-	if u < 0 || u >= m.NumUsers {
-		return nil, fmt.Errorf("serve: user %d out of range [0, %d)", u, m.NumUsers)
+	local, err := s.localUser(u)
+	if err != nil {
+		return nil, err
 	}
 	if k <= 0 {
 		k = s.opts.MemberTopK
 	}
-	row := m.Pi.Row(u)
+	row := m.Pi.Row(local)
 	res := &MembershipResult{User: u, Version: s.Version, Generation: s.Generation}
-	if comms, ok := s.users.top(u, k); ok {
+	if comms, ok := s.users.top(local, k); ok {
 		for _, c := range comms {
 			res.Communities = append(res.Communities, CommunityWeight{Community: int(c), Weight: row[c]})
 		}
 		return res, nil
 	}
-	for _, c := range m.TopCommunities(u, k) {
+	for _, c := range m.TopCommunities(local, k) {
 		res.Communities = append(res.Communities, CommunityWeight{Community: c, Weight: row[c]})
 	}
 	return res, nil
+}
+
+// PiRow returns an owned user's membership row — the hydration endpoint
+// shard-aware routers read to carry a row to another shard's replica for
+// cross-shard diffusion and fold-in. The returned slice aliases the
+// snapshot and must not outlive the caller's pin.
+func (s *Snapshot) PiRow(u int) ([]float64, error) {
+	local, err := s.localUser(u)
+	if err != nil {
+		return nil, err
+	}
+	return s.Model.Pi.Row(local), nil
+}
+
+// smoothedFor fills out with user u's smoothed membership vector: from
+// the explicit row when one is supplied, from the snapshot's own (owned)
+// row otherwise. Both paths produce the exact decomposition the model's
+// diffusion cache holds, so scores stay bit-identical to a full node.
+func (s *Snapshot) smoothedFor(u int, row []float64, out *sparse.SmoothedVec) error {
+	m := s.Model
+	if row != nil {
+		if len(row) != m.Cfg.NumCommunities {
+			return fmt.Errorf("serve: supplied membership row has %d entries, model has %d communities", len(row), m.Cfg.NumCommunities)
+		}
+		core.SmoothedVecFromRow(row, out)
+		return nil
+	}
+	local, err := s.localUser(u)
+	if err != nil {
+		return err
+	}
+	m.PiSmoothed(local, out)
+	return nil
+}
+
+// DiffusionRows is Diffusion with explicit membership rows standing in
+// for the model's own where supplied (nil urow/vrow fall back to the
+// local row; a nil row for a non-owned user answers ErrNotOwned). This
+// is how a shard-aware router scores cross-shard pairs: it fetches v's
+// row from v's owner (PiRow) and posts it here with u's owner.
+func (s *Snapshot) DiffusionRows(u, v, z, b int, urow, vrow []float64) (*DiffusionResult, error) {
+	m := s.Model
+	if z < 0 || z >= m.Cfg.NumTopics {
+		return nil, fmt.Errorf("serve: topic %d out of range [0, %d)", z, m.Cfg.NumTopics)
+	}
+	var a, bb sparse.SmoothedVec
+	if err := s.smoothedFor(u, urow, &a); err != nil {
+		return nil, err
+	}
+	if err := s.smoothedFor(v, vrow, &bb); err != nil {
+		return nil, err
+	}
+	logit := m.DiffusionLogitTopicVec(&a, &bb, z, b, nil)
+	return &DiffusionResult{Version: s.Version, Generation: s.Generation, Logit: logit, Prob: mathx.Sigmoid(logit)}, nil
 }
 
 // Diffusion returns the probability that user u diffuses user v's content
 // on topic z in time bucket b (pass b = -1 to skip the popularity factor).
 func (s *Snapshot) Diffusion(u, v, z, b int) (*DiffusionResult, error) {
 	m := s.Model
-	if u < 0 || u >= m.NumUsers || v < 0 || v >= m.NumUsers {
-		return nil, fmt.Errorf("serve: user pair (%d, %d) out of range [0, %d)", u, v, m.NumUsers)
+	lu, err := s.localUser(u)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := s.localUser(v)
+	if err != nil {
+		return nil, err
 	}
 	if z < 0 || z >= m.Cfg.NumTopics {
 		return nil, fmt.Errorf("serve: topic %d out of range [0, %d)", z, m.Cfg.NumTopics)
 	}
-	logit := m.DiffusionLogitTopic(u, v, z, b, nil)
+	logit := m.DiffusionLogitTopic(lu, lv, z, b, nil)
 	return &DiffusionResult{Version: s.Version, Generation: s.Generation, Logit: logit, Prob: mathx.Sigmoid(logit)}, nil
 }
 
@@ -1125,6 +1288,39 @@ func (e *Engine) RankText(query string, k int) (*RankResult, error) {
 func (e *Engine) RankTextIn(name, query string, k int) (res *RankResult, err error) {
 	err = e.onSnapshot(epRank, name, func(s *Snapshot) error {
 		res, err = s.RankText(query, k)
+		return err
+	})
+	return res, err
+}
+
+// PiRowResult is the /api/pirow payload: one owned user's membership row
+// plus the generation it came from, so the consumer can detect a
+// mid-rollout generation mismatch.
+type PiRowResult struct {
+	User       int       `json:"user"`
+	Version    uint64    `json:"version"`
+	Generation uint64    `json:"generation,omitempty"`
+	Row        []float64 `json:"row"`
+}
+
+// PiRowIn returns an owned user's membership row from a named snapshot
+// (copied — safe after release).
+func (e *Engine) PiRowIn(name string, u int) (res *PiRowResult, err error) {
+	err = e.onSnapshot(epPiRow, name, func(s *Snapshot) error {
+		row, rerr := s.PiRow(u)
+		if rerr != nil {
+			return rerr
+		}
+		res = &PiRowResult{User: u, Version: s.Version, Generation: s.Generation, Row: slices.Clone(row)}
+		return nil
+	})
+	return res, err
+}
+
+// DiffusionRowsIn is DiffusionRows against a named snapshot.
+func (e *Engine) DiffusionRowsIn(name string, u, v, z, b int, urow, vrow []float64) (res *DiffusionResult, err error) {
+	err = e.onSnapshot(epDiffusion, name, func(s *Snapshot) error {
+		res, err = s.DiffusionRows(u, v, z, b, urow, vrow)
 		return err
 	})
 	return res, err

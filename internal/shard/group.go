@@ -1,0 +1,100 @@
+package shard
+
+// OpenGroup: the serving-side open path. A replica that owns shard k of
+// a sharded generation maps exactly two files — the global sections and
+// its own shard — and assembles a partial model over them: local Π rows
+// and doc windows, full Θ/Φ/η/ν/POPF/XI. Membership and fold-in work for
+// owned users; rank and diffusion scoring are exact because they only
+// read the global sections (plus membership rows the caller supplies).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// Group is an opened shard group: a servable partial model plus the two
+// mappings backing it. The model must not be used after Close.
+type Group struct {
+	Model *core.Model
+	Info  Info
+
+	// MappedBytes is the total mapping size (global + shard file) — the
+	// per-replica memory win the format exists for.
+	MappedBytes int64
+	// Mapped reports whether both files are real kernel mappings (false
+	// on the aligned-copy fallback platforms).
+	Mapped bool
+
+	global, shard *store.RawFile
+}
+
+// OpenGroup maps generation files for shard index of the manifest under
+// dir and assembles the partial model. The caller owns the group and
+// must Close it when the last query drains.
+func OpenGroup(dir string, man *Manifest, index int) (*Group, error) {
+	if index < 0 || index >= man.Shards {
+		return nil, fmt.Errorf("shard: index %d out of range (manifest has %d shards)", index, man.Shards)
+	}
+	r := man.Ranges[index]
+	global, err := store.OpenRawFile(GlobalPath(dir, man.Generation))
+	if err != nil {
+		return nil, err
+	}
+	sf, err := store.OpenRawFile(ShardPath(dir, man.Generation, index))
+	if err != nil {
+		global.Close()
+		return nil, err
+	}
+	g := &Group{
+		Info: Info{
+			Index:      index,
+			Count:      man.Shards,
+			UserLo:     r.UserLo,
+			UserHi:     r.UserHi,
+			TotalUsers: man.Users,
+		},
+		MappedBytes: global.SizeBytes() + sf.SizeBytes(),
+		Mapped:      global.Mapped() && sf.Mapped(),
+		global:      global,
+		shard:       sf,
+	}
+	// Merge: user-indexed sections (and the patched DIM + CFG) from the
+	// shard file, everything else from the global file.
+	shardTags := map[string]bool{
+		store.TagConfig: true, store.TagDims: true,
+		store.TagPi: true, store.TagDocC: true, store.TagDocZ: true, store.TagDocB: true,
+	}
+	var secs []store.RawSection
+	for _, s := range sf.Sections() {
+		if shardTags[s.Tag] {
+			secs = append(secs, s)
+		}
+	}
+	for _, s := range global.Sections() {
+		if !shardTags[s.Tag] {
+			secs = append(secs, s)
+		}
+	}
+	m, err := store.AssembleRawModel(secs)
+	if err != nil {
+		g.Close()
+		return nil, fmt.Errorf("shard: assembling shard %d of generation %d: %w", index, man.Generation, err)
+	}
+	if m.NumUsers != r.UserHi-r.UserLo {
+		g.Close()
+		return nil, fmt.Errorf("shard: shard %d holds %d users, manifest says %d", index, m.NumUsers, r.UserHi-r.UserLo)
+	}
+	g.Model = m
+	return g, nil
+}
+
+// Close releases both mappings. Idempotent.
+func (g *Group) Close() error {
+	err := g.global.Close()
+	if err2 := g.shard.Close(); err == nil {
+		err = err2
+	}
+	return err
+}

@@ -1,0 +1,308 @@
+package shard
+
+// Publisher: the streaming write path's sharded emitter. Each publish of
+// the stream updater can additionally emit a sharded generation; the
+// publisher keeps the work O(changed) at the file level:
+//
+//   - boundaries are planned once and then pinned, with only the LAST
+//     shard's user/doc upper bound growing as the stream appends users
+//     and documents — so shards 0..N−2 keep byte-stable ranges across
+//     generations and routing stays valid through a rollout;
+//   - a shard whose range holds no re-folded user (and whose doc window
+//     is unchanged) is HARD-LINKED to the previous generation's file —
+//     zero encode, zero extra disk;
+//   - dirty shards and the global file are written through
+//     store.SaveV2SubsetReusing, so sections whose backing arrays did
+//     not move (doc windows on friends-only publishes, Θ/Φ/η/ν always
+//     outside Gibbs passes) splice byte-for-byte.
+//
+// The emitted group is exactly what Split would produce from the full
+// snapshot of the same model with the same pinned ranges — Join on a
+// published group reproduces the full file bit-for-bit.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/store"
+)
+
+var (
+	shardTagsList  = []string{store.TagConfig, store.TagDims, store.TagPi, store.TagDocC, store.TagDocZ, store.TagDocB}
+	globalTagsList = []string{store.TagConfig, store.TagDims, store.TagTheta, store.TagPhi, store.TagEta, store.TagNu, store.TagPop, store.TagXi}
+)
+
+// Delta tells Publish what moved since the previous published model.
+type Delta struct {
+	// Full marks a from-scratch publish (first publish, delta-Gibbs,
+	// operator-forced rebuild): nothing may be reused.
+	Full bool
+	// ChangedUsers lists the user rows (global ids) whose Π bytes may
+	// differ from the previous published model; appended users are
+	// implied by the model's larger NumUsers and need not be listed.
+	ChangedUsers []int32
+}
+
+// Publisher emits sharded generations for a stream of published models.
+// Not safe for concurrent use; the stream updater calls it under its
+// publish lock.
+type Publisher struct {
+	dir    string
+	shards int
+
+	ranges  []Range // pinned boundaries (File entries unused)
+	prevGen uint64
+	prevMan *Manifest
+
+	// Identity of the previous published model's arrays, for doc-window
+	// and boundary-stability reasoning.
+	prevUsers int
+	prevDocC  []int32
+	prevDocZ  []int32
+	prevDocB  []int
+
+	// Per-file section manifests for SaveV2SubsetReusing.
+	shardMans []*store.SectionManifest
+	globalMan *store.SectionManifest
+
+	// LinkedFiles / WrittenFiles count shard files hard-linked vs
+	// re-encoded across the publisher's lifetime (observability).
+	LinkedFiles, WrittenFiles uint64
+}
+
+// NewPublisher builds a sharded-generation emitter writing into dir.
+func NewPublisher(dir string, shards int) (*Publisher, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: shard count %d must be positive", shards)
+	}
+	return &Publisher{dir: dir, shards: shards, shardMans: make([]*store.SectionManifest, shards)}, nil
+}
+
+// sameInt32s / sameInts report slice identity (same backing array, same
+// length) — the doc-window reuse precondition.
+func sameInt32s(a, b []int32) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+func sameInts(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// Publish emits generation gen of model m as a shard group and returns
+// its manifest.
+func (p *Publisher) Publish(gen uint64, m *core.Model, d Delta) (*Manifest, error) {
+	users, docs := m.NumUsers, len(m.DocCommunity)
+	C := m.Cfg.NumCommunities
+
+	full := d.Full
+	if p.ranges == nil || users < p.prevUsers || users < p.ranges[p.shards-1].UserLo || docs < p.ranges[p.shards-1].DocLo {
+		// First publish, or the model shrank out from under the pinned
+		// boundaries (an external reset): replan and rebuild everything.
+		ranges, err := PlanRanges(users, docs, p.shards, PlanOptions{Cols: C})
+		if err != nil {
+			return nil, err
+		}
+		p.ranges = ranges
+		full = true
+	} else {
+		// Pinned boundaries: only the last shard absorbs appended users
+		// and documents, so every other shard's byte range is stable.
+		p.ranges[p.shards-1].UserHi = users
+		p.ranges[p.shards-1].DocHi = docs
+	}
+
+	// Doc windows are reusable only when the doc arrays are the previous
+	// model's very own backing arrays (the friends-only publish regime).
+	docsSame := !full &&
+		sameInt32s(m.DocCommunity, p.prevDocC) &&
+		sameInt32s(m.DocTopic, p.prevDocZ) &&
+		sameInts(m.DocBucket, p.prevDocB)
+
+	changed := make(map[int]bool, p.shards) // shard index -> Π rows moved
+	if !full {
+		for _, u := range d.ChangedUsers {
+			for i, r := range p.ranges {
+				if int(u) >= r.UserLo && int(u) < r.UserHi {
+					changed[i] = true
+					break
+				}
+			}
+		}
+		if users > p.prevUsers {
+			changed[p.shards-1] = true // appended rows land in the last range
+		}
+	}
+
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return nil, err
+	}
+	man := &Manifest{
+		Version:      1,
+		Generation:   gen,
+		Shards:       p.shards,
+		Users:        users,
+		Docs:         docs,
+		SectionOrder: canonicalOrder(m),
+		Ranges:       make([]Range, p.shards),
+	}
+
+	// Global file. Outside full rebuilds the global blocks alias the
+	// previous model's arrays and DIM/CFG are value-stable, so when the
+	// user count did not change the previous file is re-linked; otherwise
+	// SaveV2SubsetReusing re-encodes only CFG+DIM and splices the rest.
+	globalPath := GlobalPath(p.dir, gen)
+	if !full && users == p.prevUsers && p.prevMan != nil && p.globalMan != nil &&
+		linkOrCopy(GlobalPath(p.dir, p.prevGen), globalPath) == nil {
+		man.Global = p.prevMan.Global
+		man.Global.Name = fmt.Sprintf(globalFormat, gen)
+		p.LinkedFiles++
+	} else {
+		gm, err := store.SaveV2SubsetReusing(globalPath, m, globalTagsList, p.globalMan)
+		if err != nil {
+			return nil, fmt.Errorf("shard: writing global file: %w", err)
+		}
+		p.globalMan = gm
+		if man.Global, err = fileEntry(globalPath); err != nil {
+			return nil, err
+		}
+		p.WrittenFiles++
+	}
+
+	for i := range p.ranges {
+		r := p.ranges[i]
+		path := ShardPath(p.dir, gen, i)
+		clean := !full && !changed[i] && docsSame && p.prevMan != nil && i < len(p.prevMan.Ranges) &&
+			p.prevMan.Ranges[i].UserLo == r.UserLo && p.prevMan.Ranges[i].UserHi == r.UserHi &&
+			p.prevMan.Ranges[i].DocLo == r.DocLo && p.prevMan.Ranges[i].DocHi == r.DocHi
+		if clean && linkOrCopy(ShardPath(p.dir, p.prevGen, i), path) == nil {
+			ent := p.prevMan.Ranges[i].File
+			ent.Name = fmt.Sprintf(shardFormat, gen, i)
+			man.Ranges[i] = Range{Index: i, UserLo: r.UserLo, UserHi: r.UserHi, DocLo: r.DocLo, DocHi: r.DocHi, File: ent}
+			p.LinkedFiles++
+			continue
+		}
+		sub := &core.Model{
+			Cfg:          m.Cfg,
+			NumUsers:     r.UserHi - r.UserLo,
+			NumWords:     m.NumWords,
+			NumBuckets:   m.NumBuckets,
+			NumAttrs:     m.NumAttrs,
+			Pi:           sparse.NewDenseView(r.UserHi-r.UserLo, C, m.Pi.Data[r.UserLo*C:r.UserHi*C]),
+			DocCommunity: m.DocCommunity[r.DocLo:r.DocHi],
+			DocTopic:     m.DocTopic[r.DocLo:r.DocHi],
+			DocBucket:    m.DocBucket[r.DocLo:r.DocHi],
+		}
+		sman, err := store.SaveV2SubsetReusing(path, sub, shardTagsList, p.shardMans[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard: writing shard %d: %w", i, err)
+		}
+		p.shardMans[i] = sman
+		ent, err := fileEntry(path)
+		if err != nil {
+			return nil, err
+		}
+		man.Ranges[i] = Range{Index: i, UserLo: r.UserLo, UserHi: r.UserHi, DocLo: r.DocLo, DocHi: r.DocHi, File: ent}
+		p.WrittenFiles++
+	}
+
+	if err := WriteManifest(ManifestPath(p.dir, gen), man); err != nil {
+		return nil, err
+	}
+	p.prevGen = gen
+	p.prevMan = man
+	p.prevUsers = users
+	p.prevDocC = m.DocCommunity
+	p.prevDocZ = m.DocTopic
+	p.prevDocB = m.DocBucket
+	return man, nil
+}
+
+// Prune removes shard-group files (and their .verified sidecars) of
+// generations at or below cut.
+func (p *Publisher) Prune(cut uint64) {
+	gens, err := ScanManifests(p.dir)
+	if err != nil {
+		return
+	}
+	for _, gen := range gens {
+		if gen > cut {
+			continue
+		}
+		man, err := ReadManifest(ManifestPath(p.dir, gen))
+		os.Remove(ManifestPath(p.dir, gen))
+		paths := []string{GlobalPath(p.dir, gen)}
+		if err == nil {
+			for i := range man.Ranges {
+				paths = append(paths, ShardPath(p.dir, gen, i))
+			}
+		} else {
+			for i := 0; i < p.shards; i++ {
+				paths = append(paths, ShardPath(p.dir, gen, i))
+			}
+		}
+		for _, path := range paths {
+			os.Remove(path)
+			os.Remove(path + store.VerifiedSidecarSuffix)
+		}
+	}
+}
+
+// canonicalOrder is the section order SaveV2 would emit for m — what
+// Join reproduces.
+func canonicalOrder(m *core.Model) []string {
+	order := []string{store.TagConfig, store.TagDims, store.TagPi, store.TagTheta, store.TagPhi, store.TagEta, store.TagNu}
+	if m.PopFreq != nil {
+		order = append(order, store.TagPop)
+	}
+	if m.Xi != nil {
+		order = append(order, store.TagXi)
+	}
+	return append(order, store.TagDocC, store.TagDocZ, store.TagDocB)
+}
+
+// linkOrCopy hard-links src to dst (replacing dst), falling back to a
+// byte copy on filesystems without hard links. Correct because published
+// group files are immutable: writers always create fresh files and
+// rename them into place, never mutate in place.
+func linkOrCopy(src, dst string) error {
+	os.Remove(dst)
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.CreateTemp(dirOf(dst), ".shard-copy-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(out.Name())
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(out.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(out.Name(), dst)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i]
+		}
+	}
+	return "."
+}

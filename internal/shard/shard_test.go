@@ -1,0 +1,534 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/socialgraph"
+	"repro/internal/sparse"
+	"repro/internal/store"
+)
+
+// testModel assembles a deterministic model directly from random parameter
+// blocks, shaped like a small trained CPD model.
+func testModel(users, C, Z, V int, seed uint64) *core.Model {
+	r := rng.New(seed)
+	m := &core.Model{
+		Cfg: core.Config{
+			NumCommunities: C, NumTopics: Z, Seed: seed,
+		}.WithDefaults(),
+		NumUsers:   users,
+		NumWords:   V,
+		NumBuckets: 4,
+		Pi:         sparse.NewDense(users, C),
+		Theta:      sparse.NewDense(C, Z),
+		Phi:        sparse.NewDense(Z, V),
+		Eta:        sparse.NewTensor3(C, C, Z),
+		Nu:         make([]float64, socialgraph.FeatureDim),
+		PopFreq:    sparse.NewDense(4, Z),
+	}
+	fill := func(xs []float64) {
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+	}
+	fill(m.Pi.Data)
+	fill(m.Theta.Data)
+	fill(m.Phi.Data)
+	fill(m.Eta.Data)
+	fill(m.Nu)
+	fill(m.PopFreq.Data)
+	m.Pi.NormalizeRows()
+	m.Theta.NormalizeRows()
+	m.Phi.NormalizeRows()
+	m.PopFreq.NormalizeRows()
+	docs := 3 * users
+	m.DocCommunity = make([]int32, docs)
+	m.DocTopic = make([]int32, docs)
+	m.DocBucket = make([]int, docs)
+	for i := 0; i < docs; i++ {
+		m.DocCommunity[i] = int32(r.Intn(C))
+		m.DocTopic[i] = int32(r.Intn(Z))
+		m.DocBucket[i] = r.Intn(4)
+	}
+	m.Rehydrate()
+	return m
+}
+
+// splitJoinIdentical asserts that splitting src into shards and joining it
+// back reproduces the source file byte-for-byte.
+func splitJoinIdentical(t *testing.T, src string, shards int, docCounts []int) *Manifest {
+	t.Helper()
+	dir := t.TempDir()
+	man, err := Split(src, dir, 7, SplitOptions{Shards: shards, DocCounts: docCounts})
+	if err != nil {
+		t.Fatalf("Split(%d shards): %v", shards, err)
+	}
+	if man.Shards != shards {
+		t.Fatalf("manifest has %d shards, want %d", man.Shards, shards)
+	}
+	joined := filepath.Join(dir, "joined.v2.snap")
+	if err := Join(dir, 7, joined); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	want, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("join of %d-shard split is not byte-identical (%d vs %d bytes)", shards, len(got), len(want))
+	}
+	return man
+}
+
+func TestSplitJoinGoldenFixture(t *testing.T) {
+	src := filepath.Join("..", "store", "testdata", "golden-v2.snap")
+	for _, shards := range []int{1, 2, 3, 5} {
+		splitJoinIdentical(t, src, shards, nil)
+	}
+}
+
+func TestSplitJoinGeneratedModels(t *testing.T) {
+	cases := []struct {
+		name   string
+		users  int
+		shards int
+		attrs  int
+	}{
+		{"one-user", 1, 3, 0},
+		{"users-eq-shards", 4, 4, 0},
+		{"fewer-users-than-shards", 2, 5, 0},
+		{"typical", 60, 3, 0},
+		{"with-attrs", 37, 4, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testModel(tc.users, 6, 4, 90, uint64(tc.users)*31+uint64(tc.shards))
+			if tc.attrs > 0 {
+				m.NumAttrs = tc.attrs
+				m.Xi = sparse.NewDense(m.Cfg.NumCommunities, tc.attrs)
+				for i := range m.Xi.Data {
+					m.Xi.Data[i] = float64(i) / float64(len(m.Xi.Data))
+				}
+			}
+			src := filepath.Join(t.TempDir(), "full.v2.snap")
+			if err := store.SaveV2(src, m); err != nil {
+				t.Fatal(err)
+			}
+			splitJoinIdentical(t, src, tc.shards, nil)
+		})
+	}
+}
+
+func TestSplitJoinSkewedDocCounts(t *testing.T) {
+	m := testModel(24, 5, 3, 64, 99)
+	// Power-law-ish skew: user 0 owns most of the documents.
+	docCounts := make([]int, m.NumUsers)
+	docs := len(m.DocCommunity)
+	docCounts[0] = docs - (m.NumUsers - 1)
+	for u := 1; u < m.NumUsers; u++ {
+		docCounts[u] = 1
+	}
+	src := filepath.Join(t.TempDir(), "full.v2.snap")
+	if err := store.SaveV2(src, m); err != nil {
+		t.Fatal(err)
+	}
+	man := splitJoinIdentical(t, src, 3, docCounts)
+	// The heavy user forces nearly everything into shard 0; later shards
+	// still tile the ranges exactly.
+	if man.Ranges[0].UserHi < 1 {
+		t.Fatalf("heavy user not in shard 0: %+v", man.Ranges[0])
+	}
+}
+
+func TestPlanRangesProperties(t *testing.T) {
+	check := func(t *testing.T, users, docs, shards int, opts PlanOptions) []Range {
+		t.Helper()
+		ranges, err := PlanRanges(users, docs, shards, opts)
+		if err != nil {
+			t.Fatalf("PlanRanges(%d,%d,%d): %v", users, docs, shards, err)
+		}
+		if len(ranges) != shards {
+			t.Fatalf("got %d ranges, want %d", len(ranges), shards)
+		}
+		wantU, wantD := 0, 0
+		for i, r := range ranges {
+			if r.Index != i || r.UserLo != wantU || r.DocLo != wantD || r.UserHi < r.UserLo || r.DocHi < r.DocLo {
+				t.Fatalf("range %d does not tile: %+v", i, r)
+			}
+			wantU, wantD = r.UserHi, r.DocHi
+		}
+		if wantU != users || wantD != docs {
+			t.Fatalf("ranges cover %d/%d users, %d/%d docs", wantU, users, wantD, docs)
+		}
+		return ranges
+	}
+
+	t.Run("one-user", func(t *testing.T) {
+		ranges := check(t, 1, 3, 4, PlanOptions{Cols: 8})
+		if ranges[0].UserHi != 1 {
+			t.Fatalf("single user should land in shard 0: %+v", ranges)
+		}
+	})
+	t.Run("users-eq-shards", func(t *testing.T) {
+		ranges := check(t, 5, 15, 5, PlanOptions{Cols: 8})
+		for i, r := range ranges {
+			if r.UserHi-r.UserLo != 1 {
+				t.Fatalf("shard %d holds %d users, want exactly 1", i, r.UserHi-r.UserLo)
+			}
+		}
+	})
+	t.Run("skewed-weights", func(t *testing.T) {
+		users := 100
+		counts := make([]int, users)
+		counts[0] = 1000
+		docs := 1000 + users - 1
+		for u := 1; u < users; u++ {
+			counts[u] = 1
+		}
+		ranges := check(t, users, docs, 4, PlanOptions{Cols: 8, DocCounts: counts})
+		if ranges[0].UserHi != 1 {
+			t.Fatalf("heavy user should fill shard 0 alone: %+v", ranges[0])
+		}
+		if ranges[0].DocHi != 1000 {
+			t.Fatalf("shard 0 doc window should hold the heavy user's documents: %+v", ranges[0])
+		}
+	})
+	t.Run("boundary-ownership", func(t *testing.T) {
+		ranges := check(t, 97, 3*97, 7, PlanOptions{Cols: 16})
+		man := &Manifest{Shards: 7, Users: 97, Docs: 3 * 97, Ranges: ranges}
+		for u := 0; u < 97; u++ {
+			owners := 0
+			for _, r := range ranges {
+				if u >= r.UserLo && u < r.UserHi {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("user %d owned by %d ranges", u, owners)
+			}
+			if k := man.Owner(u); u < ranges[k].UserLo || u >= ranges[k].UserHi {
+				t.Fatalf("Owner(%d)=%d disagrees with the ranges", u, k)
+			}
+		}
+		if man.Owner(-1) != -1 || man.Owner(97) != -1 {
+			t.Fatalf("out-of-range users must have no owner")
+		}
+	})
+	t.Run("zero-shards", func(t *testing.T) {
+		if _, err := PlanRanges(10, 30, 0, PlanOptions{}); err == nil {
+			t.Fatal("want error for zero shards")
+		}
+	})
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	m := testModel(20, 4, 3, 50, 5)
+	src := filepath.Join(t.TempDir(), "full.v2.snap")
+	if err := store.SaveV2(src, m); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := Split(src, dir, 3, SplitOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	manPath := ManifestPath(dir, 3)
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(manPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(manPath); err == nil {
+		t.Fatal("corrupted manifest must not decode")
+	}
+	if err := os.WriteFile(manPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped byte in a shard payload fails manifest verification.
+	shardPath := ShardPath(dir, 3, 1)
+	sraw, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sraw[len(sraw)-1] ^= 0x01
+	if err := os.WriteFile(shardPath, sraw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAgainstManifest(shardPath, man.Ranges[1].File); err == nil {
+		t.Fatal("corrupted shard file must fail verification")
+	}
+}
+
+func TestOpenGroup(t *testing.T) {
+	m := testModel(50, 6, 4, 80, 23)
+	src := filepath.Join(t.TempDir(), "full.v2.snap")
+	if err := store.SaveV2(src, m); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := Split(src, dir, 11, SplitOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < man.Shards; k++ {
+		g, err := OpenGroup(dir, man, k)
+		if err != nil {
+			t.Fatalf("OpenGroup(%d): %v", k, err)
+		}
+		r := man.Ranges[k]
+		if g.Info.UserLo != r.UserLo || g.Info.UserHi != r.UserHi || g.Info.TotalUsers != 50 || g.Info.Count != 3 {
+			t.Fatalf("shard %d info %+v disagrees with range %+v", k, g.Info, r)
+		}
+		if g.MappedBytes <= 0 {
+			t.Fatalf("shard %d reports no mapped bytes", k)
+		}
+		lm := g.Model
+		if lm.NumUsers != r.UserHi-r.UserLo {
+			t.Fatalf("shard %d model holds %d users, want %d", k, lm.NumUsers, r.UserHi-r.UserLo)
+		}
+		// Local Π rows must be the full model's rows for the owned range.
+		for u := r.UserLo; u < r.UserHi; u++ {
+			want := m.Pi.Row(u)
+			got := lm.Pi.Row(u - r.UserLo)
+			for c := range want {
+				if want[c] != got[c] {
+					t.Fatalf("shard %d user %d Π differs at column %d", k, u, c)
+				}
+			}
+		}
+		// Global sections must be the full model's, bit-for-bit.
+		if !bytes.Equal(float64Bytes(lm.Theta.Data), float64Bytes(m.Theta.Data)) ||
+			!bytes.Equal(float64Bytes(lm.Phi.Data), float64Bytes(m.Phi.Data)) ||
+			!bytes.Equal(float64Bytes(lm.Eta.Data), float64Bytes(m.Eta.Data)) {
+			t.Fatalf("shard %d global sections differ from the full model", k)
+		}
+		for u := r.UserLo; u < r.UserHi; u++ {
+			if !g.Info.Owns(u) {
+				t.Fatalf("shard %d should own user %d", k, u)
+			}
+		}
+		if k > 0 && g.Info.Owns(0) {
+			t.Fatalf("shard %d must not own user 0", k)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	if _, err := OpenGroup(dir, man, 3); err == nil {
+		t.Fatal("out-of-range shard index must fail")
+	}
+}
+
+func float64Bytes(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+func TestPublisherMatchesFullSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	pub, err := NewPublisher(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1 := testModel(45, 6, 4, 70, 41)
+	man1, err := pub.Publish(1, m1, Delta{Full: true})
+	if err != nil {
+		t.Fatalf("publish gen 1: %v", err)
+	}
+	assertJoinMatches(t, dir, 1, m1)
+
+	// Incremental publish: fresh Π array (the stream updater's invariant),
+	// two changed rows, aliased document arrays.
+	m2 := clonePi(m1)
+	m2.Pi.Row(3)[0] += 0.5
+	m2.Pi.Row(44)[1] += 0.25
+	man2, err := pub.Publish(2, m2, Delta{ChangedUsers: []int32{3, 44}})
+	if err != nil {
+		t.Fatalf("publish gen 2: %v", err)
+	}
+	assertJoinMatches(t, dir, 2, m2)
+	// User 3 lives in shard 0 and user 44 in the last shard; the middle
+	// shard and the global file must be hard links to generation 1.
+	if owner := man2.Owner(3); owner != 0 {
+		t.Fatalf("user 3 owned by shard %d, want 0", owner)
+	}
+	if owner := man2.Owner(44); owner != man2.Shards-1 {
+		t.Fatalf("user 44 owned by shard %d, want last", owner)
+	}
+	assertSameFile(t, ShardPath(dir, 1, 1), ShardPath(dir, 2, 1))
+	assertSameFile(t, GlobalPath(dir, 1), GlobalPath(dir, 2))
+	if man2.Ranges[1].File.Sections[0].CRC != man1.Ranges[1].File.Sections[0].CRC {
+		t.Fatalf("linked shard must reuse the previous file entry")
+	}
+
+	// Growth publish: appended users and documents (fresh doc arrays).
+	m3 := growModel(m2, 8, 20, 77)
+	if _, err := pub.Publish(3, m3, Delta{ChangedUsers: []int32{10}}); err != nil {
+		t.Fatalf("publish gen 3: %v", err)
+	}
+	assertJoinMatches(t, dir, 3, m3)
+
+	// Every generation's files verify against their manifests.
+	for gen := uint64(1); gen <= 3; gen++ {
+		man, err := ReadManifest(ManifestPath(dir, gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAgainstManifest(GlobalPath(dir, gen), man.Global); err != nil {
+			t.Fatalf("gen %d global: %v", gen, err)
+		}
+		for i := range man.Ranges {
+			if err := VerifyAgainstManifest(ShardPath(dir, gen, i), man.Ranges[i].File); err != nil {
+				t.Fatalf("gen %d shard %d: %v", gen, i, err)
+			}
+		}
+	}
+
+	// Prune removes generations at or below the cut, leaving newer ones.
+	pub.Prune(2)
+	if _, err := ReadManifest(ManifestPath(dir, 1)); err == nil {
+		t.Fatal("generation 1 should be pruned")
+	}
+	if _, err := os.Stat(GlobalPath(dir, 2)); !os.IsNotExist(err) {
+		t.Fatal("generation 2 files should be pruned")
+	}
+	if _, err := ReadManifest(ManifestPath(dir, 3)); err != nil {
+		t.Fatalf("generation 3 should survive the prune: %v", err)
+	}
+}
+
+// clonePi mirrors the stream updater's incremental publish: a brand-new Π
+// backing array, every other block aliased.
+func clonePi(m *core.Model) *core.Model {
+	out := *m
+	out.Pi = sparse.NewDense(m.Pi.Rows, m.Pi.Cols)
+	copy(out.Pi.Data, m.Pi.Data)
+	out.Rehydrate()
+	return &out
+}
+
+// growModel appends users and documents the way fold-in does: fresh Π and
+// document arrays with the old prefix copied in.
+func growModel(m *core.Model, moreUsers, moreDocs int, seed uint64) *core.Model {
+	r := rng.New(seed)
+	out := *m
+	out.NumUsers = m.NumUsers + moreUsers
+	out.Pi = sparse.NewDense(out.NumUsers, m.Pi.Cols)
+	copy(out.Pi.Data, m.Pi.Data)
+	for i := len(m.Pi.Data); i < len(out.Pi.Data); i++ {
+		out.Pi.Data[i] = r.Float64()
+	}
+	docs := len(m.DocCommunity) + moreDocs
+	out.DocCommunity = make([]int32, docs)
+	out.DocTopic = make([]int32, docs)
+	out.DocBucket = make([]int, docs)
+	copy(out.DocCommunity, m.DocCommunity)
+	copy(out.DocTopic, m.DocTopic)
+	copy(out.DocBucket, m.DocBucket)
+	for i := len(m.DocCommunity); i < docs; i++ {
+		out.DocCommunity[i] = int32(r.Intn(m.Cfg.NumCommunities))
+		out.DocTopic[i] = int32(r.Intn(m.Cfg.NumTopics))
+		out.DocBucket[i] = r.Intn(m.NumBuckets)
+	}
+	out.Rehydrate()
+	return &out
+}
+
+// assertJoinMatches joins the published generation and compares it against
+// a fresh full SaveV2 of the model.
+func assertJoinMatches(t *testing.T, dir string, gen uint64, m *core.Model) {
+	t.Helper()
+	joined := filepath.Join(t.TempDir(), "joined.v2.snap")
+	if err := Join(dir, gen, joined); err != nil {
+		t.Fatalf("join gen %d: %v", gen, err)
+	}
+	full := filepath.Join(t.TempDir(), "full.v2.snap")
+	if err := store.SaveV2(full, m); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("generation %d join differs from the full snapshot (%d vs %d bytes)", gen, len(got), len(want))
+	}
+}
+
+func assertSameFile(t *testing.T, a, b string) {
+	t.Helper()
+	fa, err := os.Stat(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.Stat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(fa, fb) {
+		t.Fatalf("%s and %s should be hard links of the same file", a, b)
+	}
+}
+
+func TestScanManifests(t *testing.T) {
+	dir := t.TempDir()
+	m := testModel(12, 4, 3, 40, 3)
+	src := filepath.Join(t.TempDir(), "full.v2.snap")
+	if err := store.SaveV2(src, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range []uint64{5, 2, 9} {
+		if _, err := Split(src, dir, gen, SplitOptions{Shards: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := ScanManifests(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 2 || gens[1] != 5 || gens[2] != 9 {
+		t.Fatalf("ScanManifests = %v, want [2 5 9]", gens)
+	}
+}
+
+// FuzzSplitJoin drives split→join byte-identity over fuzz-chosen shapes.
+func FuzzSplitJoin(f *testing.F) {
+	f.Add(uint16(10), uint8(2), uint64(1))
+	f.Add(uint16(1), uint8(4), uint64(2))
+	f.Add(uint16(33), uint8(7), uint64(3))
+	f.Fuzz(func(t *testing.T, users uint16, shards uint8, seed uint64) {
+		u := int(users%200) + 1
+		s := int(shards%8) + 1
+		m := testModel(u, 4, 3, 30, seed)
+		src := filepath.Join(t.TempDir(), "full.v2.snap")
+		if err := store.SaveV2(src, m); err != nil {
+			t.Fatal(err)
+		}
+		splitJoinIdentical(t, src, s, nil)
+	})
+}

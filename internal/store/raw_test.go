@@ -1,0 +1,160 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRawFileRoundTrip(t *testing.T) {
+	src := filepath.Join("testdata", "golden-v2.snap")
+	rf, err := OpenRawFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if rf.SizeBytes() <= 0 {
+		t.Fatal("raw file reports no bytes")
+	}
+	// Re-encoding the sections verbatim reproduces the file bit-for-bit.
+	var buf bytes.Buffer
+	if err := EncodeRawSections(&buf, rf.Sections()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("re-encoded sections differ from the source file (%d vs %d bytes)", buf.Len(), len(want))
+	}
+	// AssembleRawModel over every section reproduces the decoded model.
+	m, err := AssembleRawModel(rf.Sections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsEquivalent(t, full.Model, m)
+	full.Close()
+}
+
+func TestSaveV2SubsetAndFileSections(t *testing.T) {
+	m := testModel(30, 5, 3, 60, 7)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "subset.v2.snap")
+	tags := []string{TagConfig, TagDims, TagTheta, TagPhi, TagEta, TagNu, TagPop, TagXi}
+	if err := SaveV2Subset(path, m, tags); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := OpenRawFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	// POPF present (model has buckets), XI absent (nil): subset saves skip
+	// nil optional sections rather than failing.
+	if _, ok := rf.Section(TagPop); !ok {
+		t.Fatal("subset file is missing the popularity section")
+	}
+	if _, ok := rf.Section(TagXi); ok {
+		t.Fatal("subset file must not contain the nil attribute section")
+	}
+	if _, ok := rf.Section(TagPi); ok {
+		t.Fatal("subset file must not contain unrequested sections")
+	}
+	// FileSections reads the table without walking payloads and agrees
+	// with the mapped view.
+	sums, size, err := FileSections(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != size {
+		t.Fatalf("FileSections size %d, stat %d", size, fi.Size())
+	}
+	if len(sums) != len(rf.Sections()) {
+		t.Fatalf("FileSections found %d sections, mapped view has %d", len(sums), len(rf.Sections()))
+	}
+	for i, s := range rf.Sections() {
+		if sums[i].Tag != s.Tag || sums[i].Size != uint64(len(s.Payload)) {
+			t.Fatalf("section %d mismatch: %+v vs tag %q len %d", i, sums[i], s.Tag, len(s.Payload))
+		}
+	}
+	// Requesting a section whose block is nil is an error.
+	if err := SaveV2Subset(filepath.Join(dir, "bad.snap"), m, []string{TagXi}); err == nil {
+		t.Fatal("requesting a nil block must fail")
+	}
+}
+
+func TestSaveV2SubsetReusingMatchesSubset(t *testing.T) {
+	m := testModel(30, 5, 3, 60, 7)
+	dir := t.TempDir()
+	tags := []string{TagConfig, TagDims, TagTheta, TagPhi, TagEta, TagNu, TagPop}
+	plain := filepath.Join(dir, "plain.snap")
+	if err := SaveV2Subset(plain, m, tags); err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(dir, "first.snap")
+	man, err := SaveV2SubsetReusing(first, m, tags, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := filepath.Join(dir, "second.snap")
+	if _, err := SaveV2SubsetReusing(second, m, tags, man); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(plain)
+	for _, p := range []string{first, second} {
+		got, _ := os.ReadFile(p)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s differs from the plain subset save", p)
+		}
+	}
+}
+
+func TestVerifyV2FileCached(t *testing.T) {
+	m := testModel(20, 4, 3, 40, 11)
+	path := filepath.Join(t.TempDir(), "gen.snap")
+	if err := SaveV2(path, m); err != nil {
+		t.Fatal(err)
+	}
+	sidecar := path + VerifiedSidecarSuffix
+	if err := VerifyV2FileCached(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("first verify must write the sidecar: %v", err)
+	}
+	// A matching sidecar short-circuits the payload walk — corrupting a
+	// payload byte while keeping size+mtime is NOT caught (that is the
+	// point of the cache)...
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, fi.ModTime(), fi.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyV2FileCached(path); err != nil {
+		t.Fatalf("matching sidecar should skip the walk: %v", err)
+	}
+	// ...but any size or mtime change forces a real walk, which fails and
+	// removes the sidecar.
+	if err := os.Chtimes(path, fi.ModTime().Add(1), fi.ModTime().Add(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyV2FileCached(path); err == nil {
+		t.Fatal("stale sidecar must force a walk that catches the corruption")
+	}
+	if _, err := os.Stat(sidecar); !os.IsNotExist(err) {
+		t.Fatal("failed verify must remove the sidecar")
+	}
+}

@@ -180,46 +180,87 @@ func (s *v2sink) int64s(xs []int) {
 }
 
 // v2Plan lists the sections of m in file order with exact sizes.
-func v2Plan(m *core.Model) ([]*v2section, error) {
-	cfgJSON, err := json.Marshal(m.Cfg)
-	if err != nil {
-		return nil, fmt.Errorf("store: encoding config: %w", err)
-	}
+func v2Plan(m *core.Model) ([]*v2section, error) { return v2PlanSubset(m, nil) }
+
+// v2PlanSubset lists the sections of m restricted to the tags in want
+// (nil = every section), in the canonical file order CFG, DIM, PI, THET,
+// PHI, ETA, NU, POPF, XI, DOCC, DOCZ, DOCB. POPF/XI are skipped when the
+// block is nil even if requested (matching the full plan); any other
+// requested matrix block that is nil is an error rather than a nil
+// dereference, so partial models (shard files, global files) plan
+// safely.
+func v2PlanSubset(m *core.Model, want map[string]bool) ([]*v2section, error) {
+	take := func(tag string) bool { return want == nil || want[tag] }
 	var plan []*v2section
 	add := func(tag string, size uint64, ident any, dims []uint64, emit func(*v2sink)) {
 		plan = append(plan, &v2section{tag: tag, size: size, emit: emit, ident: ident, dims: dims})
 	}
-	dense := func(tag string, d *sparse.Dense) {
+	dense := func(tag string, d *sparse.Dense) error {
+		if d == nil {
+			return fmt.Errorf("store: section %q requested but the model block is nil", tag)
+		}
 		add(tag, v2ShapeLen+8*uint64(len(d.Data)), d.Data, []uint64{uint64(d.Rows), uint64(d.Cols)}, func(s *v2sink) {
 			s.shape(uint64(d.Rows), uint64(d.Cols))
 			s.floats(d.Data)
 		})
+		return nil
 	}
-	add(tagConfig, uint64(len(cfgJSON)), nil, nil, func(s *v2sink) { s.raw(cfgJSON) })
-	add(tagDims, 4*8, nil, nil, func(s *v2sink) {
-		s.u64(uint64(m.NumUsers))
-		s.u64(uint64(m.NumWords))
-		s.u64(uint64(m.NumBuckets))
-		s.u64(uint64(m.NumAttrs))
-	})
-	dense(tagPi, m.Pi)
-	dense(tagTheta, m.Theta)
-	dense(tagPhi, m.Phi)
-	add(tagEta, v2ShapeLen+8*uint64(len(m.Eta.Data)), m.Eta.Data,
-		[]uint64{uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3)}, func(s *v2sink) {
-			s.shape(uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3))
-			s.floats(m.Eta.Data)
+	if take(tagConfig) {
+		cfgJSON, err := json.Marshal(m.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("store: encoding config: %w", err)
+		}
+		add(tagConfig, uint64(len(cfgJSON)), nil, nil, func(s *v2sink) { s.raw(cfgJSON) })
+	}
+	if take(tagDims) {
+		add(tagDims, 4*8, nil, nil, func(s *v2sink) {
+			s.u64(uint64(m.NumUsers))
+			s.u64(uint64(m.NumWords))
+			s.u64(uint64(m.NumBuckets))
+			s.u64(uint64(m.NumAttrs))
 		})
-	nu := m.Nu
-	add(tagNu, v2ShapeLen+8*uint64(len(nu)), nu, []uint64{uint64(len(nu))}, func(s *v2sink) {
-		s.shape(uint64(len(nu)))
-		s.floats(nu)
-	})
-	if m.PopFreq != nil {
-		dense(tagPop, m.PopFreq)
 	}
-	if m.Xi != nil {
-		dense(tagXi, m.Xi)
+	if take(tagPi) {
+		if err := dense(tagPi, m.Pi); err != nil {
+			return nil, err
+		}
+	}
+	if take(tagTheta) {
+		if err := dense(tagTheta, m.Theta); err != nil {
+			return nil, err
+		}
+	}
+	if take(tagPhi) {
+		if err := dense(tagPhi, m.Phi); err != nil {
+			return nil, err
+		}
+	}
+	if take(tagEta) {
+		if m.Eta == nil {
+			return nil, fmt.Errorf("store: section %q requested but the model block is nil", tagEta)
+		}
+		add(tagEta, v2ShapeLen+8*uint64(len(m.Eta.Data)), m.Eta.Data,
+			[]uint64{uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3)}, func(s *v2sink) {
+				s.shape(uint64(m.Eta.D1), uint64(m.Eta.D2), uint64(m.Eta.D3))
+				s.floats(m.Eta.Data)
+			})
+	}
+	if take(tagNu) {
+		nu := m.Nu
+		add(tagNu, v2ShapeLen+8*uint64(len(nu)), nu, []uint64{uint64(len(nu))}, func(s *v2sink) {
+			s.shape(uint64(len(nu)))
+			s.floats(nu)
+		})
+	}
+	if take(tagPop) && m.PopFreq != nil {
+		if err := dense(tagPop, m.PopFreq); err != nil {
+			return nil, err
+		}
+	}
+	if take(tagXi) && m.Xi != nil {
+		if err := dense(tagXi, m.Xi); err != nil {
+			return nil, err
+		}
 	}
 	ints32 := func(tag string, xs []int32) {
 		add(tag, v2ShapeLen+4*uint64(len(xs)), xs, []uint64{uint64(len(xs))}, func(s *v2sink) {
@@ -227,13 +268,22 @@ func v2Plan(m *core.Model) ([]*v2section, error) {
 			s.int32s(xs)
 		})
 	}
-	ints32(tagDocC, m.DocCommunity)
-	ints32(tagDocZ, m.DocTopic)
-	add(tagDocB, v2ShapeLen+8*uint64(len(m.DocBucket)), m.DocBucket,
-		[]uint64{uint64(len(m.DocBucket))}, func(s *v2sink) {
-			s.shape(uint64(len(m.DocBucket)))
-			s.int64s(m.DocBucket)
-		})
+	if take(tagDocC) {
+		ints32(tagDocC, m.DocCommunity)
+	}
+	if take(tagDocZ) {
+		ints32(tagDocZ, m.DocTopic)
+	}
+	if take(tagDocB) {
+		add(tagDocB, v2ShapeLen+8*uint64(len(m.DocBucket)), m.DocBucket,
+			[]uint64{uint64(len(m.DocBucket))}, func(s *v2sink) {
+				s.shape(uint64(len(m.DocBucket)))
+				s.int64s(m.DocBucket)
+			})
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("store: no sections selected")
+	}
 	for _, sec := range plan {
 		if sec.size > maxSectionBytes {
 			return nil, fmt.Errorf("store: section %q needs %d payload bytes, above the format's %d-byte section limit",

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -49,11 +50,15 @@ func (u *Updater) Manifest() (Manifest, error) {
 
 // SnapshotServer serves a publisher's snapshot directory to replicas:
 //
-//	GET /api/generations             the Manifest (JSON)
-//	GET /api/generations/file?gen=N  one generation file's bytes
+//	GET /api/generations                 the Manifest (JSON)
+//	GET /api/generations/file?gen=N      one generation file's bytes
+//	GET /api/shards                      the sharded-generation manifest list (JSON)
+//	GET /api/shards/manifest?gen=N       one shard manifest's bytes
+//	GET /api/shards/file?gen=N&shard=K   one shard file's bytes
+//	GET /api/shards/file?gen=N&global=1  one global file's bytes
 //
-// The file path is reconstructed from the parsed generation number, never
-// from client-supplied names, so the handler cannot be walked out of dir.
+// Every file path is reconstructed from parsed numbers, never from
+// client-supplied names, so the handler cannot be walked out of dir.
 // cmd/cpd-serve mounts this next to the query API whenever it publishes
 // snapshots, making any publisher a snapshot origin for its replicas.
 func SnapshotServer(dir string) http.Handler {
@@ -77,5 +82,58 @@ func SnapshotServer(dir string) http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		http.ServeFile(w, r, store.GenPath(dir, gen))
 	})
+	mux.HandleFunc("/api/shards", func(w http.ResponseWriter, r *http.Request) {
+		gens, err := shard.ScanManifests(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var newest uint64
+		if n := len(gens); n > 0 {
+			newest = gens[n-1]
+		}
+		writeJSON(w, ShardManifestList{Generation: newest, Generations: gens})
+	})
+	mux.HandleFunc("/api/shards/manifest", func(w http.ResponseWriter, r *http.Request) {
+		gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+		if err != nil || gen == 0 {
+			http.Error(w, "bad or missing gen parameter", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, shard.ManifestPath(dir, gen))
+	})
+	mux.HandleFunc("/api/shards/file", func(w http.ResponseWriter, r *http.Request) {
+		gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+		if err != nil || gen == 0 {
+			http.Error(w, "bad or missing gen parameter", http.StatusBadRequest)
+			return
+		}
+		var path string
+		switch {
+		case r.URL.Query().Get("global") != "":
+			path = shard.GlobalPath(dir, gen)
+		case r.URL.Query().Get("shard") != "":
+			idx, err := strconv.Atoi(r.URL.Query().Get("shard"))
+			if err != nil || idx < 0 || idx > 999 {
+				http.Error(w, "bad shard index", http.StatusBadRequest)
+				return
+			}
+			path = shard.ShardPath(dir, gen, idx)
+		default:
+			http.Error(w, "need shard=K or global=1", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, path)
+	})
 	return mux
+}
+
+// ShardManifestList is the /api/shards payload: which sharded
+// generations the publisher currently offers (Generation = newest, 0
+// when none).
+type ShardManifestList struct {
+	Generation  uint64   `json:"generation"`
+	Generations []uint64 `json:"generations,omitempty"`
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hist"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/sparse"
 	"repro/internal/store"
 )
@@ -243,6 +244,17 @@ func (u *Updater) publishLocked() (*PublishInfo, error) {
 		}
 		info.Path = path
 		ph.SaveMicros = lap()
+		if u.sharder != nil {
+			// The sharded group is published next to the full file from the
+			// same model, so joining it reproduces the full file's sections
+			// byte-for-byte. pendingRows still holds every user touched since
+			// the last publish here (it is cleared only after the promote),
+			// which is exactly the sharder's O(changed) delta.
+			if _, serr := u.sharder.Publish(u.generation, model, shard.Delta{Full: full, ChangedUsers: u.pendingRows}); serr != nil {
+				u.generation--
+				return nil, fmt.Errorf("stream: sharded publish: %w", serr)
+			}
+		}
 	}
 	if u.opts.Mmap && info.Path != "" {
 		mm, merr := store.Open(info.Path)
@@ -429,6 +441,9 @@ func (u *Updater) pruneSnapshotsLocked() {
 		if f.Generation <= cut {
 			os.Remove(filepath.Join(u.opts.Dir, f.Name))
 		}
+	}
+	if u.sharder != nil {
+		u.sharder.Prune(cut)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/quality"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/socialgraph"
 	"repro/internal/sparse"
 	"repro/internal/store"
@@ -42,6 +43,13 @@ type Options struct {
 	// KeepSnapshots bounds how many published snapshot files are retained
 	// in Dir (default 3; older generations are pruned).
 	KeepSnapshots int
+	// Shards, when > 1 (and Dir is set), additionally publishes each
+	// generation as a sharded group (internal/shard): a CRC'd manifest, a
+	// global file and Shards per-user-range shard files, which
+	// shard-owning replicas fetch instead of the full snapshot. Shard
+	// files whose users did not change between generations are hard-linked
+	// rather than re-encoded, keeping the extra publish work O(changed).
+	Shards int
 
 	// WindowEvents is the delta window: MaybePublish (and Run) publish
 	// once at least this many events are pending (default 256).
@@ -256,6 +264,10 @@ type Updater struct {
 	lastVersion uint64
 	manifest    *store.SectionManifest
 	pendingRows []int32
+	// sharder, when Options.Shards > 1, re-publishes each generation as a
+	// sharded group next to the full snapshot file (hard-linking clean
+	// shard files across generations).
+	sharder *shard.Publisher
 	// docsChanged marks that the stream documents' assignment arrays
 	// (docC/docZ) or their length changed since lastModel was built. While
 	// false, extendedDocArraysLocked hands out lastModel's own doc arrays
@@ -309,6 +321,16 @@ func NewUpdater(j *Journal, opts Options) (*Updater, error) {
 		users:  make(map[int32]*userState),
 		foldPi: make(map[int32][]float64),
 		notify: make(chan struct{}, 1),
+	}
+	if opts.Shards > 1 {
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("stream: Options.Shards needs Options.Dir")
+		}
+		sharder, err := shard.NewPublisher(opts.Dir, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		u.sharder = sharder
 	}
 	u.base = opts.Base
 	if u.base == nil {
